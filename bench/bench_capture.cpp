@@ -1,0 +1,81 @@
+// E5 — the "loss-limited path" + "packet capture filtering and packet
+// thinning in hardware" (§1). Host capture completeness vs offered rate,
+// with three monitor configurations:
+//   full    — capture whole frames
+//   snap64  — cut every frame to 64 B before DMA
+//   filter  — capture only 1 of 8 flows (wildcard filter)
+// The DMA path is 8 Gb/s effective, so full-frame capture saturates first.
+#include <cstdio>
+#include <optional>
+#include <string_view>
+
+#include "osnt/core/device.hpp"
+#include "osnt/core/measure.hpp"
+
+using namespace osnt;
+
+namespace {
+
+struct Result {
+  double captured_frac;
+  std::uint64_t dma_drops;
+  std::uint64_t filtered;
+};
+
+Result run(double gbps, const char* mode) {
+  sim::Engine eng;
+  core::OsntDevice osnt{eng};
+  hw::connect(osnt.port(0), osnt.port(1));
+
+  auto& rx = osnt.rx(1);
+  std::optional<mon::FilterRule> filter;
+  if (std::string_view{mode} == "snap64") {
+    rx.cutter().set_snap_len(64);
+  } else if (std::string_view{mode} == "filter") {
+    mon::FilterRule r;
+    r.src_port = 1024;  // flow 0 of 8 (flows differ in src_port)
+    filter = r;
+  }
+
+  core::TrafficSpec spec;
+  spec.rate = gen::RateSpec::gbps(gbps);
+  spec.frame_size = 512;
+  spec.flow_count = 8;
+  const auto r =
+      core::run_capture_test(eng, osnt, 0, 1, spec, 10 * kPicosPerMilli,
+                             filter ? &*filter : nullptr);
+  const std::uint64_t eligible = rx.captured() + rx.dma_drops();
+  return {eligible ? static_cast<double>(rx.captured()) /
+                         static_cast<double>(eligible)
+                   : 1.0,
+          rx.dma_drops(), rx.filtered_out()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: host capture completeness vs offered rate "
+              "(loss-limited DMA path, 8 Gb/s effective)\n");
+  std::printf("%8s | %10s %10s | %10s %10s | %10s %10s %10s\n", "offered",
+              "full_cap%%", "full_drop", "snap_cap%%", "snap_drop",
+              "filt_cap%%", "filt_drop", "filt_out");
+  for (const double gbps : {1.0, 2.0, 4.0, 6.0, 8.0, 9.5}) {
+    const Result full = run(gbps, "full");
+    const Result snap = run(gbps, "snap64");
+    const Result filt = run(gbps, "filter");
+    std::printf("%7.1fG | %9.2f%% %10llu | %9.2f%% %10llu | %9.2f%% %10llu "
+                "%10llu\n",
+                gbps, full.captured_frac * 100.0,
+                static_cast<unsigned long long>(full.dma_drops),
+                snap.captured_frac * 100.0,
+                static_cast<unsigned long long>(snap.dma_drops),
+                filt.captured_frac * 100.0,
+                static_cast<unsigned long long>(filt.dma_drops),
+                static_cast<unsigned long long>(filt.filtered));
+  }
+  std::printf("\nShape check: full-frame capture starts dropping once the "
+              "offered rate approaches the DMA budget; snap-64 thinning and "
+              "1-in-8 filtering keep capture lossless to line rate — the "
+              "reason OSNT does both in hardware.\n");
+  return 0;
+}

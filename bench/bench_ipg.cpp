@@ -1,0 +1,88 @@
+// E10 — "a PCAP replay function with a tuneable per-packet
+// inter-departure time" (§1): generator pacing accuracy. For each rate
+// mode, compare requested vs achieved inter-departure times measured at
+// the wire (ground truth) — error should be bounded by the datapath
+// quantum, never cumulative.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "osnt/core/device.hpp"
+#include "osnt/common/stats.hpp"
+#include "osnt/core/measure.hpp"
+
+using namespace osnt;
+
+namespace {
+
+struct IpgStats {
+  double mean_ns = 0;
+  double stddev_ns = 0;
+  double worst_err_ns = 0;
+  std::size_t n = 0;
+};
+
+IpgStats measure(gen::RateSpec rate, std::size_t frame_size, double expect_ns) {
+  sim::Engine eng;
+  core::OsntDevice osnt{eng};
+  hw::connect(osnt.port(0), osnt.port(1));
+
+  std::vector<Picos> arrivals;
+  osnt.port(1).rx().set_handler(
+      [&](net::Packet, Picos first_bit, Picos) { arrivals.push_back(first_bit); });
+
+  gen::TxConfig txc;
+  txc.rate = rate;
+  auto& tx = osnt.configure_tx(0, txc);
+  core::TrafficSpec spec;
+  spec.frame_size = frame_size;
+  spec.frame_count = 2000;
+  tx.set_source(core::make_source(spec));
+  tx.start();
+  eng.run();
+
+  IpgStats s;
+  RunningStats rs;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    const double gap = to_nanos(arrivals[i] - arrivals[i - 1]);
+    rs.add(gap);
+    s.worst_err_ns = std::max(s.worst_err_ns, std::abs(gap - expect_ns));
+  }
+  s.mean_ns = rs.mean();
+  s.stddev_ns = rs.stddev();
+  s.n = rs.count();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10: inter-departure time accuracy (tuneable per-packet IPG)\n");
+  std::printf("%28s %12s %12s %10s %12s\n", "mode", "request_ns", "mean_ns",
+              "stddev", "worst_err");
+
+  struct Case {
+    const char* label;
+    gen::RateSpec rate;
+    std::size_t frame;
+    double expect_ns;
+  };
+  const Case cases[] = {
+      {"line-rate 100% @64B", gen::RateSpec::line_rate(1.0), 64, 67.2},
+      {"line-rate 50% @64B", gen::RateSpec::line_rate(0.5), 64, 134.4},
+      {"2 Gb/s @512B", gen::RateSpec::gbps(2.0), 512, 2128.0},
+      {"1 Mpps @256B", gen::RateSpec::pps(1e6), 256, 1000.0},
+      {"gap 500ns @128B", gen::RateSpec::gap_ns(500), 128, 118.4 + 500.0},
+      {"gap 10us @1518B", gen::RateSpec::gap_ns(10000), 1518, 1230.4 + 10000.0},
+  };
+  for (const auto& c : cases) {
+    const auto s = measure(c.rate, c.frame, c.expect_ns);
+    std::printf("%28s %12.1f %12.2f %10.3f %12.2f\n", c.label, c.expect_ns,
+                s.mean_ns, s.stddev_ns, s.worst_err_ns);
+  }
+  std::printf("\nShape check: mean matches the request to sub-ns, deviation "
+              "is zero (hardware pacing, no OS jitter) — the property that "
+              "lets OSNT replay traces with faithful inter-departure "
+              "times.\n");
+  return 0;
+}

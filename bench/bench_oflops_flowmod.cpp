@@ -1,0 +1,47 @@
+// E6 — demo Part II: "the latency to modify the entries of the switch
+// flow table through control and data plane measurements". Sweep the
+// flow-table occupancy and report barrier RTT (control plane) vs first
+// packet on the new path (data plane).
+#include <cstdio>
+
+#include "osnt/oflops/context.hpp"
+#include "osnt/oflops/flowmod_latency.hpp"
+
+using namespace osnt;
+
+int main() {
+  std::printf("E6: flow_mod latency vs table occupancy (demo Part II)\n");
+  std::printf("%8s %14s %14s %14s %14s\n", "rules", "ctrl_p50_ms",
+              "data_p50_ms", "data_p99_ms", "gap_p50_ms");
+
+  for (const std::size_t table : {std::size_t{8}, std::size_t{64},
+                                  std::size_t{256}, std::size_t{1024}}) {
+    dut::OpenFlowSwitchConfig sw_cfg;
+    sw_cfg.commit_base = 1 * kPicosPerMilli;
+    sw_cfg.commit_per_entry = 2 * kPicosPerMicro;  // TCAM reshuffle term
+    sw_cfg.table.max_entries = 8192;
+    oflops::Testbed tb{sw_cfg};
+
+    oflops::FlowModLatencyConfig cfg;
+    cfg.table_size = table;
+    cfg.rounds = 12;
+    oflops::FlowModLatencyModule mod{cfg};
+    const auto rep = tb.ctx.run(mod, 300 * kPicosPerSec);
+
+    const SampleSet *ctrl = nullptr, *data = nullptr, *gap = nullptr;
+    for (const auto& [name, d] : rep.distributions) {
+      if (name == "control_plane_ms") ctrl = &d;
+      if (name == "data_plane_ms") data = &d;
+      if (name == "data_minus_control_ms") gap = &d;
+    }
+    std::printf("%8zu %14.3f %14.3f %14.3f %14.3f\n", table,
+                ctrl ? ctrl->quantile(0.5) : -1.0,
+                data ? data->quantile(0.5) : -1.0,
+                data ? data->quantile(0.99) : -1.0,
+                gap ? gap->quantile(0.5) : -1.0);
+  }
+  std::printf("\nShape check: control-plane latency is flat (the agent acks "
+              "quickly), data-plane install time grows with table occupancy "
+              "(TCAM commit cost) — the OFLOPS finding that barriers lie.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E9 — design-choice ablation: timestamping "on receipt by the MAC
+// module, thus minimising queueing noise" (§1) versus timestamping in
+// the host (after the DMA path), the way commodity capture does it.
+// Under bursty load the DMA queue adds noise that MAC timestamps avoid.
+#include <cstdio>
+
+#include "osnt/common/stats.hpp"
+#include "osnt/core/device.hpp"
+#include "osnt/core/measure.hpp"
+#include "osnt/tstamp/embed.hpp"
+
+using namespace osnt;
+
+int main() {
+  std::printf("E9: MAC-receipt vs host timestamping under bursty load "
+              "(ablation of the paper's design choice)\n");
+  std::printf("%8s %8s | %12s %12s | %12s %12s\n", "load", "burst",
+              "mac_p50_ns", "mac_sigma", "host_p50_ns", "host_sigma");
+
+  for (const double gbps : {1.0, 4.0, 7.0}) {
+    for (const std::size_t burst : {std::size_t{1}, std::size_t{64}}) {
+      sim::Engine eng;
+      core::OsntDevice osnt{eng};
+      hw::connect(osnt.port(0), osnt.port(1));
+
+      // Host-side timestamps: sample sim time when the record reaches the
+      // host (i.e. after the shared DMA path) — the ablated design.
+      SampleSet host_ns;
+      osnt.capture().set_on_record([&](const mon::CaptureRecord& rec) {
+        const auto stamp = tstamp::extract_timestamp(
+            ByteSpan{rec.data.data(), rec.data.size()},
+            tstamp::kDefaultEmbedOffset);
+        if (stamp)
+          host_ns.add(to_nanos(eng.now()) - stamp->ts.to_nanos());
+      });
+
+      core::TrafficSpec spec;
+      spec.rate = gen::RateSpec::gbps(gbps);
+      spec.frame_size = 512;
+      spec.arrivals = burst > 1 ? core::TrafficSpec::Arrivals::kBurst
+                                : core::TrafficSpec::Arrivals::kCbr;
+      spec.burst_len = burst;
+      const auto r = core::run_capture_test(eng, osnt, 0, 1, spec,
+                                            2 * kPicosPerMilli);
+
+      std::printf("%7.1fG %8zu | %12.1f %12.2f | %12.1f %12.2f\n", gbps,
+                  burst, r.latency_ns.quantile(0.5), r.latency_ns.stddev(),
+                  host_ns.quantile(0.5), host_ns.stddev());
+    }
+  }
+  std::printf("\nShape check: MAC timestamps stay tight (sigma ~ one tick) "
+              "at every load; host timestamps inflate by the DMA queueing "
+              "delay and their sigma explodes under bursts — why OSNT "
+              "stamps at the MAC.\n");
+  return 0;
+}

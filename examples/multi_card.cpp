@@ -1,0 +1,94 @@
+// Multi-card measurement — the paper's closing vision: "deployments may
+// see the use of hundreds or thousands of testers". One-way latency
+// between *different* OSNT cards is only meaningful because every card's
+// timestamp clock is disciplined to the same GPS time. This example
+// measures A→switch→B one-way latency twice: with card B disciplined,
+// and with its antenna unplugged and a 20 ppm oscillator — showing the
+// measurement silently corrupting without GPS.
+//
+//   $ ./multi_card
+#include <cstdio>
+
+#include "osnt/core/device.hpp"
+#include "osnt/core/measure.hpp"
+#include "osnt/dut/legacy_switch.hpp"
+#include "osnt/net/builder.hpp"
+#include "osnt/gen/template_gen.hpp"
+#include "osnt/tstamp/embed.hpp"
+
+using namespace osnt;
+
+namespace {
+
+struct OneWayResult {
+  SampleSet latency_ns;
+};
+
+OneWayResult run(bool card_b_disciplined, Picos duration) {
+  sim::Engine eng;
+
+  // Card A generates; card B monitors. Separate cards = separate clocks.
+  core::DeviceConfig cfg_a;
+  core::DeviceConfig cfg_b;
+  cfg_b.clock.discipline = card_b_disciplined;
+  cfg_b.clock.osc.ppm_offset = 20.0;  // a realistic uncorrected crystal
+  cfg_b.clock.osc.seed = 77;
+  core::OsntDevice card_a{eng, cfg_a};
+  core::OsntDevice card_b{eng, cfg_b};
+
+  dut::LegacySwitch sw{eng};
+  hw::connect(card_a.port(0), sw.port(0));
+  hw::connect(card_b.port(0), sw.port(1));
+
+  // Prime MAC learning toward card B.
+  net::PacketBuilder pb;
+  (void)card_b.port(0).tx().transmit(
+      pb.eth(net::MacAddr::from_index(2), net::MacAddr::from_index(1))
+          .ipv4(net::Ipv4Addr::of(10, 0, 1, 1), net::Ipv4Addr::of(10, 0, 0, 1),
+                net::ipproto::kUdp)
+          .udp(5001, 1024)
+          .build());
+  eng.run();
+
+  // Let both clocks converge/diverge for 5 simulated seconds first — the
+  // drift error grows with elapsed time.
+  eng.run_until(5 * kPicosPerSec);
+
+  gen::TxConfig txc;
+  txc.rate = gen::RateSpec::pps(50'000);
+  auto& tx = card_a.configure_tx(0, txc);
+  gen::TemplateConfig tc;
+  tx.set_source(std::make_unique<gen::TemplateSource>(
+      tc, std::make_unique<gen::FixedSize>(256)));
+  tx.start();
+  eng.run_until(eng.now() + duration);
+  tx.stop();
+  eng.run_until(eng.now() + kPicosPerMilli);
+
+  OneWayResult r;
+  r.latency_ns = card_b.capture().latency_ns(tstamp::kDefaultEmbedOffset, 0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Cross-card one-way latency (card A TX stamp vs card B RX "
+              "stamp), 5 s after power-on:\n\n");
+  const auto good = run(/*card_b_disciplined=*/true, 20 * kPicosPerMilli);
+  const auto bad = run(/*card_b_disciplined=*/false, 20 * kPicosPerMilli);
+
+  std::printf("  %-28s n=%zu p50=%.1f ns  p99=%.1f ns\n",
+              "both cards GPS-disciplined:", good.latency_ns.count(),
+              good.latency_ns.quantile(0.5), good.latency_ns.quantile(0.99));
+  std::printf("  %-28s n=%zu p50=%.1f ns  p99=%.1f ns\n",
+              "card B free-running (20ppm):", bad.latency_ns.count(),
+              bad.latency_ns.quantile(0.5), bad.latency_ns.quantile(0.99));
+
+  std::printf("\nWith GPS both cards agree on absolute time and the one-way "
+              "latency is the true ~1.3 us switch transit.\nWithout it, "
+              "5 s of 20 ppm drift puts ~100 us of clock error straight "
+              "into the measurement —\nwhich is why OSNT corrects drift "
+              "and phase from an external GPS device.\n");
+  return 0;
+}

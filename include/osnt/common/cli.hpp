@@ -1,0 +1,58 @@
+// Tiny declarative flag parser for the OSNT command-line drivers. Flags
+// are `--name value` or `--name=value`; bools may omit the value.
+// Unknown flags are an error; `--help` renders the registered table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace osnt {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Register flags (call before parse()). `target` must outlive parse().
+  void add_flag(const std::string& name, std::string* target,
+                const std::string& help);
+  void add_flag(const std::string& name, double* target,
+                const std::string& help);
+  void add_flag(const std::string& name, std::int64_t* target,
+                const std::string& help);
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+
+  /// Parse argv. Returns false (after printing a message) on bad input or
+  /// --help; callers should exit(0) on help_requested(), exit(1) otherwise.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  /// Positional (non-flag) arguments, in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind : std::uint8_t { kString, kDouble, kInt, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  [[nodiscard]] Flag* find(const std::string& name);
+  [[nodiscard]] bool assign(Flag& flag, const std::string& value);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_ = false;
+};
+
+}  // namespace osnt

@@ -1,0 +1,34 @@
+// Minimal leveled logger. Library code logs sparingly (warnings for
+// misconfiguration); tools raise verbosity for debugging.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace osnt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Core sink. Thread-safe (single fprintf per message).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+std::string format_log(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define OSNT_LOG(level, ...)                                            \
+  do {                                                                  \
+    if (static_cast<int>(level) >= static_cast<int>(::osnt::log_level())) \
+      ::osnt::log_message(level, ::osnt::detail::format_log(__VA_ARGS__)); \
+  } while (0)
+
+#define OSNT_DEBUG(...) OSNT_LOG(::osnt::LogLevel::kDebug, __VA_ARGS__)
+#define OSNT_INFO(...) OSNT_LOG(::osnt::LogLevel::kInfo, __VA_ARGS__)
+#define OSNT_WARN(...) OSNT_LOG(::osnt::LogLevel::kWarn, __VA_ARGS__)
+#define OSNT_ERROR(...) OSNT_LOG(::osnt::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace osnt

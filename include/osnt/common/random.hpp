@@ -1,0 +1,55 @@
+// Deterministic pseudo-random source for workload generation and noise
+// models. Uses xoshiro256** so simulations replay bit-identically across
+// platforms (std::mt19937 distributions are not portable across libstdc++
+// versions for some distributions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace osnt {
+
+/// xoshiro256** PRNG. Deterministic and seedable; satisfies
+/// UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x05317A915EC0DE5ull) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo,
+                                          std::uint64_t hi) noexcept;
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Bounded Pareto variate with shape `alpha` on [lo, hi].
+  [[nodiscard]] double pareto(double alpha, double lo, double hi) noexcept;
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool chance(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_normal_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace osnt

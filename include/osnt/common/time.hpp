@@ -1,0 +1,41 @@
+// Ground-truth simulation time base. The discrete-event engine runs in
+// integer picoseconds: fine enough to represent a single bit-time at
+// 10 Gb/s (100 ps) exactly, and a 64-bit count still spans ~106 days.
+//
+// Note the deliberate split: `Picos` is *ground truth* (what the simulated
+// universe does); device-observable time is `tstamp::Timestamp`, produced
+// by a (possibly drifting, GPS-disciplined) clock model. The paper's
+// precision claims are statements about the gap between the two.
+#pragma once
+
+#include <cstdint>
+
+namespace osnt {
+
+using Picos = std::int64_t;
+
+inline constexpr Picos kPicosPerNano = 1'000;
+inline constexpr Picos kPicosPerMicro = 1'000'000;
+inline constexpr Picos kPicosPerMilli = 1'000'000'000;
+inline constexpr Picos kPicosPerSec = 1'000'000'000'000;
+
+[[nodiscard]] constexpr double to_seconds(Picos t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerSec);
+}
+[[nodiscard]] constexpr double to_nanos(Picos t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerNano);
+}
+[[nodiscard]] constexpr double to_micros(Picos t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerMicro);
+}
+[[nodiscard]] constexpr Picos from_nanos(double ns) noexcept {
+  return static_cast<Picos>(ns * static_cast<double>(kPicosPerNano));
+}
+[[nodiscard]] constexpr Picos from_micros(double us) noexcept {
+  return static_cast<Picos>(us * static_cast<double>(kPicosPerMicro));
+}
+[[nodiscard]] constexpr Picos from_seconds(double s) noexcept {
+  return static_cast<Picos>(s * static_cast<double>(kPicosPerSec));
+}
+
+}  // namespace osnt

@@ -1,0 +1,73 @@
+// OsntDevice: the software twin of one OSNT NetFPGA-10G card — four 10G
+// ports, each with a generator TX pipeline and a monitor RX pipeline, one
+// GPS-disciplined timestamp clock, and one shared (loss-limited) DMA path
+// to the host capture buffer. This is the entry point of the public API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "osnt/gen/tx_pipeline.hpp"
+#include "osnt/hw/dma.hpp"
+#include "osnt/hw/port.hpp"
+#include "osnt/mon/capture.hpp"
+#include "osnt/mon/rx_pipeline.hpp"
+#include "osnt/sim/engine.hpp"
+#include "osnt/tstamp/clock.hpp"
+#include "osnt/tstamp/gps.hpp"
+
+namespace osnt::core {
+
+struct DeviceConfig {
+  std::size_t num_ports = 4;
+  hw::EthPortConfig port{};
+  hw::DmaConfig dma{};
+  tstamp::GpsConfig gps{};
+  tstamp::ClockConfig clock{};
+};
+
+class OsntDevice {
+ public:
+  using Config = DeviceConfig;
+
+  explicit OsntDevice(sim::Engine& eng, Config cfg = Config());
+
+  OsntDevice(const OsntDevice&) = delete;
+  OsntDevice& operator=(const OsntDevice&) = delete;
+
+  [[nodiscard]] std::size_t num_ports() const noexcept { return ports_.size(); }
+
+  /// Physical port (for cabling to a DUT with hw::connect).
+  [[nodiscard]] hw::EthPort& port(std::size_t i) { return *ports_.at(i); }
+
+  /// Generator pipeline of port i.
+  [[nodiscard]] gen::TxPipeline& tx(std::size_t i) { return *tx_.at(i); }
+  /// Monitor pipeline of port i.
+  [[nodiscard]] mon::RxPipeline& rx(std::size_t i) { return *rx_.at(i); }
+
+  /// Reconfigure the generator of port i (drops the old pipeline and its
+  /// source). The new pipeline is stopped; set a source and start() it.
+  gen::TxPipeline& configure_tx(std::size_t i, gen::TxConfig cfg);
+
+  [[nodiscard]] tstamp::DisciplinedClock& clock() noexcept { return *clock_; }
+  [[nodiscard]] tstamp::GpsModel& gps() noexcept { return *gps_; }
+  [[nodiscard]] hw::DmaEngine& dma() noexcept { return *dma_; }
+  /// Host capture buffer shared by all ports.
+  [[nodiscard]] mon::HostCapture& capture() noexcept { return *capture_; }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return *eng_; }
+
+ private:
+  sim::Engine* eng_;
+  Config cfg_;
+  std::unique_ptr<tstamp::GpsModel> gps_;
+  std::unique_ptr<tstamp::DisciplinedClock> clock_;
+  std::unique_ptr<hw::DmaEngine> dma_;
+  std::unique_ptr<mon::HostCapture> capture_;
+  std::vector<std::unique_ptr<hw::EthPort>> ports_;
+  std::vector<std::unique_ptr<gen::TxPipeline>> tx_;
+  std::vector<std::unique_ptr<mon::RxPipeline>> rx_;
+};
+
+}  // namespace osnt::core

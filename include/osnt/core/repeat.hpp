@@ -1,0 +1,38 @@
+// Measurement methodology helpers: repeat a trial across seeds and report
+// mean ± confidence interval — the discipline RFC 2544 (and reviewers)
+// expect from numbers a tester produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace osnt::core {
+
+struct RepeatedResult {
+  std::vector<double> values;  ///< one scalar per repetition
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Half-width of the two-sided 95% confidence interval on the mean
+  /// (Student t for n ≤ 30, normal beyond).
+  double ci95_half = 0.0;
+
+  [[nodiscard]] double lo() const noexcept { return mean - ci95_half; }
+  [[nodiscard]] double hi() const noexcept { return mean + ci95_half; }
+  /// Relative CI half-width (0 when the mean is 0).
+  [[nodiscard]] double relative_ci() const noexcept {
+    return mean != 0.0 ? ci95_half / mean : 0.0;
+  }
+};
+
+/// Run `trial(seed)` for seeds 1..repetitions and summarize the scalars.
+[[nodiscard]] RepeatedResult run_repeated(
+    const std::function<double(std::uint64_t seed)>& trial,
+    std::size_t repetitions);
+
+/// 95% two-sided Student-t critical value for n-1 degrees of freedom
+/// (table for n ≤ 30, 1.96 beyond). Exposed for tests.
+[[nodiscard]] double t_critical_95(std::size_t n) noexcept;
+
+}  // namespace osnt::core

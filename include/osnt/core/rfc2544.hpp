@@ -1,0 +1,93 @@
+// RFC 2544-style automated benchmarking built on OSNT: zero-loss
+// throughput search, frame-loss-rate sweep, and back-to-back burst
+// capacity. The suite is generic over a trial runner so each trial can
+// rebuild a pristine simulated testbed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "osnt/common/stats.hpp"
+
+namespace osnt::core {
+
+/// Outcome of offering `load_fraction` of line rate at one frame size.
+struct TrialStats {
+  std::uint64_t tx_frames = 0;
+  std::uint64_t rx_frames = 0;
+  double offered_gbps = 0.0;
+  SampleSet latency_ns;
+
+  [[nodiscard]] double loss_fraction() const noexcept {
+    return tx_frames == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(rx_frames) /
+                           static_cast<double>(tx_frames);
+  }
+};
+
+/// Runs one trial on a fresh testbed. Implemented by the caller (bench or
+/// test) so the DUT and topology stay out of this layer.
+using TrialFn =
+    std::function<TrialStats(double load_fraction, std::size_t frame_size)>;
+
+struct ThroughputSearchConfig {
+  double lo = 0.02;          ///< search floor (fraction of line rate)
+  double hi = 1.0;           ///< search ceiling
+  double resolution = 0.005; ///< stop when hi-lo below this
+  double loss_tolerance = 0.0;
+};
+
+struct ThroughputPoint {
+  std::size_t frame_size = 0;
+  double max_load_fraction = 0.0;  ///< highest passing load
+  double gbps = 0.0;               ///< offered L1 Gb/s at that load
+  double mpps = 0.0;
+  std::uint32_t trials = 0;
+  SampleSet latency_at_max_ns;     ///< latency at the passing load
+};
+
+/// Binary-search the highest zero-loss (or tolerance) load for one size.
+[[nodiscard]] ThroughputPoint find_throughput(
+    const TrialFn& run, std::size_t frame_size,
+    ThroughputSearchConfig cfg = ThroughputSearchConfig());
+
+/// Standard RFC 2544 frame-size sweep.
+[[nodiscard]] std::vector<ThroughputPoint> throughput_sweep(
+    const TrialFn& run, std::span<const std::size_t> frame_sizes,
+    ThroughputSearchConfig cfg = ThroughputSearchConfig());
+
+/// Frame loss rate at a ladder of loads (RFC 2544 §26.3): returns
+/// (load_fraction, loss_fraction) pairs from `hi` down in `step`s.
+struct LossPoint {
+  double load_fraction = 0.0;
+  double loss_fraction = 0.0;
+  double offered_gbps = 0.0;
+};
+[[nodiscard]] std::vector<LossPoint> loss_rate_sweep(const TrialFn& run,
+                                                     std::size_t frame_size,
+                                                     double hi = 1.0,
+                                                     double step = 0.1);
+
+/// Back-to-back burst capacity (RFC 2544 §26.4): the longest line-rate
+/// burst the DUT forwards without loss. The caller's trial runner offers
+/// `burst_len` frames back-to-back and reports what came through.
+using BurstTrialFn =
+    std::function<TrialStats(std::size_t burst_len, std::size_t frame_size)>;
+
+struct BackToBackPoint {
+  std::size_t frame_size = 0;
+  std::size_t max_burst = 0;  ///< longest zero-loss burst found
+  std::uint32_t trials = 0;
+};
+
+[[nodiscard]] BackToBackPoint find_back_to_back(
+    const BurstTrialFn& run, std::size_t frame_size,
+    std::size_t max_burst = 1 << 16);
+
+/// The canonical RFC 2544 frame sizes.
+[[nodiscard]] std::span<const std::size_t> rfc2544_frame_sizes() noexcept;
+
+}  // namespace osnt::core

@@ -1,0 +1,105 @@
+// Legacy (non-OpenFlow) Ethernet switch model — the device under test in
+// Part I of the demo. Store-and-forward pipeline with MAC learning,
+// flooding, bounded output queues, and a configurable processing latency
+// with jitter. The latency-vs-load curve of this model has the canonical
+// shape (flat, then a queueing knee near saturation) OSNT measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "osnt/common/random.hpp"
+#include "osnt/hw/port.hpp"
+#include "osnt/net/headers.hpp"
+#include "osnt/sim/engine.hpp"
+
+namespace osnt::dut {
+
+struct LegacySwitchConfig {
+  std::size_t num_ports = 4;
+  /// Fixed pipeline (parse + lookup + scheduling) latency.
+  Picos pipeline_latency = 650 * kPicosPerNano;
+  /// Gaussian jitter (1 sigma) added to the pipeline latency.
+  double latency_jitter_ns = 25.0;
+  /// Per-port output buffer; tail-drop beyond this backlog.
+  std::size_t queue_bytes = 128 * 1024;
+  /// MAC table capacity and aging.
+  std::size_t mac_table_size = 16384;
+  Picos mac_aging = 300 * kPicosPerSec;
+  /// Flood frames with unknown unicast destinations (standard learning
+  /// bridge). Disable for statically-programmed fabrics with redundant
+  /// paths, where flooding would loop.
+  bool flood_unknown = true;
+  /// Cut-through forwarding: latency measured from the first bit rather
+  /// than frame completion (approximated; see DESIGN.md).
+  bool cut_through = false;
+  /// Serial lookup engine capacity in Mpps; 0 = unlimited (wire rate).
+  /// Under-provisioned switches are packet-rate-limited: small frames
+  /// saturate the lookup stage long before the link fills.
+  double lookup_rate_mpps = 0.0;
+  /// Max backlog (in time) tolerated at the lookup stage before ingress
+  /// drops, when lookup_rate_mpps > 0.
+  Picos lookup_queue_limit = 100 * kPicosPerMicro;
+  std::uint64_t seed = 11;
+};
+
+class LegacySwitch {
+ public:
+  using Config = LegacySwitchConfig;
+
+  LegacySwitch(sim::Engine& eng, Config cfg = Config());
+
+  LegacySwitch(const LegacySwitch&) = delete;
+  LegacySwitch& operator=(const LegacySwitch&) = delete;
+
+  [[nodiscard]] std::size_t num_ports() const noexcept { return ports_.size(); }
+  [[nodiscard]] hw::EthPort& port(std::size_t i) { return *ports_.at(i); }
+
+  // --- counters ---
+  [[nodiscard]] std::uint64_t frames_forwarded() const noexcept {
+    return forwarded_;
+  }
+  [[nodiscard]] std::uint64_t frames_flooded() const noexcept {
+    return flooded_;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept;
+  [[nodiscard]] std::uint64_t lookup_drops() const noexcept {
+    return lookup_drops_;
+  }
+  [[nodiscard]] std::size_t mac_table_size() const noexcept {
+    return mac_table_.size();
+  }
+  [[nodiscard]] std::uint64_t unknown_dropped() const noexcept {
+    return unknown_dropped_;
+  }
+
+  /// Install a permanent (non-aging) forwarding entry — the "static MAC"
+  /// feature used to program fabrics without relying on flooding.
+  void add_static_mac(const net::MacAddr& mac, std::size_t port);
+
+ private:
+  void on_frame(std::size_t in_port, net::Packet pkt, Picos first_bit,
+                Picos last_bit);
+  void emit(std::size_t out_port, net::Packet pkt, Picos not_before);
+
+  struct MacEntry {
+    std::size_t port = 0;
+    Picos last_seen = 0;
+    bool is_static = false;
+  };
+
+  sim::Engine* eng_;
+  Config cfg_;
+  Rng rng_;
+  std::vector<std::unique_ptr<hw::EthPort>> ports_;
+  std::unordered_map<std::uint64_t, MacEntry> mac_table_;
+  Picos lookup_busy_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t flooded_ = 0;
+  std::uint64_t lookup_drops_ = 0;
+  std::uint64_t unknown_dropped_ = 0;
+};
+
+}  // namespace osnt::dut

@@ -1,0 +1,59 @@
+// Rate control: converts a user-facing rate specification ("4.2 Gb/s",
+// "80% of line rate", "1.2 Mpps", "IPG 500 ns") into per-frame
+// inter-departure times, exactly like OSNT's tuneable per-packet
+// inter-departure time knob.
+#pragma once
+
+#include <cstdint>
+
+#include "osnt/common/time.hpp"
+#include "osnt/net/packet.hpp"
+
+namespace osnt::gen {
+
+enum class RateMode : std::uint8_t {
+  kLineRateFraction,  ///< value = fraction of line rate (0, 1]
+  kGbps,              ///< value = L1 rate in Gb/s (incl. preamble + IFG)
+  kPps,               ///< value = packets per second
+  kGapNanos,          ///< value = gap between frames (end→start), ns
+};
+
+struct RateSpec {
+  RateMode mode = RateMode::kLineRateFraction;
+  double value = 1.0;
+
+  [[nodiscard]] static RateSpec line_rate(double fraction = 1.0) noexcept {
+    return {RateMode::kLineRateFraction, fraction};
+  }
+  [[nodiscard]] static RateSpec gbps(double g) noexcept {
+    return {RateMode::kGbps, g};
+  }
+  [[nodiscard]] static RateSpec pps(double p) noexcept {
+    return {RateMode::kPps, p};
+  }
+  [[nodiscard]] static RateSpec gap_ns(double ns) noexcept {
+    return {RateMode::kGapNanos, ns};
+  }
+};
+
+class RateController {
+ public:
+  RateController(RateSpec spec, double link_gbps = 10.0) noexcept
+      : spec_(spec), link_gbps_(link_gbps) {}
+
+  /// Start-to-start departure interval for a frame occupying
+  /// `line_len_bytes` on the medium (frame + FCS + preamble + IFG).
+  [[nodiscard]] Picos departure_interval(std::size_t line_len_bytes) const noexcept;
+
+  /// The offered L1 rate (Gb/s) this spec implies for a fixed frame size.
+  [[nodiscard]] double offered_gbps(std::size_t line_len_bytes) const noexcept;
+
+  [[nodiscard]] const RateSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] double link_gbps() const noexcept { return link_gbps_; }
+
+ private:
+  RateSpec spec_;
+  double link_gbps_;
+};
+
+}  // namespace osnt::gen

@@ -1,0 +1,48 @@
+// PCAP replay source — OSNT's headline generator feature: replay a
+// captured trace with its recorded inter-departure times (optionally
+// time-scaled), or override them entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "osnt/gen/source.hpp"
+#include "osnt/net/pcap.hpp"
+
+namespace osnt::gen {
+
+enum class ReplayTiming : std::uint8_t {
+  kAsRecorded,  ///< recorded gaps, divided by `speedup`
+  kIgnore,      ///< no gap hints; the rate controller paces
+};
+
+struct ReplayConfig {
+  ReplayTiming timing = ReplayTiming::kAsRecorded;
+  double speedup = 1.0;   ///< 2.0 = replay twice as fast
+  std::uint64_t loops = 1; ///< times through the trace; 0 = forever
+};
+
+class PcapReplaySource final : public PacketSource {
+ public:
+  /// Load a trace from disk. Throws on I/O or format errors.
+  PcapReplaySource(const std::string& path, ReplayConfig cfg = ReplayConfig());
+  /// Replay an in-memory record list (e.g. a synthetic trace).
+  PcapReplaySource(std::vector<net::PcapRecord> records,
+                   ReplayConfig cfg = ReplayConfig());
+
+  [[nodiscard]] std::optional<TimedPacket> next() override;
+  void rewind() override;
+
+  [[nodiscard]] std::size_t trace_size() const noexcept {
+    return records_.size();
+  }
+
+ private:
+  std::vector<net::PcapRecord> records_;
+  ReplayConfig cfg_;
+  std::size_t idx_ = 0;
+  std::uint64_t loops_done_ = 0;
+};
+
+}  // namespace osnt::gen

@@ -1,0 +1,48 @@
+// PacketSource: where the TX pipeline pulls frames from. Implementations:
+// TemplateSource (synthetic flows) and PcapReplaySource (trace replay).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "osnt/common/time.hpp"
+#include "osnt/net/packet.hpp"
+
+namespace osnt::gen {
+
+/// A frame plus an optional replay gap hint. Sources that replay recorded
+/// traffic provide the recorded inter-departure time; synthetic sources
+/// leave it empty and let the rate controller decide.
+struct TimedPacket {
+  net::Packet pkt;
+  std::optional<Picos> gap_hint;  ///< start-to-start interval to next frame
+};
+
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+  /// Next frame, or nullopt when the source is exhausted.
+  [[nodiscard]] virtual std::optional<TimedPacket> next() = 0;
+  /// Restart from the beginning (for looped generation); default no-op.
+  virtual void rewind() {}
+};
+
+/// Adapter: fragments every IPv4 frame of an inner source at `mtu`
+/// (non-IPv4 and already-fitting frames pass through) — the way a tester
+/// produces fragmented workloads to stress DUT reassembly/TCAM paths.
+class FragmentingSource final : public PacketSource {
+ public:
+  FragmentingSource(std::unique_ptr<PacketSource> inner, std::size_t mtu);
+
+  [[nodiscard]] std::optional<TimedPacket> next() override;
+  void rewind() override;
+
+ private:
+  std::unique_ptr<PacketSource> inner_;
+  std::size_t mtu_;
+  std::vector<net::Packet> backlog_;  ///< fragments awaiting emission
+  std::size_t backlog_idx_ = 0;
+};
+
+}  // namespace osnt::gen

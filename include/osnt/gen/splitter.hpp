@@ -1,0 +1,28 @@
+// Trace splitting for multi-port replay: partition a PCAP trace into N
+// per-port sources by flow hash, so one recorded trace can be replayed
+// "at full line-rate across the four card ports" while keeping each flow
+// on a single port (no intra-flow reordering).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "osnt/gen/replay.hpp"
+#include "osnt/net/pcap.hpp"
+
+namespace osnt::gen {
+
+/// Partition `records` into `ports` buckets by 5-tuple hash (non-IP
+/// frames round-robin). Relative timing within each bucket is preserved;
+/// each bucket becomes an independent PcapReplaySource.
+[[nodiscard]] std::vector<std::unique_ptr<PcapReplaySource>> split_trace(
+    const std::vector<net::PcapRecord>& records, std::size_t ports,
+    ReplayConfig cfg = ReplayConfig());
+
+/// Same, loading from a file.
+[[nodiscard]] std::vector<std::unique_ptr<PcapReplaySource>> split_trace_file(
+    const std::string& path, std::size_t ports,
+    ReplayConfig cfg = ReplayConfig());
+
+}  // namespace osnt::gen

@@ -1,0 +1,52 @@
+// Synthetic traffic from a packet template: N concurrent UDP/TCP flows
+// with configurable addressing, a size distribution, and reserved space
+// for the embedded TX timestamp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "osnt/common/random.hpp"
+#include "osnt/gen/models.hpp"
+#include "osnt/gen/source.hpp"
+#include "osnt/net/headers.hpp"
+
+namespace osnt::gen {
+
+struct TemplateConfig {
+  net::MacAddr src_mac = net::MacAddr::from_index(1);
+  net::MacAddr dst_mac = net::MacAddr::from_index(2);
+  net::Ipv4Addr src_ip = net::Ipv4Addr::of(10, 0, 0, 1);
+  net::Ipv4Addr dst_ip = net::Ipv4Addr::of(10, 0, 1, 1);
+  std::uint16_t src_port = 1024;
+  std::uint16_t dst_port = 5001;
+  std::uint8_t protocol = net::ipproto::kUdp;  ///< kUdp or kTcp
+  std::uint16_t vlan_id = 0;                   ///< 0 = untagged
+
+  /// Flows rotate round-robin; flow i offsets dst_ip/ports by i.
+  std::uint32_t flow_count = 1;
+  /// Vary dst_ip (vs only ports) across flows.
+  bool vary_dst_ip = false;
+
+  std::uint64_t count = 0;  ///< frames to produce; 0 = unbounded
+  std::uint64_t seed = 1;
+};
+
+class TemplateSource final : public PacketSource {
+ public:
+  /// `size_model` must not be null.
+  TemplateSource(TemplateConfig cfg, std::unique_ptr<SizeModel> size_model);
+
+  [[nodiscard]] std::optional<TimedPacket> next() override;
+  void rewind() override { produced_ = 0; }
+
+  [[nodiscard]] std::uint64_t produced() const noexcept { return produced_; }
+
+ private:
+  TemplateConfig cfg_;
+  std::unique_ptr<SizeModel> size_;
+  Rng rng_;
+  std::uint64_t produced_ = 0;
+};
+
+}  // namespace osnt::gen

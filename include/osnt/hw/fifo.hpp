@@ -1,0 +1,54 @@
+// Bounded packet FIFO with byte accounting — the building block for
+// switch output queues and staging buffers. Tail-drop on overflow.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "osnt/net/packet.hpp"
+
+namespace osnt::hw {
+
+struct PacketFifoConfig {
+  std::size_t max_bytes = 512 * 1024;  ///< 0 = unbounded
+  std::size_t max_packets = 0;         ///< 0 = unbounded
+};
+
+class PacketFifo {
+ public:
+  using Config = PacketFifoConfig;
+
+  explicit PacketFifo(Config cfg = Config()) noexcept : cfg_(cfg) {}
+
+  /// Returns false (and counts a drop) when the frame doesn't fit.
+  bool push(net::Packet pkt);
+
+  [[nodiscard]] std::optional<net::Packet> pop();
+  [[nodiscard]] const net::Packet* front() const noexcept {
+    return q_.empty() ? nullptr : &q_.front();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t packets() const noexcept { return q_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t dropped_bytes() const noexcept {
+    return dropped_bytes_;
+  }
+  /// High-water mark of queued bytes.
+  [[nodiscard]] std::size_t peak_bytes() const noexcept { return peak_bytes_; }
+
+  void clear();
+
+ private:
+  Config cfg_;
+  std::deque<net::Packet> q_;
+  std::size_t bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+};
+
+}  // namespace osnt::hw

@@ -1,0 +1,87 @@
+// Host-side capture: receives completed DMA records, unpacks the
+// descriptor metadata back into capture records, and offers PCAP export
+// plus latency decoding against embedded TX timestamps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "osnt/common/stats.hpp"
+#include "osnt/common/types.hpp"
+#include "osnt/hw/dma.hpp"
+#include "osnt/tstamp/timestamp.hpp"
+
+namespace osnt::mon {
+
+struct CaptureRecord {
+  Bytes data;               ///< snapped frame bytes
+  tstamp::Timestamp ts;     ///< RX timestamp (MAC receipt, device clock)
+  std::uint32_t orig_len = 0;
+  std::uint32_t hash = 0;   ///< CRC32 of the full frame (pre-cut)
+  std::uint8_t port = 0;
+
+  /// Descriptor packing used across the DMA boundary.
+  [[nodiscard]] static CaptureRecord from_dma(hw::DmaRecord rec);
+  [[nodiscard]] hw::DmaRecord to_dma() &&;
+};
+
+class HostCapture {
+ public:
+  /// Installs itself as the DMA completion handler. The DMA engine must
+  /// outlive this object.
+  explicit HostCapture(hw::DmaEngine& dma);
+
+  /// Live hook: called for every record as it lands (after it is stored).
+  /// Used by OFLOPS-turbo modules to react to data-plane events in-line.
+  void set_on_record(std::function<void(const CaptureRecord&)> fn) {
+    on_record_ = std::move(fn);
+  }
+
+  [[nodiscard]] const std::vector<CaptureRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Dump to a nanosecond PCAP (orig_len preserved for snapped frames).
+  void write_pcap(const std::string& path) const;
+
+  /// Dump to pcapng with one interface per OSNT port (`num_ports` names
+  /// are generated), so per-port attribution survives the export.
+  void write_pcapng(const std::string& path, std::size_t num_ports = 4) const;
+
+  /// One-way latency samples (ns): embedded TX stamp vs RX stamp, for
+  /// records captured on `port` (-1 = all) that carry a stamp at `offset`.
+  [[nodiscard]] SampleSet latency_ns(std::size_t embed_offset,
+                                     int port = -1) const;
+
+  /// Duplicate detection via the hardware full-frame hash — the reason
+  /// the monitor hashes packets before cutting: identical frames captured
+  /// on multiple ports (e.g. a flood, a mirror, or a forwarding loop) are
+  /// recognisable even from 64-byte snaps.
+  struct DupReport {
+    std::uint64_t unique = 0;
+    std::uint64_t duplicates = 0;   ///< records beyond the first per hash
+    std::uint64_t multi_port = 0;   ///< hashes seen on more than one port
+  };
+  [[nodiscard]] DupReport duplicate_report() const;
+
+  /// Sequence-gap analysis over embedded sequence numbers: returns the
+  /// number of missing sequence values (lost frames) and reorderings.
+  struct SeqReport {
+    std::uint64_t received = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t reordered = 0;
+    std::uint32_t max_seq = 0;
+  };
+  [[nodiscard]] SeqReport sequence_report(std::size_t embed_offset,
+                                          int port = -1) const;
+
+ private:
+  std::vector<CaptureRecord> records_;
+  std::function<void(const CaptureRecord&)> on_record_;
+};
+
+}  // namespace osnt::mon

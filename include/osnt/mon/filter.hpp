@@ -1,0 +1,66 @@
+// Wildcard packet filter table — the monitor's hardware filter stage.
+// A small TCAM: value/mask rules over the classic header fields, first
+// match wins, per-rule hit counters. With no rules installed the monitor
+// captures everything (promiscuous default).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "osnt/net/parser.hpp"
+
+namespace osnt::mon {
+
+enum class FilterAction : std::uint8_t { kCapture, kDrop };
+
+struct FilterRule {
+  // IPv4 addresses: `mask` selects the care bits (0 = wildcard).
+  std::uint32_t src_ip = 0;
+  std::uint32_t src_ip_mask = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint32_t dst_ip_mask = 0;
+  // Exact-match-or-wildcard fields.
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  std::optional<std::uint8_t> protocol;
+  std::optional<std::uint16_t> ethertype;  ///< post-VLAN ethertype
+  std::optional<std::uint16_t> vlan_id;
+
+  FilterAction action = FilterAction::kCapture;
+
+  [[nodiscard]] bool matches(const net::ParsedPacket& p) const noexcept;
+};
+
+class FilterTable {
+ public:
+  /// The NetFPGA-10G OSNT filter stage holds a small number of TCAM
+  /// entries; 16 matches the shipped design.
+  static constexpr std::size_t kMaxRules = 16;
+
+  /// Append a rule (lowest index = highest priority). False when full.
+  bool add(FilterRule rule);
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+
+  struct Verdict {
+    bool capture = true;
+    std::optional<std::size_t> rule;  ///< index of the matching rule
+  };
+
+  /// First-match-wins classification. Empty table captures everything;
+  /// a non-empty table drops packets that match no rule.
+  [[nodiscard]] Verdict classify(const net::ParsedPacket& p) noexcept;
+
+  [[nodiscard]] std::uint64_t hits(std::size_t rule_idx) const;
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  std::vector<FilterRule> rules_;
+  std::vector<std::uint64_t> hits_;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace osnt::mon

@@ -1,0 +1,57 @@
+// Host-side per-flow accounting over capture records — the NetFlow-style
+// summary the OSNT userspace tools derive from (possibly thinned)
+// captures. Works on snapped frames because the 5-tuple lives in the
+// first 42 bytes and the original length rides in the record.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "osnt/mon/capture.hpp"
+#include "osnt/net/flow.hpp"
+
+namespace osnt::mon {
+
+struct FlowRecord {
+  net::FiveTuple key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;  ///< sum of original (pre-cut) lengths
+  tstamp::Timestamp first_seen;
+  tstamp::Timestamp last_seen;
+
+  [[nodiscard]] double duration_seconds() const noexcept {
+    return tstamp::delta_nanos(last_seen, first_seen) * 1e-9;
+  }
+  [[nodiscard]] double mean_rate_bps() const noexcept {
+    const double d = duration_seconds();
+    return d > 0 ? static_cast<double>(bytes) * 8.0 / d : 0.0;
+  }
+};
+
+class FlowStatsCollector {
+ public:
+  /// Account one capture record; non-IPv4 frames land in `unclassified`.
+  void add(const CaptureRecord& rec);
+
+  /// Account an entire capture buffer.
+  void add_all(const HostCapture& capture);
+
+  [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
+  [[nodiscard]] std::uint64_t unclassified() const noexcept {
+    return unclassified_;
+  }
+
+  [[nodiscard]] const FlowRecord* find(const net::FiveTuple& key) const;
+
+  /// All flows, heaviest (by bytes) first.
+  [[nodiscard]] std::vector<FlowRecord> top_by_bytes(std::size_t n = 0) const;
+
+  void clear();
+
+ private:
+  std::unordered_map<net::FiveTuple, FlowRecord> flows_;
+  std::uint64_t unclassified_ = 0;
+};
+
+}  // namespace osnt::mon

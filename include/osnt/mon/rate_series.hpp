@@ -1,0 +1,60 @@
+// Time-bucketed rate series: the monitor-side view of "rate over time"
+// used to visualise transients (update windows, bursts, failures). Each
+// bucket accumulates frames/line-bytes; the series reads back as Gb/s
+// and pps per bucket.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "osnt/common/time.hpp"
+
+namespace osnt::mon {
+
+class RateSeries {
+ public:
+  explicit RateSeries(Picos bucket_width = kPicosPerMilli);
+
+  /// Account one frame observed at `now` occupying `line_bytes` on the
+  /// medium. Out-of-order times land in their proper bucket as long as
+  /// they are not before t=0.
+  void record(Picos now, std::size_t line_bytes);
+
+  struct Bucket {
+    Picos start = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t line_bytes = 0;
+
+    [[nodiscard]] double gbps(Picos width) const noexcept {
+      return static_cast<double>(line_bytes) * 8.0 * 1000.0 /
+             static_cast<double>(width);
+    }
+    [[nodiscard]] double pps(Picos width) const noexcept {
+      return static_cast<double>(frames) / to_seconds(width);
+    }
+  };
+
+  [[nodiscard]] Picos bucket_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buckets_.size(); }
+  [[nodiscard]] const Bucket& bucket(std::size_t i) const {
+    return buckets_.at(i);
+  }
+  [[nodiscard]] const std::vector<Bucket>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Highest per-bucket rate seen (Gb/s).
+  [[nodiscard]] double peak_gbps() const noexcept;
+  /// First bucket whose rate falls below `threshold_gbps` after at least
+  /// one bucket above it; -1 if no such transition (used to locate rate
+  /// dips, e.g. during a table update). Returns the bucket index.
+  [[nodiscard]] int first_dip_below(double threshold_gbps) const noexcept;
+
+  void clear() { buckets_.clear(); }
+
+ private:
+  Picos width_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace osnt::mon

@@ -1,0 +1,103 @@
+// Per-port receive pipeline, the OSNT monitor datapath:
+//
+//   RX MAC → timestamp (first bit, disciplined clock) → stats block
+//          → wildcard filter → cutter/hash → DMA (loss-limited) → host
+//
+// The pipeline never back-pressures the MAC: anything the DMA path cannot
+// take is dropped and counted, exactly like the hardware.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "osnt/hw/dma.hpp"
+#include "osnt/hw/mac10g.hpp"
+#include "osnt/mon/cutter.hpp"
+#include "osnt/mon/filter.hpp"
+#include "osnt/mon/stats_block.hpp"
+#include "osnt/sim/engine.hpp"
+#include "osnt/tstamp/clock.hpp"
+
+namespace osnt::mon {
+
+struct RxConfig {
+  std::uint8_t port_id = 0;
+  bool capture_enabled = true;
+  CutterConfig cutter{};
+};
+
+class RxPipeline {
+ public:
+  using Config = RxConfig;
+
+  /// Installs itself as the RX MAC handler. All referenced components
+  /// must outlive the pipeline. The DMA engine is typically shared by all
+  /// four ports of a device — that is what makes the path loss-limited.
+  RxPipeline(sim::Engine& eng, hw::RxMac& mac, tstamp::DisciplinedClock& clock,
+             hw::DmaEngine& dma, Config cfg = Config());
+
+  [[nodiscard]] FilterTable& filters() noexcept { return filters_; }
+  [[nodiscard]] PacketCutter& cutter() noexcept { return cutter_; }
+  [[nodiscard]] StatsBlock& stats() noexcept { return stats_; }
+  [[nodiscard]] const StatsBlock& stats() const noexcept { return stats_; }
+
+  void set_capture_enabled(bool on) noexcept { cfg_.capture_enabled = on; }
+
+  /// Probe counter: counts frames matching `rule` before the capture
+  /// filter and DMA (like a dedicated hardware match counter). Used by
+  /// measurement code to count DUT-delivered probe frames independently
+  /// of capture-path loss.
+  void set_probe(std::optional<FilterRule> rule) noexcept {
+    probe_ = std::move(rule);
+    probe_seen_ = 0;
+  }
+  [[nodiscard]] std::uint64_t probe_seen() const noexcept { return probe_seen_; }
+
+  /// Oscilloscope-style triggered capture: nothing is captured until a
+  /// frame matches `rule`; then the trigger frame plus the following
+  /// `window - 1` frames are captured and the pipeline disarms. Re-arm
+  /// for the next event. Works on top of the regular capture filter.
+  void arm_trigger(FilterRule rule, std::uint64_t window);
+  void disarm_trigger() noexcept { trigger_state_ = TriggerState::kOff; }
+  [[nodiscard]] bool trigger_armed() const noexcept {
+    return trigger_state_ == TriggerState::kArmed;
+  }
+  [[nodiscard]] bool trigger_fired() const noexcept {
+    return trigger_state_ == TriggerState::kFired ||
+           trigger_state_ == TriggerState::kDone;
+  }
+  [[nodiscard]] bool trigger_window_open() const noexcept {
+    return trigger_state_ == TriggerState::kFired;
+  }
+
+  // --- counters ---
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t captured() const noexcept { return captured_; }
+  [[nodiscard]] std::uint64_t filtered_out() const noexcept { return filtered_; }
+  [[nodiscard]] std::uint64_t dma_drops() const noexcept { return dma_drops_; }
+
+ private:
+  void on_frame(net::Packet pkt, Picos first_bit, Picos last_bit);
+
+  sim::Engine* eng_;
+  tstamp::DisciplinedClock* clock_;
+  hw::DmaEngine* dma_;
+  Config cfg_;
+  FilterTable filters_;
+  PacketCutter cutter_;
+  StatsBlock stats_;
+  std::optional<FilterRule> probe_;
+  std::uint64_t probe_seen_ = 0;
+
+  enum class TriggerState : std::uint8_t { kOff, kArmed, kFired, kDone };
+  TriggerState trigger_state_ = TriggerState::kOff;
+  FilterRule trigger_rule_{};
+  std::uint64_t trigger_remaining_ = 0;
+
+  std::uint64_t seen_ = 0;
+  std::uint64_t captured_ = 0;
+  std::uint64_t filtered_ = 0;
+  std::uint64_t dma_drops_ = 0;
+};
+
+}  // namespace osnt::mon

@@ -1,0 +1,61 @@
+// Per-port RX statistics block: the hardware counters OSNT exposes —
+// frame/byte totals, RMON-style size bins, protocol counters, and a
+// windowed rate estimator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "osnt/common/time.hpp"
+#include "osnt/net/parser.hpp"
+
+namespace osnt::mon {
+
+struct SizeBins {
+  // RMON etherStatsPkts bins (frame length incl. FCS).
+  std::uint64_t p64 = 0;
+  std::uint64_t p65_127 = 0;
+  std::uint64_t p128_255 = 0;
+  std::uint64_t p256_511 = 0;
+  std::uint64_t p512_1023 = 0;
+  std::uint64_t p1024_1518 = 0;
+  std::uint64_t oversize = 0;
+};
+
+struct ProtoCounts {
+  std::uint64_t ipv4 = 0;
+  std::uint64_t ipv6 = 0;
+  std::uint64_t arp = 0;
+  std::uint64_t tcp = 0;
+  std::uint64_t udp = 0;
+  std::uint64_t icmp = 0;
+  std::uint64_t other_l3 = 0;
+};
+
+class StatsBlock {
+ public:
+  void record(const net::ParsedPacket& parsed, std::size_t wire_len,
+              Picos now) noexcept;
+
+  [[nodiscard]] std::uint64_t frames() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] const SizeBins& size_bins() const noexcept { return bins_; }
+  [[nodiscard]] const ProtoCounts& protocols() const noexcept { return proto_; }
+
+  /// Mean L1 rate between the first and last recorded frame, Gb/s.
+  [[nodiscard]] double mean_gbps() const noexcept;
+  /// Mean packet rate over the same window, packets/s.
+  [[nodiscard]] double mean_pps() const noexcept;
+
+  void reset() noexcept { *this = StatsBlock{}; }
+
+ private:
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;  ///< line bytes incl. framing overhead
+  SizeBins bins_;
+  ProtoCounts proto_;
+  Picos first_ = -1;
+  Picos last_ = -1;
+};
+
+}  // namespace osnt::mon

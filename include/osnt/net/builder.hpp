@@ -1,0 +1,67 @@
+// Fluent packet construction with automatic length/checksum fixup — the
+// software analogue of OSNT's host-side packet crafting used to prepare
+// PCAP traces and generator templates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "osnt/common/types.hpp"
+#include "osnt/net/headers.hpp"
+#include "osnt/net/packet.hpp"
+#include "osnt/net/tcp_options.hpp"
+
+namespace osnt::net {
+
+/// Builds one Ethernet frame layer by layer. Layers must be added outer to
+/// inner; build() back-patches lengths and checksums. The builder is
+/// single-use: build() leaves it empty.
+class PacketBuilder {
+ public:
+  PacketBuilder& eth(MacAddr src, MacAddr dst, std::uint16_t ethertype = 0);
+  PacketBuilder& vlan(std::uint16_t vid, std::uint8_t pcp = 0);
+  PacketBuilder& ipv4(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol = 0,
+                      std::uint8_t ttl = 64, std::uint8_t dscp = 0);
+  PacketBuilder& ipv6(const Ipv6Addr& src, const Ipv6Addr& dst,
+                      std::uint8_t next_header = 0, std::uint8_t hop_limit = 64);
+  PacketBuilder& arp(std::uint16_t opcode, MacAddr sender_mac, Ipv4Addr sender_ip,
+                     MacAddr target_mac, Ipv4Addr target_ip);
+  PacketBuilder& udp(std::uint16_t src_port, std::uint16_t dst_port);
+  PacketBuilder& tcp(std::uint16_t src_port, std::uint16_t dst_port,
+                     std::uint32_t seq = 0, std::uint32_t ack = 0,
+                     std::uint8_t flags = TcpFlags::kAck);
+  /// Append TCP options (call immediately after tcp()); encodes, pads to
+  /// a 4-byte multiple and patches data_offset.
+  PacketBuilder& tcp_options(const std::vector<TcpOption>& options);
+  PacketBuilder& icmp_echo(std::uint16_t identifier, std::uint16_t sequence,
+                           bool reply = false);
+  PacketBuilder& payload(ByteSpan data);
+  /// Deterministic pseudo-random payload of `n` bytes seeded by `seed`.
+  PacketBuilder& payload_random(std::size_t n, std::uint64_t seed = 1);
+
+  /// Pad (with zeros) so the frame *including FCS* reaches `frame_len`.
+  /// IP total-length fields are fixed up to cover the padding so that the
+  /// whole frame remains a consistent datagram of the requested size.
+  PacketBuilder& pad_to_frame(std::size_t frame_len_with_fcs);
+
+  /// Finalize: patch lengths + checksums, enforce the 64-byte minimum
+  /// frame, and return the packet. Resets the builder.
+  [[nodiscard]] Packet build();
+
+ private:
+  void patch_ethertype(std::uint16_t ethertype);
+  void patch_l3_protocol(std::uint8_t proto);
+
+  Bytes buf_;
+  // offsets of headers needing back-patch; nullopt when absent
+  std::optional<std::size_t> eth_off_;
+  std::optional<std::size_t> vlan_off_;
+  std::optional<std::size_t> ipv4_off_;
+  std::optional<std::size_t> ipv6_off_;
+  std::optional<std::size_t> tcp_off_;
+  std::optional<std::size_t> udp_off_;
+  std::optional<std::size_t> icmp_off_;
+  std::uint8_t l4_proto_ = 0;
+};
+
+}  // namespace osnt::net

@@ -1,0 +1,45 @@
+// Flow identification: the 5-tuple key used by the monitor's filter/hash
+// stages and by the OpenFlow match reduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "osnt/net/headers.hpp"
+#include "osnt/net/parser.hpp"
+
+namespace osnt::net {
+
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+  /// The same flow with endpoints swapped (reverse direction).
+  [[nodiscard]] FiveTuple reversed() const noexcept {
+    return {dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+};
+
+/// Extract the 5-tuple from a parsed IPv4 packet; nullopt for non-IPv4 or
+/// port-less protocols other than ICMP (ICMP yields ports = 0).
+[[nodiscard]] std::optional<FiveTuple> extract_flow(const ParsedPacket& p) noexcept;
+
+/// Convenience: parse + extract from raw frame bytes.
+[[nodiscard]] std::optional<FiveTuple> extract_flow(ByteSpan frame) noexcept;
+
+}  // namespace osnt::net
+
+template <>
+struct std::hash<osnt::net::FiveTuple> {
+  std::size_t operator()(const osnt::net::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.hash());
+  }
+};

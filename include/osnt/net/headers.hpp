@@ -1,0 +1,214 @@
+// Protocol header value types with explicit big-endian (de)serialization.
+// Each header knows its wire size and reads/writes itself from/to a span;
+// reads fail (nullopt) on short buffers rather than asserting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "osnt/common/types.hpp"
+
+namespace osnt::net {
+
+// ---------------------------------------------------------------- MacAddr
+struct MacAddr {
+  std::array<std::uint8_t, 6> b{};
+
+  [[nodiscard]] static MacAddr broadcast() noexcept {
+    return {{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+  /// Parse "aa:bb:cc:dd:ee:ff"; nullopt on malformed input.
+  [[nodiscard]] static std::optional<MacAddr> parse(const std::string& s);
+  /// Deterministic locally-administered address derived from an index.
+  [[nodiscard]] static MacAddr from_index(std::uint64_t idx) noexcept;
+
+  [[nodiscard]] bool is_broadcast() const noexcept;
+  [[nodiscard]] bool is_multicast() const noexcept { return b[0] & 1; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint64_t to_u64() const noexcept;
+
+  friend bool operator==(const MacAddr&, const MacAddr&) = default;
+  friend auto operator<=>(const MacAddr&, const MacAddr&) = default;
+};
+
+// --------------------------------------------------------------- Ipv4Addr
+struct Ipv4Addr {
+  std::uint32_t v = 0;  ///< host byte order
+
+  [[nodiscard]] static std::optional<Ipv4Addr> parse(const std::string& s);
+  [[nodiscard]] static constexpr Ipv4Addr of(std::uint8_t a, std::uint8_t b,
+                                             std::uint8_t c, std::uint8_t d) noexcept {
+    return {(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+            (std::uint32_t{c} << 8) | d};
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Ipv4Addr&, const Ipv4Addr&) = default;
+  friend auto operator<=>(const Ipv4Addr&, const Ipv4Addr&) = default;
+};
+
+// --------------------------------------------------------------- Ipv6Addr
+struct Ipv6Addr {
+  std::array<std::uint8_t, 16> b{};
+
+  [[nodiscard]] std::string to_string() const;  ///< full (non-compressed) form
+  friend bool operator==(const Ipv6Addr&, const Ipv6Addr&) = default;
+};
+
+// ---------------------------------------------------------------- EtherType
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kVlan = 0x8100,
+  kIpv6 = 0x86DD,
+};
+
+// -------------------------------------------------------------- EthHeader
+struct EthHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ethertype = 0;
+
+  [[nodiscard]] static std::optional<EthHeader> read(ByteSpan in) noexcept;
+  void write(MutByteSpan out) const noexcept;  ///< out.size() >= kSize
+};
+
+// ---------------------------------------------------------------- VlanTag
+struct VlanTag {
+  static constexpr std::size_t kSize = 4;  ///< TPID + TCI
+
+  std::uint8_t pcp = 0;   ///< priority, 3 bits
+  bool dei = false;       ///< drop eligible
+  std::uint16_t vid = 0;  ///< VLAN id, 12 bits
+  std::uint16_t inner_ethertype = 0;
+
+  [[nodiscard]] static std::optional<VlanTag> read(ByteSpan in) noexcept;
+  void write(MutByteSpan out) const noexcept;
+};
+
+// -------------------------------------------------------------- Ipv4Header
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t ihl = 5;  ///< header length in 32-bit words
+  std::uint8_t dscp = 0;
+  std::uint8_t ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  ///< in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  [[nodiscard]] std::size_t header_len() const noexcept { return std::size_t{ihl} * 4; }
+  [[nodiscard]] static std::optional<Ipv4Header> read(ByteSpan in) noexcept;
+  /// Writes the header with the stored checksum field; call
+  /// finalize_checksum() (or checksum = 0 then compute) beforehand.
+  void write(MutByteSpan out) const noexcept;
+  /// Computes and stores the correct header checksum over `this`.
+  void finalize_checksum() noexcept;
+};
+
+// -------------------------------------------------------------- Ipv6Header
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  ///< 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Addr src;
+  Ipv6Addr dst;
+
+  [[nodiscard]] static std::optional<Ipv6Header> read(ByteSpan in) noexcept;
+  void write(MutByteSpan out) const noexcept;
+};
+
+// -------------------------------------------------------------- ArpHeader
+struct ArpHeader {
+  static constexpr std::size_t kSize = 28;  ///< Ethernet/IPv4 ARP
+
+  std::uint16_t opcode = 1;  ///< 1=request, 2=reply
+  MacAddr sender_mac;
+  Ipv4Addr sender_ip;
+  MacAddr target_mac;
+  Ipv4Addr target_ip;
+
+  [[nodiscard]] static std::optional<ArpHeader> read(ByteSpan in) noexcept;
+  void write(MutByteSpan out) const noexcept;
+};
+
+// --------------------------------------------------------------- TcpHeader
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+  static constexpr std::uint8_t kUrg = 0x20;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  ///< in 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent_ptr = 0;
+
+  [[nodiscard]] std::size_t header_len() const noexcept {
+    return std::size_t{data_offset} * 4;
+  }
+  [[nodiscard]] static std::optional<TcpHeader> read(ByteSpan in) noexcept;
+  void write(MutByteSpan out) const noexcept;
+};
+
+// --------------------------------------------------------------- UdpHeader
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< header + payload
+  std::uint16_t checksum = 0;
+
+  [[nodiscard]] static std::optional<UdpHeader> read(ByteSpan in) noexcept;
+  void write(MutByteSpan out) const noexcept;
+};
+
+// -------------------------------------------------------------- IcmpHeader
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint8_t type = 8;  ///< 8=echo request, 0=echo reply
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  [[nodiscard]] static std::optional<IcmpHeader> read(ByteSpan in) noexcept;
+  void write(MutByteSpan out) const noexcept;
+};
+
+/// IP protocol numbers used throughout.
+namespace ipproto {
+inline constexpr std::uint8_t kIcmp = 1;
+inline constexpr std::uint8_t kTcp = 6;
+inline constexpr std::uint8_t kUdp = 17;
+}  // namespace ipproto
+
+}  // namespace osnt::net

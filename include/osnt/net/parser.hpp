@@ -1,0 +1,49 @@
+// Packet decoding: turns raw frame bytes into header values + layer
+// offsets. This mirrors the header-extraction stage of the OSNT monitor
+// pipeline (which feeds the filter and hash blocks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "osnt/common/types.hpp"
+#include "osnt/net/headers.hpp"
+
+namespace osnt::net {
+
+enum class L3Kind : std::uint8_t { kNone, kIpv4, kIpv6, kArp };
+enum class L4Kind : std::uint8_t { kNone, kTcp, kUdp, kIcmp };
+
+/// Decoded view of a frame. Offsets index into the original buffer; header
+/// structs are decoded copies (the buffer may be mutated independently).
+struct ParsedPacket {
+  EthHeader eth;
+  std::optional<VlanTag> vlan;
+
+  L3Kind l3 = L3Kind::kNone;
+  Ipv4Header ipv4;  ///< valid iff l3 == kIpv4
+  Ipv6Header ipv6;  ///< valid iff l3 == kIpv6
+  ArpHeader arp;    ///< valid iff l3 == kArp
+
+  L4Kind l4 = L4Kind::kNone;
+  TcpHeader tcp;    ///< valid iff l4 == kTcp
+  UdpHeader udp;    ///< valid iff l4 == kUdp
+  IcmpHeader icmp;  ///< valid iff l4 == kIcmp
+
+  std::size_t l3_offset = 0;       ///< 0 when no L3
+  std::size_t l4_offset = 0;       ///< 0 when no L4
+  std::size_t payload_offset = 0;  ///< end of innermost decoded header
+  std::size_t frame_len = 0;       ///< bytes parsed from
+
+  /// EtherType after any VLAN tag.
+  [[nodiscard]] std::uint16_t effective_ethertype() const noexcept {
+    return vlan ? vlan->inner_ethertype : eth.ethertype;
+  }
+};
+
+/// Parse as far as the frame allows. Returns nullopt only when even the
+/// Ethernet header does not fit; truncated upper layers simply stop the
+/// decode (l3/l4 stay kNone).
+[[nodiscard]] std::optional<ParsedPacket> parse_packet(ByteSpan frame) noexcept;
+
+}  // namespace osnt::net

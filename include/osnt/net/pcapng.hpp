@@ -1,0 +1,78 @@
+// pcapng (pcap next generation) I/O — the format modern capture tooling
+// speaks. Minimal but correct: Section Header / Interface Description /
+// Enhanced Packet blocks, nanosecond timestamps (if_tsresol), multiple
+// interfaces (one per OSNT port), unknown blocks skipped, both byte
+// orders read.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osnt/common/types.hpp"
+
+namespace osnt::net {
+
+struct PcapngRecord {
+  std::uint32_t interface_id = 0;
+  std::uint64_t ts_nanos = 0;
+  std::uint32_t orig_len = 0;
+  Bytes data;
+};
+
+/// Streaming pcapng writer: one section, N interfaces (declare up front),
+/// nanosecond resolution. Throws std::runtime_error on I/O failure.
+class PcapngWriter {
+ public:
+  /// `interfaces` = human-readable names, one per interface id.
+  explicit PcapngWriter(const std::string& path,
+                        std::vector<std::string> interfaces = {"port0"},
+                        std::uint32_t snaplen = 65535);
+  ~PcapngWriter();
+  PcapngWriter(const PcapngWriter&) = delete;
+  PcapngWriter& operator=(const PcapngWriter&) = delete;
+
+  void write(std::uint32_t interface_id, std::uint64_t ts_nanos,
+             ByteSpan frame, std::uint32_t orig_len = 0);
+
+  [[nodiscard]] std::size_t records_written() const noexcept { return count_; }
+  [[nodiscard]] std::size_t interface_count() const noexcept { return n_ifaces_; }
+
+ private:
+  void write_block(std::uint32_t type, ByteSpan body);
+
+  std::FILE* f_ = nullptr;
+  std::size_t n_ifaces_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Streaming pcapng reader. Handles both byte orders; skips unknown
+/// block types; scales timestamps by each interface's if_tsresol.
+class PcapngReader {
+ public:
+  explicit PcapngReader(const std::string& path);
+  ~PcapngReader();
+  PcapngReader(const PcapngReader&) = delete;
+  PcapngReader& operator=(const PcapngReader&) = delete;
+
+  /// Next packet record, or nullopt at end of file.
+  [[nodiscard]] std::optional<PcapngRecord> next();
+
+  [[nodiscard]] std::size_t interface_count() const noexcept {
+    return tsresol_.size();
+  }
+
+  [[nodiscard]] static std::vector<PcapngRecord> read_all(
+      const std::string& path);
+
+ private:
+  [[nodiscard]] std::optional<Bytes> read_block(std::uint32_t* type);
+
+  std::FILE* f_ = nullptr;
+  bool swapped_ = false;
+  std::vector<double> tsresol_;  ///< ticks→nanoseconds factor per interface
+};
+
+}  // namespace osnt::net

@@ -1,0 +1,71 @@
+// OflopsContext: the runtime a measurement module sees — unified access
+// to the OSNT data plane, the OpenFlow control channel, SNMP, and timers.
+// Testbed is the canonical four-cable topology of the demo (Figure 2):
+// OSNT port i ↔ switch port i, controller on the control channel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "osnt/core/device.hpp"
+#include "osnt/dut/openflow_switch.hpp"
+#include "osnt/dut/snmp.hpp"
+#include "osnt/oflops/module.hpp"
+#include "osnt/openflow/channel.hpp"
+#include "osnt/sim/engine.hpp"
+
+namespace osnt::oflops {
+
+class OflopsContext {
+ public:
+  /// `snmp` may be null (modules that don't poll).
+  OflopsContext(sim::Engine& eng, core::OsntDevice& osnt,
+                openflow::ControlChannel::Endpoint& ctrl,
+                dut::SnmpAgent* snmp = nullptr);
+
+  // --- control plane ---
+  std::uint32_t send(const openflow::OfMessage& msg) { return ctrl_->send(msg); }
+
+  // --- data plane ---
+  [[nodiscard]] core::OsntDevice& osnt() noexcept { return *osnt_; }
+
+  // --- SNMP ---
+  void snmp_get(const std::string& oid);
+  [[nodiscard]] bool has_snmp() const noexcept { return snmp_ != nullptr; }
+
+  // --- timers ---
+  void timer_in(Picos dt, std::uint64_t timer_id);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return *eng_; }
+  [[nodiscard]] Picos now() const noexcept { return eng_->now(); }
+
+  /// Run one module to completion (or `timeout` of simulated time) and
+  /// return its report. Events are routed to the module for the duration.
+  Report run(MeasurementModule& module, Picos timeout = 60 * kPicosPerSec);
+
+ private:
+  sim::Engine* eng_;
+  core::OsntDevice* osnt_;
+  openflow::ControlChannel::Endpoint* ctrl_;
+  dut::SnmpAgent* snmp_;
+  MeasurementModule* active_ = nullptr;
+};
+
+/// The demo topology in one object: a 4-port OSNT tester cabled 1:1 to a
+/// 4-port OpenFlow switch, a control channel, and an SNMP agent exposing
+/// the switch counters.
+struct Testbed {
+  sim::Engine eng;
+  core::OsntDevice osnt;
+  openflow::ControlChannel chan;
+  dut::OpenFlowSwitch sw;
+  dut::SnmpAgent snmp;
+  OflopsContext ctx;
+
+  explicit Testbed(
+      dut::OpenFlowSwitchConfig sw_cfg = dut::OpenFlowSwitchConfig(),
+      core::DeviceConfig osnt_cfg = core::DeviceConfig(),
+      openflow::ChannelConfig chan_cfg = openflow::ChannelConfig());
+};
+
+}  // namespace osnt::oflops

@@ -1,0 +1,278 @@
+// OpenFlow 1.0 message types with full wire-format encode/decode. Only
+// the subset a switch-evaluation framework exercises is modelled, but
+// each message round-trips through the real byte layout so the control
+// channel carries genuine OF 1.0 bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "osnt/common/types.hpp"
+#include "osnt/openflow/match.hpp"
+
+namespace osnt::openflow {
+
+inline constexpr std::uint8_t kOfVersion = 0x01;
+inline constexpr std::size_t kHeaderSize = 8;
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,
+  kError = 1,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kFeaturesRequest = 5,
+  kFeaturesReply = 6,
+  kPacketIn = 10,
+  kFlowRemoved = 11,
+  kPacketOut = 13,
+  kFlowMod = 14,
+  kStatsRequest = 16,
+  kStatsReply = 17,
+  kBarrierRequest = 18,
+  kBarrierReply = 19,
+  kQueueGetConfigRequest = 20,
+  kQueueGetConfigReply = 21,
+};
+
+/// Reserved port numbers (OF 1.0 ofp_port).
+namespace ofpp {
+inline constexpr std::uint16_t kMax = 0xFF00;
+inline constexpr std::uint16_t kInPort = 0xFFF8;
+inline constexpr std::uint16_t kTable = 0xFFF9;
+inline constexpr std::uint16_t kFlood = 0xFFFB;
+inline constexpr std::uint16_t kAll = 0xFFFC;
+inline constexpr std::uint16_t kController = 0xFFFD;
+inline constexpr std::uint16_t kNone = 0xFFFF;
+}  // namespace ofpp
+
+// ---------------------------------------------------------------- actions
+
+struct ActionOutput {
+  std::uint16_t port = 0;
+  std::uint16_t max_len = 0xFFFF;
+  friend bool operator==(const ActionOutput&, const ActionOutput&) = default;
+};
+
+struct ActionSetVlanVid {
+  std::uint16_t vlan_vid = 0;
+  friend bool operator==(const ActionSetVlanVid&,
+                         const ActionSetVlanVid&) = default;
+};
+
+struct ActionStripVlan {
+  friend bool operator==(const ActionStripVlan&,
+                         const ActionStripVlan&) = default;
+};
+
+/// OFPAT_ENQUEUE: output through a specific egress queue (QoS).
+struct ActionEnqueue {
+  std::uint16_t port = 0;
+  std::uint32_t queue_id = 0;
+  friend bool operator==(const ActionEnqueue&, const ActionEnqueue&) = default;
+};
+
+using Action = std::variant<ActionOutput, ActionSetVlanVid, ActionStripVlan,
+                            ActionEnqueue>;
+
+/// Encoded size of one action (8 bytes, except enqueue = 16).
+[[nodiscard]] std::size_t action_wire_size(const Action& a) noexcept;
+
+// --------------------------------------------------------------- messages
+
+struct Hello {};
+
+struct EchoRequest {
+  Bytes payload;
+};
+struct EchoReply {
+  Bytes payload;
+};
+
+struct FeaturesRequest {};
+
+struct FeaturesReply {
+  std::uint64_t datapath_id = 0;
+  std::uint32_t n_buffers = 256;
+  std::uint8_t n_tables = 1;
+  std::uint32_t capabilities = 0;
+  std::uint32_t actions = 0x0FFF;
+  std::uint16_t n_ports = 0;  ///< port descriptions elided (count only)
+};
+
+enum class FlowModCommand : std::uint16_t {
+  kAdd = 0,
+  kModify = 1,
+  kModifyStrict = 2,
+  kDelete = 3,
+  kDeleteStrict = 4,
+};
+
+/// ofp_flow_mod flags.
+namespace off {
+inline constexpr std::uint16_t kSendFlowRem = 1 << 0;
+inline constexpr std::uint16_t kCheckOverlap = 1 << 1;
+}  // namespace off
+
+struct FlowMod {
+  OfMatch match;
+  std::uint64_t cookie = 0;
+  FlowModCommand command = FlowModCommand::kAdd;
+  std::uint16_t idle_timeout = 0;
+  std::uint16_t hard_timeout = 0;
+  std::uint16_t priority = 0x8000;
+  std::uint32_t buffer_id = 0xFFFFFFFF;
+  std::uint16_t out_port = ofpp::kNone;
+  std::uint16_t flags = 0;
+  std::vector<Action> actions;
+};
+
+enum class PacketInReason : std::uint8_t { kNoMatch = 0, kAction = 1 };
+
+struct PacketIn {
+  std::uint32_t buffer_id = 0xFFFFFFFF;
+  std::uint16_t total_len = 0;
+  std::uint16_t in_port = 0;
+  PacketInReason reason = PacketInReason::kNoMatch;
+  Bytes data;  ///< (possibly truncated) frame
+};
+
+struct PacketOut {
+  std::uint32_t buffer_id = 0xFFFFFFFF;
+  std::uint16_t in_port = ofpp::kNone;
+  std::vector<Action> actions;
+  Bytes data;
+};
+
+enum class FlowRemovedReason : std::uint8_t {
+  kIdleTimeout = 0,
+  kHardTimeout = 1,
+  kDelete = 2,
+};
+
+struct FlowRemoved {
+  OfMatch match;
+  std::uint64_t cookie = 0;
+  std::uint16_t priority = 0;
+  FlowRemovedReason reason = FlowRemovedReason::kDelete;
+  std::uint32_t duration_sec = 0;
+  std::uint32_t duration_nsec = 0;
+  std::uint16_t idle_timeout = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+struct BarrierRequest {};
+struct BarrierReply {};
+
+struct ErrorMsg {
+  std::uint16_t type = 0;
+  std::uint16_t code = 0;
+  Bytes data;
+};
+
+// Flow statistics (OFPST_FLOW).
+struct FlowStatsRequest {
+  OfMatch match;
+  std::uint8_t table_id = 0xFF;
+  std::uint16_t out_port = ofpp::kNone;
+};
+
+struct FlowStatsEntry {
+  std::uint8_t table_id = 0;
+  OfMatch match;
+  std::uint32_t duration_sec = 0;
+  std::uint32_t duration_nsec = 0;
+  std::uint16_t priority = 0;
+  std::uint16_t idle_timeout = 0;
+  std::uint16_t hard_timeout = 0;
+  std::uint64_t cookie = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  std::vector<Action> actions;
+};
+
+struct FlowStatsReply {
+  std::vector<FlowStatsEntry> flows;
+};
+
+// Aggregate statistics (OFPST_AGGREGATE).
+struct AggregateStatsRequest {
+  OfMatch match;
+  std::uint8_t table_id = 0xFF;
+  std::uint16_t out_port = ofpp::kNone;
+};
+
+struct AggregateStatsReply {
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  std::uint32_t flow_count = 0;
+};
+
+// Port statistics (OFPST_PORT).
+struct PortStatsRequest {
+  std::uint16_t port_no = ofpp::kNone;  ///< kNone = all ports
+};
+
+struct PortStatsEntry {
+  std::uint16_t port_no = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_dropped = 0;
+  std::uint64_t tx_dropped = 0;
+  std::uint64_t rx_errors = 0;
+  std::uint64_t tx_errors = 0;
+  std::uint64_t rx_frame_err = 0;
+  std::uint64_t rx_over_err = 0;
+  std::uint64_t rx_crc_err = 0;
+  std::uint64_t collisions = 0;
+};
+
+struct PortStatsReply {
+  std::vector<PortStatsEntry> ports;
+};
+
+// Queue configuration (OFPT_QUEUE_GET_CONFIG_*).
+struct QueueGetConfigRequest {
+  std::uint16_t port = 0;
+};
+
+struct QueueDesc {
+  std::uint32_t queue_id = 0;
+  /// Guaranteed minimum rate in 1/10 of a percent of the link
+  /// (OFPQT_MIN_RATE); 0xFFFF = disabled.
+  std::uint16_t min_rate_tenths = 0xFFFF;
+};
+
+struct QueueGetConfigReply {
+  std::uint16_t port = 0;
+  std::vector<QueueDesc> queues;
+};
+
+using OfMessage =
+    std::variant<Hello, EchoRequest, EchoReply, FeaturesRequest, FeaturesReply,
+                 FlowMod, PacketIn, PacketOut, FlowRemoved, BarrierRequest,
+                 BarrierReply, ErrorMsg, FlowStatsRequest, FlowStatsReply,
+                 PortStatsRequest, PortStatsReply, AggregateStatsRequest,
+                 AggregateStatsReply, QueueGetConfigRequest,
+                 QueueGetConfigReply>;
+
+[[nodiscard]] MsgType message_type(const OfMessage& msg) noexcept;
+
+/// Serialize one message with the given transaction id.
+[[nodiscard]] Bytes encode(const OfMessage& msg, std::uint32_t xid);
+
+struct Decoded {
+  OfMessage msg;
+  std::uint32_t xid = 0;
+  std::size_t wire_size = 0;  ///< bytes consumed
+};
+
+/// Decode the first complete message in `in`; nullopt when `in` is shorter
+/// than the message (framing handled by the caller/channel) or malformed.
+[[nodiscard]] std::optional<Decoded> decode(ByteSpan in);
+
+}  // namespace osnt::openflow

@@ -1,0 +1,80 @@
+// Discrete-event simulation engine. Single-threaded, deterministic:
+// events at equal times fire in scheduling order. All hardware models
+// (MACs, DMA, switch pipelines, clocks) hang off one Engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "osnt/common/time.hpp"
+
+namespace osnt::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancellation. Default-constructed id is never issued.
+struct EventId {
+  std::uint64_t v = 0;
+  [[nodiscard]] explicit operator bool() const noexcept { return v != 0; }
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Picos now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now; earlier is clamped to now).
+  EventId schedule_at(Picos t, EventFn fn);
+  /// Schedule `fn` `dt` picoseconds from now (negative clamps to now).
+  EventId schedule_in(Picos dt, EventFn fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if already fired/cancelled.
+  bool cancel(EventId id);
+
+  /// Run a single event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Run all events with time <= t, then advance now to exactly t.
+  void run_until(Picos t);
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct Entry {
+    Picos time;
+    std::uint64_t seq;  ///< tiebreaker: FIFO among same-time events
+    std::uint64_t id;
+    // heap entries are moved around; keep the closure on the heap
+    std::shared_ptr<EventFn> fn;
+    bool operator>(const Entry& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  Picos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace osnt::sim

@@ -1,0 +1,77 @@
+// Point-to-point wire model. A Link is unidirectional: the transmit MAC
+// pushes frames whose serialization window it already computed; the link
+// adds propagation delay and hands the frame to the connected sink.
+// A Cable bundles the two directions between two ports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "osnt/common/random.hpp"
+#include "osnt/common/time.hpp"
+#include "osnt/net/packet.hpp"
+#include "osnt/sim/engine.hpp"
+
+namespace osnt::sim {
+
+/// Anything that can terminate a wire (an RX MAC).
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  /// `first_bit` / `last_bit` are arrival times at this sink.
+  virtual void on_frame(net::Packet pkt, Picos first_bit, Picos last_bit) = 0;
+};
+
+/// Propagation delay of `meters` of fiber (~4.9 ns/m).
+[[nodiscard]] constexpr Picos fiber_delay(double meters) noexcept {
+  return static_cast<Picos>(meters * 4'900.0);  // ps
+}
+
+class Link {
+ public:
+  /// `propagation` is the one-way flight time of a bit.
+  Link(Engine& eng, Picos propagation = fiber_delay(2.0)) noexcept
+      : eng_(&eng), propagation_(propagation) {}
+
+  void connect(FrameSink& sink) noexcept { sink_ = &sink; }
+  [[nodiscard]] bool connected() const noexcept { return sink_ != nullptr; }
+  [[nodiscard]] Picos propagation() const noexcept { return propagation_; }
+
+  /// Inject a bit error rate (errors per transmitted bit). Frames hit by
+  /// at least one error are delivered corrupted (a random payload bit is
+  /// flipped and the FCS-bad flag set) so the RX MAC counts/drops them.
+  void set_bit_error_rate(double ber, std::uint64_t seed = 33) noexcept;
+  [[nodiscard]] std::uint64_t frames_corrupted() const noexcept {
+    return corrupted_;
+  }
+
+  /// Administrative/physical link state. Frames entering a downed link
+  /// are lost (counted) — a fiber pull.
+  void set_up(bool up) noexcept { up_ = up; }
+  [[nodiscard]] bool is_up() const noexcept { return up_; }
+  [[nodiscard]] std::uint64_t frames_lost_down() const noexcept {
+    return lost_down_;
+  }
+
+  /// Carry a frame whose first bit enters the wire at `tx_start` and whose
+  /// last bit enters at `tx_end`. Frames on an unconnected link are
+  /// counted and discarded (a dark fiber).
+  void carry(net::Packet pkt, Picos tx_start, Picos tx_end);
+
+  [[nodiscard]] std::uint64_t frames_carried() const noexcept { return carried_; }
+  [[nodiscard]] std::uint64_t frames_lost_dark() const noexcept { return dark_; }
+
+ private:
+  Engine* eng_;
+  FrameSink* sink_ = nullptr;
+  Picos propagation_;
+  double ber_ = 0.0;
+  std::unique_ptr<Rng> rng_;
+  bool up_ = true;
+  std::uint64_t carried_ = 0;
+  std::uint64_t dark_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t lost_down_ = 0;
+};
+
+}  // namespace osnt::sim

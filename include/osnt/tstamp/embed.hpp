@@ -1,0 +1,33 @@
+// Transmit-timestamp embedding: the generator writes the 64-bit stamp
+// (taken just before the TX MAC) into the packet at a preconfigured byte
+// offset; the receiver extracts it to compute one-way latency. A 32-bit
+// sequence number travels with it for loss/reordering accounting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "osnt/common/types.hpp"
+#include "osnt/tstamp/timestamp.hpp"
+
+namespace osnt::tstamp {
+
+/// Default embed offset: just past Ethernet(14) + IPv4(20) + UDP(8).
+inline constexpr std::size_t kDefaultEmbedOffset = 42;
+/// Bytes consumed at the offset: 8 (timestamp) + 4 (sequence).
+inline constexpr std::size_t kEmbedSize = 12;
+
+struct EmbeddedStamp {
+  Timestamp ts;
+  std::uint32_t seq = 0;
+};
+
+/// Write stamp+seq at `offset`; false when the frame is too short.
+bool embed_timestamp(MutByteSpan frame, std::size_t offset,
+                     EmbeddedStamp stamp) noexcept;
+
+/// Read back what embed_timestamp wrote; nullopt when out of bounds.
+[[nodiscard]] std::optional<EmbeddedStamp> extract_timestamp(
+    ByteSpan frame, std::size_t offset) noexcept;
+
+}  // namespace osnt::tstamp

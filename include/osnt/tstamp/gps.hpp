@@ -1,0 +1,40 @@
+// GPS receiver model: emits a pulse-per-second edge at every true UTC
+// second boundary, with configurable edge jitter (a decent timing GPS is
+// a few tens of nanoseconds RMS). Can be "unplugged" for the undisciplined
+// ablation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "osnt/common/random.hpp"
+#include "osnt/common/time.hpp"
+
+namespace osnt::tstamp {
+
+struct GpsConfig {
+  bool connected = true;
+  Picos jitter_rms = 30 * kPicosPerNano;  ///< PPS edge jitter (1 sigma)
+  std::uint64_t seed = 7;
+};
+
+class GpsModel {
+ public:
+  using Config = GpsConfig;
+
+  explicit GpsModel(Config cfg = Config()) noexcept : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Ground-truth time of the next PPS edge strictly after `after`, or
+  /// nullopt when no GPS is connected.
+  [[nodiscard]] std::optional<Picos> next_pps_after(Picos after);
+
+  [[nodiscard]] bool connected() const noexcept { return cfg_.connected; }
+  void set_connected(bool c) noexcept { cfg_.connected = c; }
+
+ private:
+  Config cfg_;
+  Rng rng_;
+  std::int64_t last_second_issued_ = -1;
+};
+
+}  // namespace osnt::tstamp

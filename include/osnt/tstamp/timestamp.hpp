@@ -1,0 +1,50 @@
+// OSNT timestamp format: 64-bit fixed point, upper 32 bits = seconds,
+// lower 32 bits = fraction of a second (resolution 2^-32 s ≈ 233 ps).
+// The *clock* that produces stamps ticks at the 160 MHz datapath clock,
+// i.e. one stamp step every 6.25 ns — the resolution the paper quotes.
+#pragma once
+
+#include <cstdint>
+
+namespace osnt::tstamp {
+
+struct Timestamp {
+  std::uint64_t raw = 0;  ///< 32.32 fixed-point seconds
+
+  [[nodiscard]] static constexpr Timestamp from_raw(std::uint64_t r) noexcept {
+    return Timestamp{r};
+  }
+  [[nodiscard]] static Timestamp from_seconds(double s) noexcept {
+    return Timestamp{static_cast<std::uint64_t>(s * 4294967296.0)};
+  }
+  [[nodiscard]] static Timestamp from_nanos(double ns) noexcept {
+    return from_seconds(ns * 1e-9);
+  }
+
+  [[nodiscard]] double to_seconds() const noexcept {
+    return static_cast<double>(raw) / 4294967296.0;
+  }
+  [[nodiscard]] double to_nanos() const noexcept { return to_seconds() * 1e9; }
+
+  [[nodiscard]] std::uint32_t whole_seconds() const noexcept {
+    return static_cast<std::uint32_t>(raw >> 32);
+  }
+  [[nodiscard]] std::uint32_t fraction() const noexcept {
+    return static_cast<std::uint32_t>(raw);
+  }
+
+  friend bool operator==(const Timestamp&, const Timestamp&) = default;
+  friend auto operator<=>(const Timestamp&, const Timestamp&) = default;
+};
+
+/// Signed difference a - b in nanoseconds.
+[[nodiscard]] inline double delta_nanos(Timestamp a, Timestamp b) noexcept {
+  return static_cast<double>(static_cast<std::int64_t>(a.raw - b.raw)) /
+         4294967296.0 * 1e9;
+}
+
+/// The datapath clock the NetFPGA-10G design runs at.
+inline constexpr double kDatapathHz = 160e6;
+inline constexpr double kTickNanos = 1e9 / kDatapathHz;  // 6.25 ns
+
+}  // namespace osnt::tstamp

@@ -1,0 +1,124 @@
+#include "osnt/common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace osnt {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, std::string* target,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kString, target, help, *target});
+}
+
+void CliParser::add_flag(const std::string& name, double* target,
+                         const std::string& help) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", *target);
+  flags_.push_back({name, Kind::kDouble, target, help, buf});
+}
+
+void CliParser::add_flag(const std::string& name, std::int64_t* target,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kInt, target, help, std::to_string(*target)});
+}
+
+void CliParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_.push_back({name, Kind::kBool, target, help, *target ? "true" : "false"});
+}
+
+CliParser::Flag* CliParser::find(const std::string& name) {
+  for (auto& f : flags_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+bool CliParser::assign(Flag& flag, const std::string& value) {
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+    case Kind::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kInt: {
+      const long long v = std::strtoll(value.c_str(), &end, 0);
+      if (end == value.c_str() || *end != '\0') return false;
+      *static_cast<std::int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kBool:
+      if (value == "true" || value == "1" || value == "yes") {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (value == "false" || value == "0" || value == "no") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name.resize(eq);
+    }
+    Flag* flag = find(name);
+    if (!flag) {
+      std::fprintf(stderr, "unknown flag --%s (try --help)\n", name.c_str());
+      return false;
+    }
+    if (!value) {
+      if (flag->kind == Kind::kBool) {
+        value = "true";  // bare boolean switch
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        return false;
+      }
+    }
+    if (!assign(*flag, *value)) {
+      std::fprintf(stderr, "bad value '%s' for --%s\n", value->c_str(),
+                   name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::string out = description_ + "\n\nflags:\n";
+  for (const auto& f : flags_) {
+    out += "  --" + f.name;
+    out.append(f.name.size() < 18 ? 18 - f.name.size() : 1, ' ');
+    out += f.help + " (default: " + f.default_repr + ")\n";
+  }
+  out += "  --help              show this message\n";
+  return out;
+}
+
+}  // namespace osnt

@@ -1,0 +1,46 @@
+#include "osnt/common/crc.hpp"
+
+#include <array>
+
+namespace osnt {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(std::uint8_t byte) noexcept {
+  state_ = kTable[(state_ ^ byte) & 0xFFu] ^ (state_ >> 8);
+}
+
+void Crc32::update(ByteSpan data) noexcept {
+  for (auto b : data) update(b);
+}
+
+std::uint32_t crc32(ByteSpan data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+std::uint32_t ethernet_fcs(ByteSpan frame_without_fcs) noexcept {
+  // The FCS field carries the CRC32 of the frame; on the wire it is sent
+  // least-significant byte first, which matches storing the finalised value
+  // little-endian. We return the CRC value itself; framing code decides
+  // byte order when appending.
+  return crc32(frame_without_fcs);
+}
+
+}  // namespace osnt

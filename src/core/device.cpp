@@ -1,0 +1,35 @@
+#include "osnt/core/device.hpp"
+
+#include <stdexcept>
+
+namespace osnt::core {
+
+OsntDevice::OsntDevice(sim::Engine& eng, Config cfg) : eng_(&eng), cfg_(cfg) {
+  if (cfg_.num_ports == 0 || cfg_.num_ports > 16)
+    throw std::invalid_argument("OsntDevice: num_ports must be in [1, 16]");
+
+  gps_ = std::make_unique<tstamp::GpsModel>(cfg_.gps);
+  clock_ = std::make_unique<tstamp::DisciplinedClock>(*gps_, cfg_.clock);
+  dma_ = std::make_unique<hw::DmaEngine>(eng, cfg_.dma);
+  capture_ = std::make_unique<mon::HostCapture>(*dma_);
+
+  for (std::size_t i = 0; i < cfg_.num_ports; ++i) {
+    ports_.push_back(std::make_unique<hw::EthPort>(eng, cfg_.port));
+    gen::TxConfig txc;
+    txc.seed = 1000 + i;
+    tx_.push_back(std::make_unique<gen::TxPipeline>(eng, ports_[i]->tx(),
+                                                    *clock_, txc));
+    mon::RxConfig rxc;
+    rxc.port_id = static_cast<std::uint8_t>(i);
+    rx_.push_back(std::make_unique<mon::RxPipeline>(eng, ports_[i]->rx(),
+                                                    *clock_, *dma_, rxc));
+  }
+}
+
+gen::TxPipeline& OsntDevice::configure_tx(std::size_t i, gen::TxConfig cfg) {
+  tx_.at(i) = std::make_unique<gen::TxPipeline>(*eng_, ports_.at(i)->tx(),
+                                                *clock_, cfg);
+  return *tx_[i];
+}
+
+}  // namespace osnt::core

@@ -1,0 +1,45 @@
+#include "osnt/core/repeat.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "osnt/common/stats.hpp"
+
+namespace osnt::core {
+
+double t_critical_95(std::size_t n) noexcept {
+  // Two-sided 95% t critical values for df = n-1 (df index 1..30).
+  static constexpr std::array<double, 31> kTable = {
+      0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (n < 2) return 0.0;
+  const std::size_t df = n - 1;
+  return df < kTable.size() ? kTable[df] : 1.96;
+}
+
+RepeatedResult run_repeated(
+    const std::function<double(std::uint64_t seed)>& trial,
+    std::size_t repetitions) {
+  if (repetitions == 0)
+    throw std::invalid_argument("run_repeated: need at least one repetition");
+  RepeatedResult r;
+  RunningStats stats;
+  r.values.reserve(repetitions);
+  for (std::size_t i = 1; i <= repetitions; ++i) {
+    const double v = trial(i);
+    r.values.push_back(v);
+    stats.add(v);
+  }
+  r.mean = stats.mean();
+  r.stddev = stats.stddev();
+  if (repetitions > 1) {
+    r.ci95_half = t_critical_95(repetitions) * r.stddev /
+                  std::sqrt(static_cast<double>(repetitions));
+  }
+  return r;
+}
+
+}  // namespace osnt::core

@@ -1,0 +1,116 @@
+#include "osnt/core/rfc2544.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "osnt/net/packet.hpp"
+
+namespace osnt::core {
+namespace {
+
+constexpr std::array<std::size_t, 7> kRfc2544Sizes = {64,  128, 256, 512,
+                                                      1024, 1280, 1518};
+
+double load_to_gbps(double load_fraction, std::size_t frame_size) {
+  const double line = net::max_frame_rate(frame_size, 10.0) *
+                      static_cast<double>(frame_size + net::kEthPerFrameOverhead) *
+                      8.0 / 1e9;
+  return line * load_fraction;  // line == 10.0 by construction
+}
+
+}  // namespace
+
+std::span<const std::size_t> rfc2544_frame_sizes() noexcept {
+  return {kRfc2544Sizes.data(), kRfc2544Sizes.size()};
+}
+
+ThroughputPoint find_throughput(const TrialFn& run, std::size_t frame_size,
+                                ThroughputSearchConfig cfg) {
+  ThroughputPoint pt;
+  pt.frame_size = frame_size;
+
+  double lo = cfg.lo;
+  double hi = cfg.hi;
+  // Try the ceiling first: a wire-rate DUT should exit in one trial.
+  TrialStats best{};
+  double best_load = 0.0;
+  {
+    TrialStats s = run(hi, frame_size);
+    ++pt.trials;
+    if (s.loss_fraction() <= cfg.loss_tolerance) {
+      best = std::move(s);
+      best_load = hi;
+      lo = hi;
+    }
+  }
+  while (hi - lo > cfg.resolution && best_load != hi) {
+    const double mid = (lo + hi) / 2.0;
+    TrialStats s = run(mid, frame_size);
+    ++pt.trials;
+    if (s.loss_fraction() <= cfg.loss_tolerance) {
+      best = std::move(s);
+      best_load = mid;
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  pt.max_load_fraction = best_load;
+  pt.gbps = best_load > 0 ? load_to_gbps(best_load, frame_size) : 0.0;
+  pt.mpps = best_load > 0
+                ? net::max_frame_rate(frame_size, 10.0) * best_load / 1e6
+                : 0.0;
+  pt.latency_at_max_ns = std::move(best.latency_ns);
+  return pt;
+}
+
+std::vector<ThroughputPoint> throughput_sweep(
+    const TrialFn& run, std::span<const std::size_t> frame_sizes,
+    ThroughputSearchConfig cfg) {
+  std::vector<ThroughputPoint> out;
+  out.reserve(frame_sizes.size());
+  for (const auto size : frame_sizes)
+    out.push_back(find_throughput(run, size, cfg));
+  return out;
+}
+
+BackToBackPoint find_back_to_back(const BurstTrialFn& run,
+                                  std::size_t frame_size,
+                                  std::size_t max_burst) {
+  BackToBackPoint pt;
+  pt.frame_size = frame_size;
+  const auto passes = [&](std::size_t burst) {
+    ++pt.trials;
+    return run(burst, frame_size).loss_fraction() <= 0.0;
+  };
+  // Ceiling first, then binary search on the burst length.
+  if (passes(max_burst)) {
+    pt.max_burst = max_burst;
+    return pt;
+  }
+  std::size_t lo = 0, hi = max_burst;  // lo passes (trivially), hi fails
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (passes(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  pt.max_burst = lo;
+  return pt;
+}
+
+std::vector<LossPoint> loss_rate_sweep(const TrialFn& run,
+                                       std::size_t frame_size, double hi,
+                                       double step) {
+  std::vector<LossPoint> out;
+  for (double load = hi; load > step / 2; load -= step) {
+    TrialStats s = run(load, frame_size);
+    out.push_back({load, s.loss_fraction(), s.offered_gbps});
+  }
+  return out;
+}
+
+}  // namespace osnt::core

@@ -1,0 +1,114 @@
+#include "osnt/dut/legacy_switch.hpp"
+
+#include <algorithm>
+
+#include "osnt/net/parser.hpp"
+
+namespace osnt::dut {
+
+LegacySwitch::LegacySwitch(sim::Engine& eng, Config cfg)
+    : eng_(&eng), cfg_(cfg), rng_(cfg.seed) {
+  hw::EthPortConfig pc;
+  pc.tx.queue_limit_bytes = cfg_.queue_bytes;
+  for (std::size_t i = 0; i < cfg_.num_ports; ++i) {
+    ports_.push_back(std::make_unique<hw::EthPort>(eng, pc));
+    ports_[i]->rx().set_handler(
+        [this, i](net::Packet pkt, Picos first_bit, Picos last_bit) {
+          on_frame(i, std::move(pkt), first_bit, last_bit);
+        });
+  }
+}
+
+void LegacySwitch::add_static_mac(const net::MacAddr& mac, std::size_t port) {
+  mac_table_[mac.to_u64()] = {port, 0, true};
+}
+
+std::uint64_t LegacySwitch::frames_dropped() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& p : ports_) n += p->tx().drops();
+  return n;
+}
+
+void LegacySwitch::on_frame(std::size_t in_port, net::Packet pkt,
+                            Picos first_bit, Picos last_bit) {
+  auto eth = net::EthHeader::read(pkt.bytes());
+  if (!eth) return;
+
+  // --- learning (static entries are never overwritten) ---
+  if (!eth->src.is_multicast()) {
+    const auto it = mac_table_.find(eth->src.to_u64());
+    if (it != mac_table_.end()) {
+      if (!it->second.is_static) it->second = {in_port, eng_->now(), false};
+    } else if (mac_table_.size() < cfg_.mac_table_size) {
+      mac_table_[eth->src.to_u64()] = {in_port, eng_->now(), false};
+    }
+  }
+
+  // --- lookup stage (serial, packet-rate-limited when configured) ---
+  Picos lookup_done = eng_->now();
+  if (cfg_.lookup_rate_mpps > 0.0) {
+    const Picos per_lookup =
+        static_cast<Picos>(1e6 / cfg_.lookup_rate_mpps);  // ps per packet
+    const Picos start = std::max(eng_->now(), lookup_busy_);
+    if (start - eng_->now() > cfg_.lookup_queue_limit) {
+      ++lookup_drops_;
+      return;  // ingress queue overflow
+    }
+    lookup_busy_ = start + per_lookup;
+    lookup_done = lookup_busy_;
+  }
+
+  // --- forwarding decision ---
+  Picos latency = cfg_.pipeline_latency;
+  if (cfg_.latency_jitter_ns > 0) {
+    latency += from_nanos(
+        std::abs(rng_.normal(0.0, cfg_.latency_jitter_ns)));
+  }
+  // Cut-through: the egress decision races the tail of the frame, so the
+  // effective release time is anchored on the first bit. The handler runs
+  // at last_bit, so the release clamps to "now" when the frame is longer
+  // than the pipeline — matching real cut-through switches degrading to
+  // store-and-forward timing for short pipelines.
+  const Picos anchor = cfg_.cut_through ? first_bit : last_bit;
+  const Picos release =
+      std::max({anchor + latency, eng_->now(), lookup_done});
+
+  std::size_t out = SIZE_MAX;
+  if (!eth->dst.is_multicast()) {
+    const auto it = mac_table_.find(eth->dst.to_u64());
+    if (it != mac_table_.end() &&
+        (it->second.is_static ||
+         eng_->now() - it->second.last_seen <= cfg_.mac_aging)) {
+      out = it->second.port;
+    }
+  }
+
+  if (out != SIZE_MAX) {
+    if (out == in_port) return;  // hairpin suppression
+    ++forwarded_;
+    emit(out, std::move(pkt), release);
+    return;
+  }
+
+  if (!cfg_.flood_unknown && !eth->dst.is_multicast()) {
+    ++unknown_dropped_;
+    return;
+  }
+
+  // Unknown unicast / multicast / broadcast: flood.
+  ++flooded_;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (i == in_port) continue;
+    emit(i, net::Packet{pkt}, release);
+  }
+}
+
+void LegacySwitch::emit(std::size_t out_port, net::Packet pkt,
+                        Picos not_before) {
+  auto shared = std::make_shared<net::Packet>(std::move(pkt));
+  eng_->schedule_at(not_before, [this, out_port, shared] {
+    ports_[out_port]->tx().transmit(std::move(*shared));
+  });
+}
+
+}  // namespace osnt::dut

@@ -1,0 +1,396 @@
+#include "osnt/dut/openflow_switch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "osnt/net/parser.hpp"
+
+namespace osnt::dut {
+namespace {
+
+using namespace osnt::openflow;
+
+/// Insert an 802.1Q tag (or rewrite the VID of an existing one).
+void set_vlan(Bytes& frame, std::uint16_t vid) {
+  if (frame.size() < net::EthHeader::kSize) return;
+  const std::uint16_t ethertype = load_be16(frame.data() + 12);
+  if (ethertype == static_cast<std::uint16_t>(net::EtherType::kVlan)) {
+    const std::uint16_t tci = load_be16(frame.data() + 14);
+    store_be16(frame.data() + 14,
+               static_cast<std::uint16_t>((tci & 0xF000) | (vid & 0x0FFF)));
+    return;
+  }
+  std::uint8_t tag[4];
+  store_be16(tag, static_cast<std::uint16_t>(net::EtherType::kVlan));
+  store_be16(tag + 2, vid & 0x0FFF);
+  frame.insert(frame.begin() + 12, tag, tag + 4);
+}
+
+void strip_vlan(Bytes& frame) {
+  if (frame.size() < net::EthHeader::kSize + 4) return;
+  if (load_be16(frame.data() + 12) !=
+      static_cast<std::uint16_t>(net::EtherType::kVlan))
+    return;
+  frame.erase(frame.begin() + 12, frame.begin() + 16);
+}
+
+}  // namespace
+
+OpenFlowSwitch::OpenFlowSwitch(sim::Engine& eng,
+                               openflow::ControlChannel& chan, Config cfg)
+    : eng_(&eng), cfg_(cfg), rng_(cfg.seed), ctrl_(&chan.switch_end()),
+      table_(cfg.table), pin_tokens_(cfg.packet_in_limit_pps) {
+  hw::EthPortConfig pc;
+  pc.tx.queue_limit_bytes = cfg_.queue_bytes;
+  for (std::size_t i = 0; i < cfg_.num_ports; ++i) {
+    ports_.push_back(std::make_unique<hw::EthPort>(eng, pc));
+    ports_[i]->rx().set_handler(
+        [this, i](net::Packet pkt, Picos first_bit, Picos last_bit) {
+          on_frame(i, std::move(pkt), first_bit, last_bit);
+        });
+  }
+  if (cfg_.queue_rates.empty()) cfg_.queue_rates = {1.0};
+  shaper_free_.assign(cfg_.num_ports,
+                      std::vector<Picos>(cfg_.queue_rates.size(), 0));
+  ctrl_->set_handler([this](openflow::Decoded d) { on_control(std::move(d)); });
+}
+
+Picos OpenFlowSwitch::agent_run(Picos cost) {
+  if (cfg_.agent_jitter_ns > 0) {
+    cost += from_nanos(std::abs(rng_.normal(0.0, cfg_.agent_jitter_ns)));
+  }
+  const Picos start = std::max(eng_->now(), agent_busy_);
+  agent_busy_ = start + cost;
+  return agent_busy_;
+}
+
+void OpenFlowSwitch::on_control(openflow::Decoded d) {
+  std::visit(
+      [&](auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          ctrl_->send(Hello{}, d.xid);
+        } else if constexpr (std::is_same_v<T, EchoRequest>) {
+          const Picos done = agent_run(cfg_.agent_service);
+          auto payload = std::make_shared<Bytes>(std::move(msg.payload));
+          const std::uint32_t xid = d.xid;
+          eng_->schedule_at(done, [this, payload, xid] {
+            ctrl_->send(EchoReply{std::move(*payload)}, xid);
+          });
+        } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
+          const Picos done = agent_run(cfg_.agent_service);
+          const std::uint32_t xid = d.xid;
+          eng_->schedule_at(done, [this, xid] {
+            FeaturesReply fr;
+            fr.datapath_id = cfg_.datapath_id;
+            fr.n_ports = static_cast<std::uint16_t>(ports_.size());
+            ctrl_->send(fr, xid);
+          });
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          ++flow_mods_;
+          // Stage 1: agent parses/validates the message (serial CPU).
+          const Picos parsed = agent_run(cfg_.agent_service);
+          // Stage 2: asynchronous hardware commit; the cost grows with
+          // table occupancy (TCAM reshuffling).
+          auto mod = std::make_shared<FlowMod>(std::move(msg));
+          const std::uint32_t xid = d.xid;
+          eng_->schedule_at(parsed, [this, mod, xid] {
+            const Picos cost =
+                cfg_.commit_base +
+                cfg_.commit_per_entry * static_cast<Picos>(table_.size());
+            commit_busy_ = std::max(commit_busy_, eng_->now()) + cost;
+            eng_->schedule_at(commit_busy_, [this, mod, xid] {
+              std::vector<FlowEntry> removed;
+              const auto result = table_.apply(*mod, eng_->now(), &removed);
+              ++commits_done_;
+              if (result == FlowTable::ModResult::kTableFull ||
+                  result == FlowTable::ModResult::kOverlap) {
+                ErrorMsg err;
+                err.type = 3;  // OFPET_FLOW_MOD_FAILED
+                err.code = result == FlowTable::ModResult::kTableFull
+                               ? 0   // OFPFMFC_ALL_TABLES_FULL
+                               : 2;  // OFPFMFC_OVERLAP
+                err.data = encode(*mod, xid);  // spec: offending message
+                ctrl_->send(std::move(err), xid);
+                return;
+              }
+              for (const auto& e : removed) {
+                if (e.flags & off::kSendFlowRem)
+                  send_flow_removed(e, FlowRemovedReason::kDelete);
+              }
+              schedule_expiry_scan();
+            });
+          });
+        } else if constexpr (std::is_same_v<T, BarrierRequest>) {
+          const Picos agent_done = agent_run(cfg_.agent_service);
+          const std::uint32_t xid = d.xid;
+          // The commit backlog is only known once the agent has parsed all
+          // prior messages, so the covers-commit check must run *at*
+          // agent_done, not now.
+          eng_->schedule_at(agent_done, [this, xid] {
+            const Picos done = cfg_.barrier_covers_commit
+                                   ? std::max(eng_->now(), commit_busy_)
+                                   : eng_->now();
+            eng_->schedule_at(done,
+                              [this, xid] { ctrl_->send(BarrierReply{}, xid); });
+          });
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          const Picos done = agent_run(cfg_.agent_service);
+          auto po = std::make_shared<PacketOut>(std::move(msg));
+          eng_->schedule_at(done, [this, po] {
+            net::Packet pkt{std::move(po->data)};
+            const std::size_t in_port =
+                po->in_port < ports_.size() ? po->in_port : SIZE_MAX;
+            execute_actions(po->actions, in_port, std::move(pkt), eng_->now());
+          });
+        } else if constexpr (std::is_same_v<T, FlowStatsRequest>) {
+          // Stats extraction cost scales with the table scan.
+          const Picos done = agent_run(
+              cfg_.agent_service +
+              static_cast<Picos>(table_.size()) * 2 * kPicosPerMicro);
+          auto req = std::make_shared<FlowStatsRequest>(msg);
+          const std::uint32_t xid = d.xid;
+          eng_->schedule_at(done, [this, req, xid] {
+            FlowStatsReply reply;
+            for (const auto* e : table_.collect_stats(*req)) {
+              FlowStatsEntry fe;
+              fe.match = e->match;
+              fe.priority = e->priority;
+              fe.cookie = e->cookie;
+              fe.idle_timeout = e->idle_timeout;
+              fe.hard_timeout = e->hard_timeout;
+              fe.packet_count = e->packet_count;
+              fe.byte_count = e->byte_count;
+              fe.actions = e->actions;
+              const Picos age = eng_->now() - e->installed_at;
+              fe.duration_sec = static_cast<std::uint32_t>(age / kPicosPerSec);
+              fe.duration_nsec = static_cast<std::uint32_t>(
+                  (age % kPicosPerSec) / kPicosPerNano);
+              reply.flows.push_back(std::move(fe));
+            }
+            ctrl_->send(reply, xid);
+          });
+        } else if constexpr (std::is_same_v<T, AggregateStatsRequest>) {
+          // Aggregation walks the table like a flow-stats scan.
+          const Picos done = agent_run(
+              cfg_.agent_service +
+              static_cast<Picos>(table_.size()) * 2 * kPicosPerMicro);
+          auto req = std::make_shared<AggregateStatsRequest>(msg);
+          const std::uint32_t xid = d.xid;
+          eng_->schedule_at(done, [this, req, xid] {
+            FlowStatsRequest as_flow;
+            as_flow.match = req->match;
+            as_flow.table_id = req->table_id;
+            as_flow.out_port = req->out_port;
+            AggregateStatsReply reply;
+            for (const auto* e : table_.collect_stats(as_flow)) {
+              reply.packet_count += e->packet_count;
+              reply.byte_count += e->byte_count;
+              ++reply.flow_count;
+            }
+            ctrl_->send(reply, xid);
+          });
+        } else if constexpr (std::is_same_v<T, PortStatsRequest>) {
+          const Picos done = agent_run(
+              cfg_.agent_service +
+              static_cast<Picos>(ports_.size()) * kPicosPerMicro);
+          auto req = std::make_shared<PortStatsRequest>(msg);
+          const std::uint32_t xid = d.xid;
+          eng_->schedule_at(done, [this, req, xid] {
+            PortStatsReply reply;
+            for (std::size_t i = 0; i < ports_.size(); ++i) {
+              const auto of_port = static_cast<std::uint16_t>(i + 1);
+              if (req->port_no != ofpp::kNone && req->port_no != of_port)
+                continue;
+              PortStatsEntry ps;
+              ps.port_no = of_port;
+              ps.rx_packets = ports_[i]->rx().frames_received();
+              ps.rx_bytes = ports_[i]->rx().bytes_received();
+              ps.tx_packets = ports_[i]->tx().frames_sent();
+              ps.tx_bytes = ports_[i]->tx().bytes_sent();
+              ps.tx_dropped = ports_[i]->tx().drops();
+              ps.rx_crc_err = ports_[i]->rx().crc_errors();
+              ps.rx_errors =
+                  ports_[i]->rx().runts() + ports_[i]->rx().giants() +
+                  ports_[i]->rx().crc_errors();
+              reply.ports.push_back(ps);
+            }
+            ctrl_->send(reply, xid);
+          });
+        } else if constexpr (std::is_same_v<T, QueueGetConfigRequest>) {
+          const Picos done = agent_run(cfg_.agent_service);
+          const std::uint16_t port = msg.port;
+          const std::uint32_t xid = d.xid;
+          eng_->schedule_at(done, [this, port, xid] {
+            QueueGetConfigReply reply;
+            reply.port = port;
+            for (std::size_t q = 0; q < cfg_.queue_rates.size(); ++q) {
+              QueueDesc desc;
+              desc.queue_id = static_cast<std::uint32_t>(q);
+              desc.min_rate_tenths =
+                  static_cast<std::uint16_t>(cfg_.queue_rates[q] * 1000.0);
+              reply.queues.push_back(desc);
+            }
+            ctrl_->send(reply, xid);
+          });
+        } else {
+          // EchoReply/FeaturesReply/etc. arriving at a switch: ignore.
+        }
+      },
+      d.msg);
+}
+
+void OpenFlowSwitch::on_frame(std::size_t in_port, net::Packet pkt,
+                              Picos first_bit, Picos /*last_bit*/) {
+  (void)first_bit;
+  auto parsed = net::parse_packet(pkt.bytes());
+  if (!parsed) return;
+  const OfMatch concrete =
+      OfMatch::from_packet(*parsed, static_cast<std::uint16_t>(in_port + 1));
+
+  const FlowEntry* entry = table_.lookup(concrete, eng_->now(), pkt.wire_len());
+  if (!entry) {
+    ++misses_;
+    send_packet_in(in_port, pkt);
+    return;
+  }
+
+  Picos latency = cfg_.pipeline_latency;
+  if (cfg_.latency_jitter_ns > 0)
+    latency += from_nanos(std::abs(rng_.normal(0.0, cfg_.latency_jitter_ns)));
+  execute_actions(entry->actions, in_port, std::move(pkt),
+                  eng_->now() + latency);
+}
+
+void OpenFlowSwitch::execute_actions(
+    const std::vector<openflow::Action>& actions, std::size_t in_port,
+    net::Packet pkt, Picos release) {
+  // Header-modifying actions cost extra pipeline (or slow-path) time.
+  for (const auto& action : actions) {
+    if (!std::holds_alternative<ActionOutput>(action))
+      release += cfg_.action_modify_latency;
+  }
+  for (const auto& action : actions) {
+    if (const auto* sv = std::get_if<ActionSetVlanVid>(&action)) {
+      set_vlan(pkt.data, sv->vlan_vid);
+    } else if (std::get_if<ActionStripVlan>(&action)) {
+      strip_vlan(pkt.data);
+    } else if (const auto* enq = std::get_if<ActionEnqueue>(&action)) {
+      // Queue shaper: serialize this queue's frames at its rate share.
+      if (enq->port >= 1 && enq->port <= ports_.size() &&
+          enq->queue_id < cfg_.queue_rates.size()) {
+        const std::size_t port = enq->port - 1;
+        const double rate = cfg_.queue_rates[enq->queue_id];
+        Picos& shaper = shaper_free_[port][enq->queue_id];
+        const Picos start = std::max(release, shaper);
+        shaper = start + net::serialization_time(pkt.line_len(),
+                                                 10.0 * std::max(rate, 1e-6));
+        if (enq->queue_id != 0) ++enqueue_shaped_;
+        ++forwarded_;
+        auto shared = std::make_shared<net::Packet>(net::Packet{pkt});
+        eng_->schedule_at(start, [this, port, shared] {
+          ports_[port]->tx().transmit(std::move(*shared));
+        });
+      }
+    } else if (const auto* out = std::get_if<ActionOutput>(&action)) {
+      auto deliver = [this, release](std::size_t port, net::Packet p) {
+        ++forwarded_;
+        auto shared = std::make_shared<net::Packet>(std::move(p));
+        eng_->schedule_at(release, [this, port, shared] {
+          ports_[port]->tx().transmit(std::move(*shared));
+        });
+      };
+      if (out->port == ofpp::kController) {
+        send_packet_in(in_port, pkt);
+      } else if (out->port == ofpp::kFlood || out->port == ofpp::kAll) {
+        for (std::size_t i = 0; i < ports_.size(); ++i) {
+          if (i != in_port) deliver(i, net::Packet{pkt});
+        }
+      } else if (out->port == ofpp::kInPort) {
+        if (in_port < ports_.size()) deliver(in_port, net::Packet{pkt});
+      } else if (out->port >= 1 && out->port <= ports_.size()) {
+        deliver(out->port - 1, net::Packet{pkt});
+      }
+    }
+  }
+  // Empty action list = drop (per OF 1.0).
+}
+
+void OpenFlowSwitch::send_flow_removed(const openflow::FlowEntry& e,
+                                       openflow::FlowRemovedReason reason) {
+  FlowRemoved fr;
+  fr.match = e.match;
+  fr.cookie = e.cookie;
+  fr.priority = e.priority;
+  fr.reason = reason;
+  fr.idle_timeout = e.idle_timeout;
+  fr.packet_count = e.packet_count;
+  fr.byte_count = e.byte_count;
+  const Picos age = eng_->now() - e.installed_at;
+  fr.duration_sec = static_cast<std::uint32_t>(age / kPicosPerSec);
+  fr.duration_nsec =
+      static_cast<std::uint32_t>((age % kPicosPerSec) / kPicosPerNano);
+  ctrl_->send(fr);
+}
+
+void OpenFlowSwitch::schedule_expiry_scan() {
+  if (expiry_scan_pending_) return;
+  // Only arm the scan while some entry can actually expire, so an idle
+  // simulation still drains its event queue.
+  bool needed = false;
+  for (const auto& e : table_.entries()) {
+    if (e.idle_timeout != 0 || e.hard_timeout != 0) {
+      needed = true;
+      break;
+    }
+  }
+  if (!needed) return;
+  expiry_scan_pending_ = true;
+  eng_->schedule_in(cfg_.expiry_scan_interval, [this] {
+    expiry_scan_pending_ = false;
+    for (const auto& e : table_.expire(eng_->now())) {
+      const bool idle =
+          e.idle_timeout != 0 &&
+          eng_->now() - e.last_used >=
+              static_cast<Picos>(e.idle_timeout) * kPicosPerSec;
+      if (e.flags & off::kSendFlowRem) {
+        send_flow_removed(e, idle ? FlowRemovedReason::kIdleTimeout
+                                  : FlowRemovedReason::kHardTimeout);
+      }
+    }
+    schedule_expiry_scan();
+  });
+}
+
+void OpenFlowSwitch::send_packet_in(std::size_t in_port,
+                                    const net::Packet& pkt) {
+  // Token-bucket rate limiter, as commercial switches protect their CPU.
+  if (cfg_.packet_in_limit_pps > 0) {
+    const Picos now = eng_->now();
+    pin_tokens_ = std::min(
+        cfg_.packet_in_limit_pps,
+        pin_tokens_ + to_seconds(now - pin_last_refill_) *
+                          cfg_.packet_in_limit_pps);
+    pin_last_refill_ = now;
+    if (pin_tokens_ < 1.0) {
+      ++packet_ins_limited_;
+      return;
+    }
+    pin_tokens_ -= 1.0;
+  }
+  const Picos done = agent_run(cfg_.agent_service);
+  PacketIn pin;
+  pin.total_len = static_cast<std::uint16_t>(pkt.size());
+  pin.in_port = static_cast<std::uint16_t>(in_port + 1);
+  pin.reason = PacketInReason::kNoMatch;
+  const std::size_t keep = std::min(cfg_.packet_in_trunc, pkt.size());
+  pin.data.assign(pkt.data.begin(),
+                  pkt.data.begin() + static_cast<std::ptrdiff_t>(keep));
+  auto shared = std::make_shared<PacketIn>(std::move(pin));
+  eng_->schedule_at(done, [this, shared] {
+    ++packet_ins_;
+    ctrl_->send(std::move(*shared));
+  });
+}
+
+}  // namespace osnt::dut

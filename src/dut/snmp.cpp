@@ -1,0 +1,43 @@
+#include "osnt/dut/snmp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace osnt::dut {
+
+SnmpAgent::SnmpAgent(sim::Engine& eng, Config cfg)
+    : eng_(&eng), cfg_(cfg), rng_(cfg.seed) {}
+
+void SnmpAgent::register_counter(const std::string& oid, CounterFn fn) {
+  live_[oid] = std::move(fn);
+}
+
+void SnmpAgent::refresh_if_due() {
+  const Picos now = eng_->now();
+  if (last_refresh_ >= 0 && now - last_refresh_ < cfg_.refresh_interval)
+    return;
+  // Snap to the refresh grid so staleness is deterministic.
+  last_refresh_ = (now / cfg_.refresh_interval) * cfg_.refresh_interval;
+  for (const auto& [oid, fn] : live_) snapshot_[oid] = fn();
+}
+
+void SnmpAgent::get(const std::string& oid, ResponseFn cb) {
+  refresh_if_due();
+  std::uint64_t value = 0;
+  if (const auto it = snapshot_.find(oid); it != snapshot_.end())
+    value = it->second;
+  Picos delay = cfg_.response_latency;
+  if (cfg_.response_jitter_ms > 0) {
+    delay += static_cast<Picos>(
+        std::abs(rng_.normal(0.0, cfg_.response_jitter_ms)) *
+        static_cast<double>(kPicosPerMilli));
+  }
+  ++polls_;
+  auto shared_cb = std::make_shared<ResponseFn>(std::move(cb));
+  eng_->schedule_in(delay, [oid, value, shared_cb, this] {
+    (*shared_cb)(oid, value, eng_->now());
+  });
+}
+
+}  // namespace osnt::dut

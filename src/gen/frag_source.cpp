@@ -1,0 +1,43 @@
+#include <stdexcept>
+
+#include "osnt/gen/source.hpp"
+#include "osnt/net/fragment.hpp"
+#include "osnt/net/parser.hpp"
+
+namespace osnt::gen {
+
+FragmentingSource::FragmentingSource(std::unique_ptr<PacketSource> inner,
+                                     std::size_t mtu)
+    : inner_(std::move(inner)), mtu_(mtu) {
+  if (!inner_) throw std::invalid_argument("FragmentingSource: null inner");
+  if (mtu_ < 68) throw std::invalid_argument("FragmentingSource: MTU < 68");
+}
+
+std::optional<TimedPacket> FragmentingSource::next() {
+  if (backlog_idx_ < backlog_.size()) {
+    TimedPacket tp;
+    tp.pkt = std::move(backlog_[backlog_idx_++]);
+    return tp;
+  }
+  auto tp = inner_->next();
+  if (!tp) return std::nullopt;
+  const auto parsed = net::parse_packet(tp->pkt.bytes());
+  if (!parsed || parsed->l3 != net::L3Kind::kIpv4 ||
+      parsed->ipv4.total_length <= mtu_ || parsed->ipv4.dont_fragment) {
+    return tp;  // pass through untouched (keeps any gap hint)
+  }
+  backlog_ = net::fragment_ipv4(tp->pkt, mtu_);
+  backlog_idx_ = 0;
+  TimedPacket out;
+  out.pkt = std::move(backlog_[backlog_idx_++]);
+  out.gap_hint = tp->gap_hint;  // replay timing anchors on the first frag
+  return out;
+}
+
+void FragmentingSource::rewind() {
+  inner_->rewind();
+  backlog_.clear();
+  backlog_idx_ = 0;
+}
+
+}  // namespace osnt::gen

@@ -1,0 +1,41 @@
+#include "osnt/gen/rate.hpp"
+
+#include <algorithm>
+
+namespace osnt::gen {
+
+Picos RateController::departure_interval(
+    std::size_t line_len_bytes) const noexcept {
+  const Picos air = net::serialization_time(line_len_bytes, link_gbps_);
+  Picos interval = air;
+  switch (spec_.mode) {
+    case RateMode::kLineRateFraction: {
+      const double f = std::clamp(spec_.value, 1e-9, 1.0);
+      interval = static_cast<Picos>(static_cast<double>(air) / f);
+      break;
+    }
+    case RateMode::kGbps: {
+      const double g = std::max(spec_.value, 1e-9);
+      interval = net::serialization_time(line_len_bytes, g);
+      break;
+    }
+    case RateMode::kPps: {
+      const double p = std::max(spec_.value, 1e-9);
+      interval = static_cast<Picos>(1e12 / p);
+      break;
+    }
+    case RateMode::kGapNanos:
+      interval = air + from_nanos(spec_.value);
+      break;
+  }
+  // Never ask for faster than the line can carry.
+  return std::max(interval, air);
+}
+
+double RateController::offered_gbps(std::size_t line_len_bytes) const noexcept {
+  const Picos interval = departure_interval(line_len_bytes);
+  return static_cast<double>(line_len_bytes) * 8.0 * 1000.0 /
+         static_cast<double>(interval);
+}
+
+}  // namespace osnt::gen

@@ -1,0 +1,51 @@
+#include "osnt/gen/replay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace osnt::gen {
+
+PcapReplaySource::PcapReplaySource(const std::string& path, ReplayConfig cfg)
+    : PcapReplaySource(net::PcapReader::read_all(path), cfg) {}
+
+PcapReplaySource::PcapReplaySource(std::vector<net::PcapRecord> records,
+                                   ReplayConfig cfg)
+    : records_(std::move(records)), cfg_(cfg) {
+  if (records_.empty())
+    throw std::invalid_argument("PcapReplaySource: empty trace");
+  if (cfg_.speedup <= 0.0)
+    throw std::invalid_argument("PcapReplaySource: speedup must be > 0");
+}
+
+std::optional<TimedPacket> PcapReplaySource::next() {
+  if (idx_ >= records_.size()) {
+    ++loops_done_;
+    if (cfg_.loops != 0 && loops_done_ >= cfg_.loops) return std::nullopt;
+    idx_ = 0;
+  }
+  const auto& rec = records_[idx_];
+  TimedPacket tp;
+  tp.pkt = net::Packet{rec.data};
+  tp.pkt.id = idx_;
+  if (cfg_.timing == ReplayTiming::kAsRecorded) {
+    // Gap to the *next* record; the last record of a loop reuses the
+    // previous gap (there is no successor to difference against).
+    std::uint64_t gap_ns = 0;
+    if (idx_ + 1 < records_.size()) {
+      gap_ns = records_[idx_ + 1].ts_nanos - rec.ts_nanos;
+    } else if (idx_ > 0) {
+      gap_ns = rec.ts_nanos - records_[idx_ - 1].ts_nanos;
+    }
+    tp.gap_hint = static_cast<Picos>(
+        static_cast<double>(gap_ns) * 1000.0 / cfg_.speedup);
+  }
+  ++idx_;
+  return tp;
+}
+
+void PcapReplaySource::rewind() {
+  idx_ = 0;
+  loops_done_ = 0;
+}
+
+}  // namespace osnt::gen

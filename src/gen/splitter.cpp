@@ -1,0 +1,43 @@
+#include "osnt/gen/splitter.hpp"
+
+#include <stdexcept>
+
+#include "osnt/net/flow.hpp"
+
+namespace osnt::gen {
+
+std::vector<std::unique_ptr<PcapReplaySource>> split_trace(
+    const std::vector<net::PcapRecord>& records, std::size_t ports,
+    ReplayConfig cfg) {
+  if (ports == 0) throw std::invalid_argument("split_trace: zero ports");
+  std::vector<std::vector<net::PcapRecord>> buckets(ports);
+  std::size_t rr = 0;
+  for (const auto& rec : records) {
+    std::size_t idx;
+    if (const auto flow =
+            net::extract_flow(ByteSpan{rec.data.data(), rec.data.size()})) {
+      idx = static_cast<std::size_t>(flow->hash() % ports);
+    } else {
+      idx = rr++ % ports;  // non-IP: spread round-robin
+    }
+    buckets[idx].push_back(rec);
+  }
+  std::vector<std::unique_ptr<PcapReplaySource>> out;
+  out.reserve(ports);
+  for (auto& bucket : buckets) {
+    // Empty buckets (few flows, many ports) yield no source slot — keep
+    // positional correspondence by emitting nullptr so callers can skip.
+    out.push_back(bucket.empty()
+                      ? nullptr
+                      : std::make_unique<PcapReplaySource>(std::move(bucket),
+                                                           cfg));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<PcapReplaySource>> split_trace_file(
+    const std::string& path, std::size_t ports, ReplayConfig cfg) {
+  return split_trace(net::PcapReader::read_all(path), ports, cfg);
+}
+
+}  // namespace osnt::gen

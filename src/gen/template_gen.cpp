@@ -1,0 +1,49 @@
+#include "osnt/gen/template_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "osnt/net/builder.hpp"
+
+namespace osnt::gen {
+
+TemplateSource::TemplateSource(TemplateConfig cfg,
+                               std::unique_ptr<SizeModel> size_model)
+    : cfg_(cfg), size_(std::move(size_model)), rng_(cfg.seed) {
+  if (!size_) throw std::invalid_argument("TemplateSource: null size model");
+  if (cfg_.flow_count == 0) cfg_.flow_count = 1;
+}
+
+std::optional<TimedPacket> TemplateSource::next() {
+  if (cfg_.count != 0 && produced_ >= cfg_.count) return std::nullopt;
+  const std::uint32_t flow =
+      static_cast<std::uint32_t>(produced_ % cfg_.flow_count);
+
+  std::size_t frame_len = std::clamp(size_->sample(rng_), net::kEthMinFrame,
+                                     std::size_t{net::kEthMaxFrame});
+
+  net::PacketBuilder b;
+  b.eth(cfg_.src_mac, cfg_.dst_mac);
+  if (cfg_.vlan_id != 0) b.vlan(cfg_.vlan_id);
+  net::Ipv4Addr dst = cfg_.dst_ip;
+  if (cfg_.vary_dst_ip) dst.v += flow;
+  b.ipv4(cfg_.src_ip, dst, cfg_.protocol);
+  // Flows differ in src_port (and optionally dst_ip); dst_port stays
+  // fixed so one wildcard rule can select the whole probe stream.
+  const auto sport = static_cast<std::uint16_t>(cfg_.src_port + flow % 1024);
+  const auto dport = cfg_.dst_port;
+  if (cfg_.protocol == net::ipproto::kTcp) {
+    b.tcp(sport, dport, static_cast<std::uint32_t>(produced_ * 1460));
+  } else {
+    b.udp(sport, dport);
+  }
+  b.pad_to_frame(frame_len);
+
+  TimedPacket tp;
+  tp.pkt = b.build();
+  tp.pkt.id = produced_;
+  ++produced_;
+  return tp;
+}
+
+}  // namespace osnt::gen

@@ -1,0 +1,33 @@
+#include "osnt/hw/dma.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "osnt/net/packet.hpp"
+
+namespace osnt::hw {
+
+bool DmaEngine::enqueue(DmaRecord rec) {
+  if (in_ring_ >= cfg_.ring_entries) {
+    ++drops_;
+    return false;
+  }
+  ++in_ring_;
+  const std::size_t bus_bytes =
+      rec.payload.size() + cfg_.per_record_overhead_bytes;
+  const Picos now = eng_->now();
+  const Picos start = std::max(now, bus_free_);
+  const Picos xfer =
+      net::serialization_time(bus_bytes, cfg_.gbps);
+  bus_free_ = start + xfer;
+  auto shared = std::make_shared<DmaRecord>(std::move(rec));
+  eng_->schedule_at(bus_free_, [this, shared] {
+    --in_ring_;
+    ++delivered_;
+    bytes_delivered_ += shared->payload.size();
+    if (handler_) handler_(std::move(*shared));
+  });
+  return true;
+}
+
+}  // namespace osnt::hw

@@ -1,0 +1,35 @@
+#include "osnt/hw/fifo.hpp"
+
+#include <algorithm>
+
+namespace osnt::hw {
+
+bool PacketFifo::push(net::Packet pkt) {
+  const std::size_t w = pkt.wire_len();
+  const bool over_bytes = cfg_.max_bytes != 0 && bytes_ + w > cfg_.max_bytes;
+  const bool over_pkts = cfg_.max_packets != 0 && q_.size() >= cfg_.max_packets;
+  if (over_bytes || over_pkts) {
+    ++drops_;
+    dropped_bytes_ += w;
+    return false;
+  }
+  bytes_ += w;
+  peak_bytes_ = std::max(peak_bytes_, bytes_);
+  q_.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<net::Packet> PacketFifo::pop() {
+  if (q_.empty()) return std::nullopt;
+  net::Packet pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt.wire_len();
+  return pkt;
+}
+
+void PacketFifo::clear() {
+  q_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace osnt::hw

@@ -1,0 +1,10 @@
+#include "osnt/hw/port.hpp"
+
+namespace osnt::hw {
+
+void connect(EthPort& a, EthPort& b) {
+  a.out_link().connect(b.rx());
+  b.out_link().connect(a.rx());
+}
+
+}  // namespace osnt::hw

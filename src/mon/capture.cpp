@@ -1,0 +1,121 @@
+#include "osnt/mon/capture.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "osnt/net/pcap.hpp"
+#include "osnt/net/pcapng.hpp"
+#include "osnt/tstamp/embed.hpp"
+
+namespace osnt::mon {
+
+CaptureRecord CaptureRecord::from_dma(hw::DmaRecord rec) {
+  CaptureRecord c;
+  c.data = std::move(rec.payload);
+  c.ts = tstamp::Timestamp::from_raw(rec.meta_a);
+  c.orig_len = static_cast<std::uint32_t>(rec.meta_b);
+  c.hash = static_cast<std::uint32_t>(rec.meta_b >> 32);
+  c.port = static_cast<std::uint8_t>(rec.meta_c);
+  return c;
+}
+
+hw::DmaRecord CaptureRecord::to_dma() && {
+  hw::DmaRecord rec;
+  rec.payload = std::move(data);
+  rec.meta_a = ts.raw;
+  rec.meta_b = (std::uint64_t{hash} << 32) | orig_len;
+  rec.meta_c = port;
+  return rec;
+}
+
+HostCapture::HostCapture(hw::DmaEngine& dma) {
+  dma.set_handler([this](hw::DmaRecord rec) {
+    records_.push_back(CaptureRecord::from_dma(std::move(rec)));
+    if (on_record_) on_record_(records_.back());
+  });
+}
+
+void HostCapture::write_pcap(const std::string& path) const {
+  net::PcapWriter writer{path, /*nanosecond=*/true};
+  for (const auto& rec : records_) {
+    writer.write(static_cast<std::uint64_t>(rec.ts.to_nanos()),
+                 ByteSpan{rec.data.data(), rec.data.size()}, rec.orig_len);
+  }
+}
+
+void HostCapture::write_pcapng(const std::string& path,
+                               std::size_t num_ports) const {
+  std::vector<std::string> names;
+  names.reserve(num_ports);
+  for (std::size_t i = 0; i < num_ports; ++i)
+    names.push_back("osnt-port" + std::to_string(i));
+  net::PcapngWriter writer{path, std::move(names)};
+  for (const auto& rec : records_) {
+    const std::uint32_t iface =
+        rec.port < num_ports ? rec.port : static_cast<std::uint32_t>(0);
+    writer.write(iface, static_cast<std::uint64_t>(rec.ts.to_nanos()),
+                 ByteSpan{rec.data.data(), rec.data.size()}, rec.orig_len);
+  }
+}
+
+SampleSet HostCapture::latency_ns(std::size_t embed_offset, int port) const {
+  SampleSet out;
+  for (const auto& rec : records_) {
+    if (port >= 0 && rec.port != port) continue;
+    const auto stamp = tstamp::extract_timestamp(
+        ByteSpan{rec.data.data(), rec.data.size()}, embed_offset);
+    if (!stamp) continue;
+    out.add(tstamp::delta_nanos(rec.ts, stamp->ts));
+  }
+  return out;
+}
+
+HostCapture::DupReport HostCapture::duplicate_report() const {
+  DupReport rep;
+  // Key = (hash, orig_len) to keep accidental CRC collisions on different
+  // sizes apart; value = bitset of ports (≤ 64 ports).
+  std::unordered_map<std::uint64_t, std::uint64_t> seen;
+  for (const auto& rec : records_) {
+    const std::uint64_t key =
+        (std::uint64_t{rec.hash} << 32) | rec.orig_len;
+    auto [it, inserted] = seen.try_emplace(key, 0);
+    if (!inserted) ++rep.duplicates;
+    it->second |= 1ull << (rec.port % 64);
+  }
+  rep.unique = seen.size();
+  for (const auto& [key, ports] : seen) {
+    if ((ports & (ports - 1)) != 0) ++rep.multi_port;
+  }
+  return rep;
+}
+
+HostCapture::SeqReport HostCapture::sequence_report(std::size_t embed_offset,
+                                                    int port) const {
+  SeqReport rep;
+  std::vector<std::uint32_t> seqs;
+  for (const auto& rec : records_) {
+    if (port >= 0 && rec.port != port) continue;
+    const auto stamp = tstamp::extract_timestamp(
+        ByteSpan{rec.data.data(), rec.data.size()}, embed_offset);
+    if (!stamp) continue;
+    seqs.push_back(stamp->seq);
+  }
+  rep.received = seqs.size();
+  if (seqs.empty()) return rep;
+  rep.max_seq = *std::max_element(seqs.begin(), seqs.end());
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const auto s : seqs) {
+    if (!first && s < prev) ++rep.reordered;
+    prev = std::max(prev, s);
+    first = false;
+  }
+  // Lost = sequence range observed minus records received (assumes the
+  // stream started at seq of the first captured frame).
+  const std::uint32_t min_seq = *std::min_element(seqs.begin(), seqs.end());
+  const std::uint64_t span = std::uint64_t{rep.max_seq} - min_seq + 1;
+  rep.lost = span > rep.received ? span - rep.received : 0;
+  return rep;
+}
+
+}  // namespace osnt::mon

@@ -1,0 +1,68 @@
+#include "osnt/mon/filter.hpp"
+
+namespace osnt::mon {
+
+bool FilterRule::matches(const net::ParsedPacket& p) const noexcept {
+  if (ethertype && p.effective_ethertype() != *ethertype) return false;
+  if (vlan_id && (!p.vlan || p.vlan->vid != *vlan_id)) return false;
+
+  const bool needs_ip = src_ip_mask != 0 || dst_ip_mask != 0 ||
+                        protocol.has_value() || src_port.has_value() ||
+                        dst_port.has_value();
+  if (!needs_ip) return true;
+  if (p.l3 != net::L3Kind::kIpv4) return false;
+
+  if ((p.ipv4.src.v & src_ip_mask) != (src_ip & src_ip_mask)) return false;
+  if ((p.ipv4.dst.v & dst_ip_mask) != (dst_ip & dst_ip_mask)) return false;
+  if (protocol && p.ipv4.protocol != *protocol) return false;
+
+  if (src_port || dst_port) {
+    std::uint16_t sp = 0, dp = 0;
+    switch (p.l4) {
+      case net::L4Kind::kTcp:
+        sp = p.tcp.src_port;
+        dp = p.tcp.dst_port;
+        break;
+      case net::L4Kind::kUdp:
+        sp = p.udp.src_port;
+        dp = p.udp.dst_port;
+        break;
+      default:
+        return false;  // port match requested on a port-less packet
+    }
+    if (src_port && sp != *src_port) return false;
+    if (dst_port && dp != *dst_port) return false;
+  }
+  return true;
+}
+
+bool FilterTable::add(FilterRule rule) {
+  if (rules_.size() >= kMaxRules) return false;
+  rules_.push_back(rule);
+  hits_.push_back(0);
+  return true;
+}
+
+void FilterTable::clear() {
+  rules_.clear();
+  hits_.clear();
+  misses_ = 0;
+}
+
+FilterTable::Verdict FilterTable::classify(const net::ParsedPacket& p) noexcept {
+  if (rules_.empty()) return {true, std::nullopt};
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].matches(p)) {
+      ++hits_[i];
+      return {rules_[i].action == FilterAction::kCapture, i};
+    }
+  }
+  ++misses_;
+  return {false, std::nullopt};
+}
+
+std::uint64_t FilterTable::hits(std::size_t rule_idx) const {
+  return hits_.at(rule_idx);
+}
+
+}  // namespace osnt::mon

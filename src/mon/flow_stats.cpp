@@ -1,0 +1,50 @@
+#include "osnt/mon/flow_stats.hpp"
+
+#include <algorithm>
+
+namespace osnt::mon {
+
+void FlowStatsCollector::add(const CaptureRecord& rec) {
+  const auto key =
+      net::extract_flow(ByteSpan{rec.data.data(), rec.data.size()});
+  if (!key) {
+    ++unclassified_;
+    return;
+  }
+  auto [it, inserted] = flows_.try_emplace(*key);
+  FlowRecord& f = it->second;
+  if (inserted) {
+    f.key = *key;
+    f.first_seen = rec.ts;
+  }
+  ++f.packets;
+  f.bytes += rec.orig_len;
+  f.last_seen = rec.ts;
+}
+
+void FlowStatsCollector::add_all(const HostCapture& capture) {
+  for (const auto& rec : capture.records()) add(rec);
+}
+
+const FlowRecord* FlowStatsCollector::find(const net::FiveTuple& key) const {
+  const auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<FlowRecord> FlowStatsCollector::top_by_bytes(std::size_t n) const {
+  std::vector<FlowRecord> out;
+  out.reserve(flows_.size());
+  for (const auto& [key, rec] : flows_) out.push_back(rec);
+  std::sort(out.begin(), out.end(), [](const FlowRecord& a, const FlowRecord& b) {
+    return a.bytes != b.bytes ? a.bytes > b.bytes : a.key < b.key;
+  });
+  if (n != 0 && out.size() > n) out.resize(n);
+  return out;
+}
+
+void FlowStatsCollector::clear() {
+  flows_.clear();
+  unclassified_ = 0;
+}
+
+}  // namespace osnt::mon

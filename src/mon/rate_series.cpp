@@ -1,0 +1,45 @@
+#include "osnt/mon/rate_series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace osnt::mon {
+
+RateSeries::RateSeries(Picos bucket_width) : width_(bucket_width) {
+  if (bucket_width <= 0)
+    throw std::invalid_argument("RateSeries: bucket width must be positive");
+}
+
+void RateSeries::record(Picos now, std::size_t line_bytes) {
+  if (now < 0) return;
+  const auto idx = static_cast<std::size_t>(now / width_);
+  if (idx >= buckets_.size()) {
+    const std::size_t old = buckets_.size();
+    buckets_.resize(idx + 1);
+    for (std::size_t i = old; i < buckets_.size(); ++i)
+      buckets_[i].start = static_cast<Picos>(i) * width_;
+  }
+  ++buckets_[idx].frames;
+  buckets_[idx].line_bytes += line_bytes;
+}
+
+double RateSeries::peak_gbps() const noexcept {
+  double peak = 0.0;
+  for (const auto& b : buckets_) peak = std::max(peak, b.gbps(width_));
+  return peak;
+}
+
+int RateSeries::first_dip_below(double threshold_gbps) const noexcept {
+  bool seen_above = false;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double g = buckets_[i].gbps(width_);
+    if (g >= threshold_gbps) {
+      seen_above = true;
+    } else if (seen_above) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace osnt::mon

@@ -1,0 +1,71 @@
+#include "osnt/mon/rx_pipeline.hpp"
+
+#include "osnt/mon/capture.hpp"
+
+namespace osnt::mon {
+
+void RxPipeline::arm_trigger(FilterRule rule, std::uint64_t window) {
+  trigger_rule_ = rule;
+  trigger_remaining_ = window;
+  trigger_state_ = TriggerState::kArmed;
+}
+
+RxPipeline::RxPipeline(sim::Engine& eng, hw::RxMac& mac,
+                       tstamp::DisciplinedClock& clock, hw::DmaEngine& dma,
+                       Config cfg)
+    : eng_(&eng), clock_(&clock), dma_(&dma), cfg_(cfg), cutter_(cfg.cutter) {
+  mac.set_handler([this](net::Packet pkt, Picos first_bit, Picos last_bit) {
+    on_frame(std::move(pkt), first_bit, last_bit);
+  });
+}
+
+void RxPipeline::on_frame(net::Packet pkt, Picos first_bit, Picos /*last_bit*/) {
+  ++seen_;
+  // Timestamp on MAC receipt (first bit) — before any queueing, which is
+  // what keeps timestamp noise out of OSNT measurements.
+  const tstamp::Timestamp ts = clock_->now(first_bit);
+
+  auto parsed = net::parse_packet(pkt.bytes());
+  if (!parsed) return;  // runt below L2 header; MAC counters caught it
+  stats_.record(*parsed, pkt.wire_len(), eng_->now());
+  if (probe_ && probe_->matches(*parsed)) ++probe_seen_;
+
+  if (!cfg_.capture_enabled) return;
+
+  // Trigger gate (before the capture filter): swallow everything until
+  // the trigger matches, then pass a bounded window through.
+  if (trigger_state_ == TriggerState::kArmed) {
+    if (!trigger_rule_.matches(*parsed)) return;
+    trigger_state_ = TriggerState::kFired;
+  }
+  if (trigger_state_ == TriggerState::kFired) {
+    if (trigger_remaining_ == 0) {
+      trigger_state_ = TriggerState::kDone;
+      return;
+    }
+    --trigger_remaining_;
+  } else if (trigger_state_ == TriggerState::kDone) {
+    return;
+  }
+
+  const auto verdict = filters_.classify(*parsed);
+  if (!verdict.capture) {
+    ++filtered_;
+    return;
+  }
+
+  CutResult cut = cutter_.process(pkt.bytes());
+  CaptureRecord rec;
+  rec.data = std::move(cut.data);
+  rec.ts = ts;
+  rec.orig_len = cut.orig_len;
+  rec.hash = cut.hash;
+  rec.port = cfg_.port_id;
+  if (dma_->enqueue(std::move(rec).to_dma())) {
+    ++captured_;
+  } else {
+    ++dma_drops_;
+  }
+}
+
+}  // namespace osnt::mon

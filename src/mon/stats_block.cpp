@@ -1,0 +1,50 @@
+#include "osnt/mon/stats_block.hpp"
+
+#include "osnt/net/packet.hpp"
+
+namespace osnt::mon {
+
+void StatsBlock::record(const net::ParsedPacket& parsed, std::size_t wire_len,
+                        Picos now) noexcept {
+  ++frames_;
+  bytes_ += wire_len + net::kEthPerFrameOverhead;
+  if (first_ < 0) first_ = now;
+  last_ = now;
+
+  if (wire_len <= 64) ++bins_.p64;
+  else if (wire_len <= 127) ++bins_.p65_127;
+  else if (wire_len <= 255) ++bins_.p128_255;
+  else if (wire_len <= 511) ++bins_.p256_511;
+  else if (wire_len <= 1023) ++bins_.p512_1023;
+  else if (wire_len <= 1518) ++bins_.p1024_1518;
+  else ++bins_.oversize;
+
+  switch (parsed.l3) {
+    case net::L3Kind::kIpv4: ++proto_.ipv4; break;
+    case net::L3Kind::kIpv6: ++proto_.ipv6; break;
+    case net::L3Kind::kArp: ++proto_.arp; break;
+    case net::L3Kind::kNone: ++proto_.other_l3; break;
+  }
+  switch (parsed.l4) {
+    case net::L4Kind::kTcp: ++proto_.tcp; break;
+    case net::L4Kind::kUdp: ++proto_.udp; break;
+    case net::L4Kind::kIcmp: ++proto_.icmp; break;
+    case net::L4Kind::kNone: break;
+  }
+}
+
+double StatsBlock::mean_gbps() const noexcept {
+  if (frames_ < 2 || last_ <= first_) return 0.0;
+  const double span = static_cast<double>(last_ - first_) *
+                      static_cast<double>(frames_) /
+                      static_cast<double>(frames_ - 1);
+  return static_cast<double>(bytes_) * 8.0 * 1000.0 / span;
+}
+
+double StatsBlock::mean_pps() const noexcept {
+  if (frames_ < 2 || last_ <= first_) return 0.0;
+  return static_cast<double>(frames_ - 1) /
+         to_seconds(last_ - first_);
+}
+
+}  // namespace osnt::mon

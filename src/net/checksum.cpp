@@ -1,0 +1,46 @@
+#include "osnt/net/checksum.hpp"
+
+namespace osnt::net {
+
+void InternetChecksum::add(ByteSpan data) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum_ += (std::uint16_t{data[i]} << 8) | data[i + 1];
+  if (i < data.size()) sum_ += std::uint16_t{data[i]} << 8;  // odd trailing byte
+}
+
+std::uint16_t InternetChecksum::fold() const noexcept {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(ByteSpan data) noexcept {
+  InternetChecksum c;
+  c.add(data);
+  return c.fold();
+}
+
+std::uint16_t l4_checksum_v4(Ipv4Addr src, Ipv4Addr dst, std::uint8_t protocol,
+                             ByteSpan l4) noexcept {
+  InternetChecksum c;
+  c.add_u32(src.v);
+  c.add_u32(dst.v);
+  c.add_u16(protocol);
+  c.add_u16(static_cast<std::uint16_t>(l4.size()));
+  c.add(l4);
+  return c.fold();
+}
+
+std::uint16_t l4_checksum_v6(const Ipv6Addr& src, const Ipv6Addr& dst,
+                             std::uint8_t next_header, ByteSpan l4) noexcept {
+  InternetChecksum c;
+  c.add(ByteSpan{src.b.data(), src.b.size()});
+  c.add(ByteSpan{dst.b.data(), dst.b.size()});
+  c.add_u32(static_cast<std::uint32_t>(l4.size()));
+  c.add_u16(next_header);
+  c.add(l4);
+  return c.fold();
+}
+
+}  // namespace osnt::net

@@ -1,0 +1,49 @@
+#include "osnt/net/flow.hpp"
+
+#include "osnt/common/hash.hpp"
+
+namespace osnt::net {
+
+std::uint64_t FiveTuple::hash() const noexcept {
+  // Pack the tuple into two words and mix. Symmetric enough for dispatch;
+  // exact-match lookups use operator== behind the hash.
+  const std::uint64_t a =
+      (std::uint64_t{src_ip.v} << 32) | dst_ip.v;
+  const std::uint64_t b = (std::uint64_t{src_port} << 32) |
+                          (std::uint64_t{dst_port} << 16) | protocol;
+  return mix64(a ^ mix64(b));
+}
+
+std::optional<FiveTuple> extract_flow(const ParsedPacket& p) noexcept {
+  if (p.l3 != L3Kind::kIpv4) return std::nullopt;
+  FiveTuple t;
+  t.src_ip = p.ipv4.src;
+  t.dst_ip = p.ipv4.dst;
+  t.protocol = p.ipv4.protocol;
+  switch (p.l4) {
+    case L4Kind::kTcp:
+      t.src_port = p.tcp.src_port;
+      t.dst_port = p.tcp.dst_port;
+      break;
+    case L4Kind::kUdp:
+      t.src_port = p.udp.src_port;
+      t.dst_port = p.udp.dst_port;
+      break;
+    case L4Kind::kIcmp:
+      break;  // ports stay 0
+    case L4Kind::kNone:
+      if (p.ipv4.protocol == ipproto::kTcp ||
+          p.ipv4.protocol == ipproto::kUdp)
+        return std::nullopt;  // truncated L4
+      break;
+  }
+  return t;
+}
+
+std::optional<FiveTuple> extract_flow(ByteSpan frame) noexcept {
+  auto parsed = parse_packet(frame);
+  if (!parsed) return std::nullopt;
+  return extract_flow(*parsed);
+}
+
+}  // namespace osnt::net

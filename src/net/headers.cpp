@@ -1,0 +1,304 @@
+#include "osnt/net/headers.hpp"
+
+#include <cstdio>
+
+#include "osnt/net/checksum.hpp"
+
+namespace osnt::net {
+
+// ---------------------------------------------------------------- MacAddr
+
+std::optional<MacAddr> MacAddr::parse(const std::string& s) {
+  MacAddr m;
+  unsigned v[6];
+  char tail;
+  const int n = std::sscanf(s.c_str(), "%x:%x:%x:%x:%x:%x%c", &v[0], &v[1],
+                            &v[2], &v[3], &v[4], &v[5], &tail);
+  if (n != 6) return std::nullopt;
+  for (int i = 0; i < 6; ++i) {
+    if (v[i] > 0xFF) return std::nullopt;
+    m.b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v[i]);
+  }
+  return m;
+}
+
+MacAddr MacAddr::from_index(std::uint64_t idx) noexcept {
+  // 0x02 sets the locally-administered bit and clears multicast.
+  MacAddr m;
+  m.b[0] = 0x02;
+  m.b[1] = static_cast<std::uint8_t>(idx >> 32);
+  m.b[2] = static_cast<std::uint8_t>(idx >> 24);
+  m.b[3] = static_cast<std::uint8_t>(idx >> 16);
+  m.b[4] = static_cast<std::uint8_t>(idx >> 8);
+  m.b[5] = static_cast<std::uint8_t>(idx);
+  return m;
+}
+
+bool MacAddr::is_broadcast() const noexcept {
+  for (auto x : b)
+    if (x != 0xFF) return false;
+  return true;
+}
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", b[0], b[1],
+                b[2], b[3], b[4], b[5]);
+  return buf;
+}
+
+std::uint64_t MacAddr::to_u64() const noexcept {
+  std::uint64_t v = 0;
+  for (auto x : b) v = (v << 8) | x;
+  return v;
+}
+
+// --------------------------------------------------------------- Ipv4Addr
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(const std::string& s) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4)
+    return std::nullopt;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return Ipv4Addr::of(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                      static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (v >> 24) & 0xFF,
+                (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF);
+  return buf;
+}
+
+// --------------------------------------------------------------- Ipv6Addr
+
+std::string Ipv6Addr::to_string() const {
+  char buf[40];
+  std::snprintf(buf, sizeof buf,
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x:"
+                "%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9],
+                b[10], b[11], b[12], b[13], b[14], b[15]);
+  return buf;
+}
+
+// -------------------------------------------------------------- EthHeader
+
+std::optional<EthHeader> EthHeader::read(ByteSpan in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  EthHeader h;
+  std::memcpy(h.dst.b.data(), in.data(), 6);
+  std::memcpy(h.src.b.data(), in.data() + 6, 6);
+  h.ethertype = load_be16(in.data() + 12);
+  return h;
+}
+
+void EthHeader::write(MutByteSpan out) const noexcept {
+  std::memcpy(out.data(), dst.b.data(), 6);
+  std::memcpy(out.data() + 6, src.b.data(), 6);
+  store_be16(out.data() + 12, ethertype);
+}
+
+// ---------------------------------------------------------------- VlanTag
+
+std::optional<VlanTag> VlanTag::read(ByteSpan in) noexcept {
+  // `in` starts at the TPID.
+  if (in.size() < kSize + 2) return std::nullopt;  // TCI + inner ethertype
+  if (load_be16(in.data()) != static_cast<std::uint16_t>(EtherType::kVlan))
+    return std::nullopt;
+  VlanTag t;
+  const std::uint16_t tci = load_be16(in.data() + 2);
+  t.pcp = static_cast<std::uint8_t>(tci >> 13);
+  t.dei = (tci >> 12) & 1;
+  t.vid = tci & 0x0FFF;
+  t.inner_ethertype = load_be16(in.data() + 4);
+  return t;
+}
+
+void VlanTag::write(MutByteSpan out) const noexcept {
+  store_be16(out.data(), static_cast<std::uint16_t>(EtherType::kVlan));
+  const std::uint16_t tci = static_cast<std::uint16_t>(
+      (std::uint16_t{pcp} << 13) | (std::uint16_t{dei} << 12) | (vid & 0x0FFF));
+  store_be16(out.data() + 2, tci);
+  store_be16(out.data() + 4, inner_ethertype);
+}
+
+// -------------------------------------------------------------- Ipv4Header
+
+std::optional<Ipv4Header> Ipv4Header::read(ByteSpan in) noexcept {
+  if (in.size() < kMinSize) return std::nullopt;
+  const std::uint8_t ver_ihl = in[0];
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  Ipv4Header h;
+  h.ihl = ver_ihl & 0x0F;
+  if (h.ihl < 5 || in.size() < h.header_len()) return std::nullopt;
+  h.dscp = in[1] >> 2;
+  h.ecn = in[1] & 0x03;
+  h.total_length = load_be16(in.data() + 2);
+  h.identification = load_be16(in.data() + 4);
+  const std::uint16_t flags_frag = load_be16(in.data() + 6);
+  h.dont_fragment = (flags_frag >> 14) & 1;
+  h.more_fragments = (flags_frag >> 13) & 1;
+  h.fragment_offset = flags_frag & 0x1FFF;
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.checksum = load_be16(in.data() + 10);
+  h.src.v = load_be32(in.data() + 12);
+  h.dst.v = load_be32(in.data() + 16);
+  return h;
+}
+
+void Ipv4Header::write(MutByteSpan out) const noexcept {
+  out[0] = static_cast<std::uint8_t>((4 << 4) | (ihl & 0x0F));
+  out[1] = static_cast<std::uint8_t>((dscp << 2) | (ecn & 0x03));
+  store_be16(out.data() + 2, total_length);
+  store_be16(out.data() + 4, identification);
+  const std::uint16_t flags_frag = static_cast<std::uint16_t>(
+      (std::uint16_t{dont_fragment} << 14) |
+      (std::uint16_t{more_fragments} << 13) | (fragment_offset & 0x1FFF));
+  store_be16(out.data() + 6, flags_frag);
+  out[8] = ttl;
+  out[9] = protocol;
+  store_be16(out.data() + 10, checksum);
+  store_be32(out.data() + 12, src.v);
+  store_be32(out.data() + 16, dst.v);
+}
+
+void Ipv4Header::finalize_checksum() noexcept {
+  std::uint8_t raw[60];
+  checksum = 0;
+  write(MutByteSpan{raw, header_len()});
+  checksum = internet_checksum(ByteSpan{raw, header_len()});
+}
+
+// -------------------------------------------------------------- Ipv6Header
+
+std::optional<Ipv6Header> Ipv6Header::read(ByteSpan in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  if ((in[0] >> 4) != 6) return std::nullopt;
+  Ipv6Header h;
+  const std::uint32_t w0 = load_be32(in.data());
+  h.traffic_class = static_cast<std::uint8_t>((w0 >> 20) & 0xFF);
+  h.flow_label = w0 & 0xFFFFF;
+  h.payload_length = load_be16(in.data() + 4);
+  h.next_header = in[6];
+  h.hop_limit = in[7];
+  std::memcpy(h.src.b.data(), in.data() + 8, 16);
+  std::memcpy(h.dst.b.data(), in.data() + 24, 16);
+  return h;
+}
+
+void Ipv6Header::write(MutByteSpan out) const noexcept {
+  const std::uint32_t w0 = (std::uint32_t{6} << 28) |
+                           (std::uint32_t{traffic_class} << 20) |
+                           (flow_label & 0xFFFFF);
+  store_be32(out.data(), w0);
+  store_be16(out.data() + 4, payload_length);
+  out[6] = next_header;
+  out[7] = hop_limit;
+  std::memcpy(out.data() + 8, src.b.data(), 16);
+  std::memcpy(out.data() + 24, dst.b.data(), 16);
+}
+
+// -------------------------------------------------------------- ArpHeader
+
+std::optional<ArpHeader> ArpHeader::read(ByteSpan in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  // Require Ethernet (1) / IPv4 (0x0800) with standard lengths.
+  if (load_be16(in.data()) != 1 || load_be16(in.data() + 2) != 0x0800 ||
+      in[4] != 6 || in[5] != 4)
+    return std::nullopt;
+  ArpHeader h;
+  h.opcode = load_be16(in.data() + 6);
+  std::memcpy(h.sender_mac.b.data(), in.data() + 8, 6);
+  h.sender_ip.v = load_be32(in.data() + 14);
+  std::memcpy(h.target_mac.b.data(), in.data() + 18, 6);
+  h.target_ip.v = load_be32(in.data() + 24);
+  return h;
+}
+
+void ArpHeader::write(MutByteSpan out) const noexcept {
+  store_be16(out.data(), 1);           // htype: Ethernet
+  store_be16(out.data() + 2, 0x0800);  // ptype: IPv4
+  out[4] = 6;
+  out[5] = 4;
+  store_be16(out.data() + 6, opcode);
+  std::memcpy(out.data() + 8, sender_mac.b.data(), 6);
+  store_be32(out.data() + 14, sender_ip.v);
+  std::memcpy(out.data() + 18, target_mac.b.data(), 6);
+  store_be32(out.data() + 24, target_ip.v);
+}
+
+// --------------------------------------------------------------- TcpHeader
+
+std::optional<TcpHeader> TcpHeader::read(ByteSpan in) noexcept {
+  if (in.size() < kMinSize) return std::nullopt;
+  TcpHeader h;
+  h.src_port = load_be16(in.data());
+  h.dst_port = load_be16(in.data() + 2);
+  h.seq = load_be32(in.data() + 4);
+  h.ack = load_be32(in.data() + 8);
+  h.data_offset = in[12] >> 4;
+  if (h.data_offset < 5 || in.size() < h.header_len()) return std::nullopt;
+  h.flags = in[13];
+  h.window = load_be16(in.data() + 14);
+  h.checksum = load_be16(in.data() + 16);
+  h.urgent_ptr = load_be16(in.data() + 18);
+  return h;
+}
+
+void TcpHeader::write(MutByteSpan out) const noexcept {
+  store_be16(out.data(), src_port);
+  store_be16(out.data() + 2, dst_port);
+  store_be32(out.data() + 4, seq);
+  store_be32(out.data() + 8, ack);
+  out[12] = static_cast<std::uint8_t>(data_offset << 4);
+  out[13] = flags;
+  store_be16(out.data() + 14, window);
+  store_be16(out.data() + 16, checksum);
+  store_be16(out.data() + 18, urgent_ptr);
+}
+
+// --------------------------------------------------------------- UdpHeader
+
+std::optional<UdpHeader> UdpHeader::read(ByteSpan in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = load_be16(in.data());
+  h.dst_port = load_be16(in.data() + 2);
+  h.length = load_be16(in.data() + 4);
+  h.checksum = load_be16(in.data() + 6);
+  return h;
+}
+
+void UdpHeader::write(MutByteSpan out) const noexcept {
+  store_be16(out.data(), src_port);
+  store_be16(out.data() + 2, dst_port);
+  store_be16(out.data() + 4, length);
+  store_be16(out.data() + 6, checksum);
+}
+
+// -------------------------------------------------------------- IcmpHeader
+
+std::optional<IcmpHeader> IcmpHeader::read(ByteSpan in) noexcept {
+  if (in.size() < kSize) return std::nullopt;
+  IcmpHeader h;
+  h.type = in[0];
+  h.code = in[1];
+  h.checksum = load_be16(in.data() + 2);
+  h.identifier = load_be16(in.data() + 4);
+  h.sequence = load_be16(in.data() + 6);
+  return h;
+}
+
+void IcmpHeader::write(MutByteSpan out) const noexcept {
+  out[0] = type;
+  out[1] = code;
+  store_be16(out.data() + 2, checksum);
+  store_be16(out.data() + 4, identifier);
+  store_be16(out.data() + 6, sequence);
+}
+
+}  // namespace osnt::net

@@ -1,0 +1,240 @@
+#include "osnt/net/pcapng.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace osnt::net {
+namespace {
+
+constexpr std::uint32_t kShbType = 0x0A0D0D0A;
+constexpr std::uint32_t kIdbType = 0x00000001;
+constexpr std::uint32_t kEpbType = 0x00000006;
+constexpr std::uint32_t kByteOrderMagic = 0x1A2B3C4D;
+
+std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0xFF) << 24) | ((v & 0xFF00) << 8) | ((v >> 8) & 0xFF00) |
+         (v >> 24);
+}
+std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+void push_u16(Bytes& b, std::uint16_t v) {
+  const std::size_t n = b.size();
+  b.resize(n + 2);
+  store_le16(b.data() + n, v);
+}
+void push_u32(Bytes& b, std::uint32_t v) {
+  const std::size_t n = b.size();
+  b.resize(n + 4);
+  store_le32(b.data() + n, v);
+}
+void pad4(Bytes& b) {
+  while (b.size() % 4 != 0) b.push_back(0);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ writer
+
+PcapngWriter::PcapngWriter(const std::string& path,
+                           std::vector<std::string> interfaces,
+                           std::uint32_t snaplen) {
+  if (interfaces.empty())
+    throw std::invalid_argument("pcapng: need at least one interface");
+  f_ = std::fopen(path.c_str(), "wb");
+  if (!f_) throw std::runtime_error("pcapng: cannot create " + path);
+  n_ifaces_ = interfaces.size();
+
+  // Section Header Block.
+  Bytes shb;
+  push_u32(shb, kByteOrderMagic);
+  push_u16(shb, 1);  // major
+  push_u16(shb, 0);  // minor
+  push_u32(shb, 0xFFFFFFFF);  // section length unknown (-1)
+  push_u32(shb, 0xFFFFFFFF);
+  write_block(kShbType, ByteSpan{shb.data(), shb.size()});
+
+  // One Interface Description Block per port, nanosecond resolution.
+  for (const auto& name : interfaces) {
+    Bytes idb;
+    push_u16(idb, 1);  // LINKTYPE_ETHERNET
+    push_u16(idb, 0);  // reserved
+    push_u32(idb, snaplen);
+    // option if_name (2)
+    push_u16(idb, 2);
+    push_u16(idb, static_cast<std::uint16_t>(name.size()));
+    idb.insert(idb.end(), name.begin(), name.end());
+    pad4(idb);
+    // option if_tsresol (9) = 9 → 10^-9 s units
+    push_u16(idb, 9);
+    push_u16(idb, 1);
+    idb.push_back(9);
+    pad4(idb);
+    // opt_endofopt
+    push_u16(idb, 0);
+    push_u16(idb, 0);
+    write_block(kIdbType, ByteSpan{idb.data(), idb.size()});
+  }
+}
+
+PcapngWriter::~PcapngWriter() {
+  if (f_) std::fclose(f_);
+}
+
+void PcapngWriter::write_block(std::uint32_t type, ByteSpan body) {
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(12 + ((body.size() + 3) & ~std::size_t{3}));
+  std::uint8_t hdr[8];
+  store_le32(hdr, type);
+  store_le32(hdr + 4, total);
+  if (std::fwrite(hdr, 1, 8, f_) != 8)
+    throw std::runtime_error("pcapng: write failed");
+  if (!body.empty() && std::fwrite(body.data(), 1, body.size(), f_) != body.size())
+    throw std::runtime_error("pcapng: write failed");
+  static constexpr std::uint8_t zeros[3] = {0, 0, 0};
+  const std::size_t pad = (4 - body.size() % 4) % 4;
+  if (pad && std::fwrite(zeros, 1, pad, f_) != pad)
+    throw std::runtime_error("pcapng: write failed");
+  std::uint8_t tail[4];
+  store_le32(tail, total);
+  if (std::fwrite(tail, 1, 4, f_) != 4)
+    throw std::runtime_error("pcapng: write failed");
+}
+
+void PcapngWriter::write(std::uint32_t interface_id, std::uint64_t ts_nanos,
+                         ByteSpan frame, std::uint32_t orig_len) {
+  if (interface_id >= n_ifaces_)
+    throw std::invalid_argument("pcapng: unknown interface id");
+  Bytes epb;
+  push_u32(epb, interface_id);
+  push_u32(epb, static_cast<std::uint32_t>(ts_nanos >> 32));
+  push_u32(epb, static_cast<std::uint32_t>(ts_nanos));
+  push_u32(epb, static_cast<std::uint32_t>(frame.size()));
+  push_u32(epb, orig_len ? orig_len : static_cast<std::uint32_t>(frame.size()));
+  epb.insert(epb.end(), frame.begin(), frame.end());
+  pad4(epb);
+  write_block(kEpbType, ByteSpan{epb.data(), epb.size()});
+  ++count_;
+}
+
+// ------------------------------------------------------------------ reader
+
+PcapngReader::PcapngReader(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "rb");
+  if (!f_) throw std::runtime_error("pcapng: cannot open " + path);
+  // Peek type + length + byte-order magic to fix endianness, then rewind
+  // and consume the SHB through the normal path.
+  std::uint8_t head[12];
+  if (std::fread(head, 1, 12, f_) != 12 || load_le32(head) != kShbType) {
+    std::fclose(f_);
+    f_ = nullptr;
+    throw std::runtime_error("pcapng: missing section header in " + path);
+  }
+  const std::uint32_t magic = load_le32(head + 8);
+  if (magic == kByteOrderMagic) {
+    swapped_ = false;
+  } else if (bswap32(magic) == kByteOrderMagic) {
+    swapped_ = true;
+  } else {
+    std::fclose(f_);
+    f_ = nullptr;
+    throw std::runtime_error("pcapng: bad byte-order magic in " + path);
+  }
+  std::rewind(f_);
+  std::uint32_t type = 0;
+  if (!read_block(&type) || type != kShbType) {
+    std::fclose(f_);
+    f_ = nullptr;
+    throw std::runtime_error("pcapng: unreadable section header in " + path);
+  }
+}
+
+PcapngReader::~PcapngReader() {
+  if (f_) std::fclose(f_);
+}
+
+std::optional<Bytes> PcapngReader::read_block(std::uint32_t* type) {
+  std::uint8_t hdr[8];
+  if (std::fread(hdr, 1, 8, f_) != 8) return std::nullopt;  // EOF
+  std::uint32_t t = load_le32(hdr);
+  std::uint32_t total = load_le32(hdr + 4);
+  if (swapped_) {
+    t = bswap32(t);  // SHB's palindromic type swaps to itself
+    total = bswap32(total);
+  }
+  if (total < 12 || total > (1u << 28))
+    throw std::runtime_error("pcapng: implausible block length");
+  Bytes body(total - 12);
+  if (!body.empty() && std::fread(body.data(), 1, body.size(), f_) != body.size())
+    throw std::runtime_error("pcapng: truncated block");
+  std::uint8_t tail[4];
+  if (std::fread(tail, 1, 4, f_) != 4)
+    throw std::runtime_error("pcapng: truncated block trailer");
+  *type = t;
+  return body;
+}
+
+std::optional<PcapngRecord> PcapngReader::next() {
+  if (!f_) return std::nullopt;
+  const auto u32 = [&](const std::uint8_t* p) {
+    const std::uint32_t v = load_le32(p);
+    return swapped_ ? bswap32(v) : v;
+  };
+  const auto u16 = [&](const std::uint8_t* p) {
+    const std::uint16_t v = load_le16(p);
+    return swapped_ ? bswap16(v) : v;
+  };
+  while (true) {
+    std::uint32_t type = 0;
+    auto block = read_block(&type);
+    if (!block) return std::nullopt;
+    if (type == kIdbType) {
+      // Default resolution 10^-6; look for if_tsresol.
+      double to_nanos = 1000.0;
+      std::size_t off = 8;  // linktype+reserved+snaplen
+      while (off + 4 <= block->size()) {
+        const std::uint16_t code = u16(block->data() + off);
+        const std::uint16_t len = u16(block->data() + off + 2);
+        off += 4;
+        if (code == 0) break;
+        if (off + len > block->size()) break;
+        if (code == 9 && len == 1) {
+          const std::uint8_t r = (*block)[off];
+          const double units_per_sec =
+              (r & 0x80) ? std::pow(2.0, r & 0x7F) : std::pow(10.0, r);
+          to_nanos = 1e9 / units_per_sec;
+        }
+        off += (len + 3) & ~std::size_t{3};
+      }
+      tsresol_.push_back(to_nanos);
+      continue;
+    }
+    if (type != kEpbType) continue;  // SHB restart, stats, unknown: skip
+    if (block->size() < 20) throw std::runtime_error("pcapng: short EPB");
+    PcapngRecord rec;
+    rec.interface_id = u32(block->data());
+    const std::uint64_t ticks =
+        (std::uint64_t{u32(block->data() + 4)} << 32) | u32(block->data() + 8);
+    const double scale = rec.interface_id < tsresol_.size()
+                             ? tsresol_[rec.interface_id]
+                             : 1000.0;
+    rec.ts_nanos = static_cast<std::uint64_t>(static_cast<double>(ticks) * scale);
+    const std::uint32_t cap_len = u32(block->data() + 12);
+    rec.orig_len = u32(block->data() + 16);
+    if (20 + cap_len > block->size())
+      throw std::runtime_error("pcapng: EPB capture length overruns block");
+    rec.data.assign(block->begin() + 20, block->begin() + 20 + cap_len);
+    return rec;
+  }
+}
+
+std::vector<PcapngRecord> PcapngReader::read_all(const std::string& path) {
+  PcapngReader reader{path};
+  std::vector<PcapngRecord> out;
+  while (auto rec = reader.next()) out.push_back(std::move(*rec));
+  return out;
+}
+
+}  // namespace osnt::net

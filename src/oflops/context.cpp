@@ -1,0 +1,75 @@
+#include "osnt/oflops/context.hpp"
+
+#include "osnt/common/log.hpp"
+
+namespace osnt::oflops {
+
+OflopsContext::OflopsContext(sim::Engine& eng, core::OsntDevice& osnt,
+                             openflow::ControlChannel::Endpoint& ctrl,
+                             dut::SnmpAgent* snmp)
+    : eng_(&eng), osnt_(&osnt), ctrl_(&ctrl), snmp_(snmp) {}
+
+void OflopsContext::snmp_get(const std::string& oid) {
+  if (!snmp_) {
+    OSNT_WARN("oflops: snmp_get(%s) without an SNMP agent", oid.c_str());
+    return;
+  }
+  snmp_->get(oid, [this](std::string o, std::uint64_t v, Picos) {
+    if (active_) active_->on_snmp(*this, o, v);
+  });
+}
+
+void OflopsContext::timer_in(Picos dt, std::uint64_t timer_id) {
+  eng_->schedule_in(dt, [this, timer_id] {
+    if (active_) active_->on_timer(*this, timer_id);
+  });
+}
+
+Report OflopsContext::run(MeasurementModule& module, Picos timeout) {
+  active_ = &module;
+  // Route control-plane and data-plane events to the module.
+  ctrl_->set_handler([this](openflow::Decoded d) {
+    if (active_) active_->on_of_message(*this, d);
+  });
+  osnt_->capture().set_on_record([this](const mon::CaptureRecord& rec) {
+    if (active_) active_->on_capture(*this, rec);
+  });
+
+  module.start(*this);
+
+  const Picos deadline = eng_->now() + timeout;
+  while (!module.finished() && eng_->now() < deadline && !eng_->empty()) {
+    eng_->step();
+  }
+  if (!module.finished()) {
+    OSNT_WARN("oflops: module '%s' hit the %0.1fs timeout",
+              module.name().c_str(), to_seconds(timeout));
+  }
+
+  active_ = nullptr;
+  osnt_->capture().set_on_record(nullptr);
+  return module.report();
+}
+
+Testbed::Testbed(dut::OpenFlowSwitchConfig sw_cfg, core::DeviceConfig osnt_cfg,
+                 openflow::ChannelConfig chan_cfg)
+    : osnt(eng, osnt_cfg), chan(eng, chan_cfg), sw(eng, chan, sw_cfg),
+      snmp(eng), ctx(eng, osnt, chan.controller(), &snmp) {
+  const std::size_t n = std::min(osnt.num_ports(), sw.num_ports());
+  for (std::size_t i = 0; i < n; ++i) hw::connect(osnt.port(i), sw.port(i));
+  snmp.register_counter("ifInOctets.1", [this] {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < sw.num_ports(); ++i)
+      total += sw.port(i).rx().bytes_received();
+    return total;
+  });
+  snmp.register_counter("ifOutOctets.1", [this] {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < sw.num_ports(); ++i)
+      total += sw.port(i).tx().bytes_sent();
+    return total;
+  });
+  snmp.register_counter("ofFlowTableSize.0", [this] { return sw.table().size(); });
+}
+
+}  // namespace osnt::oflops

@@ -1,0 +1,98 @@
+#include "osnt/oflops/stats_poll.hpp"
+
+#include "osnt/gen/template_gen.hpp"
+#include "osnt/tstamp/embed.hpp"
+
+namespace osnt::oflops {
+
+using namespace osnt::openflow;
+
+void StatsPollModule::start(OflopsContext& ctx) {
+  // Fillers the stats scan will have to serialize over. They deliberately
+  // do not match the probe flow, which must keep missing the table.
+  for (std::size_t i = 0; i < cfg_.table_size; ++i) {
+    FlowMod fm;
+    fm.match = OfMatch::exact_5tuple(
+        (172u << 24) | 1, (172u << 24) | static_cast<std::uint32_t>(i + 2),
+        net::ipproto::kUdp, 2000, 2000);
+    fm.priority = 0x4000;
+    fm.actions = {ActionOutput{2}};
+    ctx.send(fm);
+  }
+  fill_barrier_ = ctx.send(BarrierRequest{});
+
+  gen::TxConfig txc;
+  txc.rate = gen::RateSpec::pps(cfg_.probe_pps);
+  auto& tx = ctx.osnt().configure_tx(0, txc);
+  gen::TemplateConfig tc;
+  tx.set_source(std::make_unique<gen::TemplateSource>(
+      tc, std::make_unique<gen::FixedSize>(128)));
+}
+
+void StatsPollModule::on_of_message(OflopsContext& ctx,
+                                    const openflow::Decoded& msg) {
+  if (const auto* pin = std::get_if<PacketIn>(&msg.msg)) {
+    const auto stamp = tstamp::extract_timestamp(
+        ByteSpan{pin->data.data(), pin->data.size()},
+        tstamp::kDefaultEmbedOffset);
+    if (!stamp) return;
+    const double us = (to_nanos(ctx.now()) - stamp->ts.to_nanos()) * 1e-3;
+    if (phase_ == Phase::kBaseline) {
+      baseline_pin_us_.add(us);
+      if (baseline_pin_us_.count() >= cfg_.probes_per_phase) {
+        phase_ = Phase::kPolling;
+        ctx.timer_in(0, kTimerPoll);
+      }
+    } else if (phase_ == Phase::kPolling) {
+      polling_pin_us_.add(us);
+      if (polling_pin_us_.count() >= cfg_.probes_per_phase) {
+        phase_ = Phase::kDone;
+        done_ = true;
+        ctx.osnt().tx(0).stop();
+      }
+    }
+    return;
+  }
+  if (std::holds_alternative<BarrierReply>(msg.msg)) {
+    if (phase_ == Phase::kFill && msg.xid == fill_barrier_)
+      ctx.timer_in(cfg_.fill_settle, kTimerStartProbe);
+    return;
+  }
+  if (const auto* rep = std::get_if<FlowStatsReply>(&msg.msg)) {
+    const auto it = stats_in_flight_.find(msg.xid);
+    if (it == stats_in_flight_.end()) return;
+    stats_rtt_ms_.add(to_seconds(ctx.now() - it->second) * 1e3);
+    stats_in_flight_.erase(it);
+    flows_reported_ += rep->flows.size();
+  }
+}
+
+void StatsPollModule::on_timer(OflopsContext& ctx, std::uint64_t timer_id) {
+  if (done_) return;
+  if (timer_id == kTimerStartProbe && phase_ == Phase::kFill) {
+    phase_ = Phase::kBaseline;
+    ctx.osnt().tx(0).start();
+    return;
+  }
+  if (timer_id == kTimerPoll && phase_ == Phase::kPolling) {
+    FlowStatsRequest req;
+    req.match = OfMatch::any();
+    const std::uint32_t xid = ctx.send(req);
+    stats_in_flight_[xid] = ctx.now();
+    ctx.timer_in(cfg_.poll_interval, kTimerPoll);
+  }
+}
+
+Report StatsPollModule::report() const {
+  Report r;
+  r.module = name();
+  r.add("table_size", static_cast<double>(cfg_.table_size), "rules");
+  r.add("stats_polls_answered", static_cast<double>(stats_rtt_ms_.count()));
+  r.add("flow_entries_reported", static_cast<double>(flows_reported_));
+  r.add_distribution("stats_rtt_ms", stats_rtt_ms_);
+  r.add_distribution("packet_in_baseline_us", baseline_pin_us_);
+  r.add_distribution("packet_in_while_polling_us", polling_pin_us_);
+  return r;
+}
+
+}  // namespace osnt::oflops

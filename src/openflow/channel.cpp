@@ -1,0 +1,53 @@
+#include "osnt/openflow/channel.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "osnt/common/log.hpp"
+
+namespace osnt::openflow {
+
+ControlChannel::ControlChannel(sim::Engine& eng, Config cfg)
+    : eng_(&eng), cfg_(cfg) {
+  a_.chan_ = this;
+  a_.peer_ = &b_;
+  b_.chan_ = this;
+  b_.peer_ = &a_;
+}
+
+std::uint32_t ControlChannel::Endpoint::send(const OfMessage& msg,
+                                             std::uint32_t xid) {
+  if (xid == 0) xid = next_xid_++;
+  chan_->transmit(*this, msg, xid);
+  return xid;
+}
+
+void ControlChannel::transmit(Endpoint& from, const OfMessage& msg,
+                              std::uint32_t xid) {
+  Bytes wire = encode(msg, xid);
+  from.bytes_ += wire.size();
+  ++from.sent_;
+
+  // Byte-stream semantics: serialization is FIFO per direction.
+  const Picos now = eng_->now();
+  const Picos start = std::max(now, from.tx_free_);
+  const Picos ser = static_cast<Picos>(static_cast<double>(wire.size()) * 8.0 *
+                                       1e6 / cfg_.mbps);  // bits / Mb/s → ps
+  from.tx_free_ = start + ser;
+  const Picos deliver = from.tx_free_ + cfg_.latency;
+
+  Endpoint* peer = from.peer_;
+  auto shared = std::make_shared<Bytes>(std::move(wire));
+  eng_->schedule_at(deliver, [peer, shared] {
+    auto decoded = decode(ByteSpan{shared->data(), shared->size()});
+    if (!decoded) {
+      OSNT_ERROR("control channel: undecodable message of %zu bytes",
+                 shared->size());
+      return;
+    }
+    if (peer->handler_) peer->handler_(std::move(*decoded));
+  });
+}
+
+}  // namespace osnt::openflow

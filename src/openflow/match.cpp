@@ -1,0 +1,178 @@
+#include "osnt/openflow/match.hpp"
+
+#include <algorithm>
+
+namespace osnt::openflow {
+namespace {
+
+/// Address mask for a prefix-wildcard field: `wild_bits` low bits wild.
+std::uint32_t care_mask(std::uint32_t wild_bits) noexcept {
+  if (wild_bits >= 32) return 0;
+  return ~((1u << wild_bits) - 1);
+}
+
+}  // namespace
+
+void OfMatch::set_nw_src_prefix(std::uint32_t addr,
+                                std::uint32_t prefix_len) noexcept {
+  nw_src = addr;
+  const std::uint32_t wild = 32 - std::min(prefix_len, 32u);
+  wildcards = (wildcards & ~wc::kNwSrcMask) | (wild << wc::kNwSrcShift);
+}
+
+void OfMatch::set_nw_dst_prefix(std::uint32_t addr,
+                                std::uint32_t prefix_len) noexcept {
+  nw_dst = addr;
+  const std::uint32_t wild = 32 - std::min(prefix_len, 32u);
+  wildcards = (wildcards & ~wc::kNwDstMask) | (wild << wc::kNwDstShift);
+}
+
+OfMatch OfMatch::from_packet(const net::ParsedPacket& p,
+                             std::uint16_t in_port) noexcept {
+  OfMatch m;
+  m.wildcards = 0;
+  m.in_port = in_port;
+  m.dl_src = p.eth.src;
+  m.dl_dst = p.eth.dst;
+  m.dl_vlan = p.vlan ? p.vlan->vid : 0xFFFF;
+  m.dl_vlan_pcp = p.vlan ? p.vlan->pcp : 0;
+  m.dl_type = p.effective_ethertype();
+  if (p.l3 == net::L3Kind::kIpv4) {
+    m.nw_tos = static_cast<std::uint8_t>(p.ipv4.dscp << 2);
+    m.nw_proto = p.ipv4.protocol;
+    m.nw_src = p.ipv4.src.v;
+    m.nw_dst = p.ipv4.dst.v;
+  } else if (p.l3 == net::L3Kind::kArp) {
+    m.nw_proto = static_cast<std::uint8_t>(p.arp.opcode);
+    m.nw_src = p.arp.sender_ip.v;
+    m.nw_dst = p.arp.target_ip.v;
+  }
+  switch (p.l4) {
+    case net::L4Kind::kTcp:
+      m.tp_src = p.tcp.src_port;
+      m.tp_dst = p.tcp.dst_port;
+      break;
+    case net::L4Kind::kUdp:
+      m.tp_src = p.udp.src_port;
+      m.tp_dst = p.udp.dst_port;
+      break;
+    case net::L4Kind::kIcmp:
+      m.tp_src = p.icmp.type;
+      m.tp_dst = p.icmp.code;
+      break;
+    case net::L4Kind::kNone:
+      break;
+  }
+  return m;
+}
+
+OfMatch OfMatch::exact_5tuple(std::uint32_t nw_src, std::uint32_t nw_dst,
+                              std::uint8_t nw_proto, std::uint16_t tp_src,
+                              std::uint16_t tp_dst) noexcept {
+  OfMatch m;
+  m.wildcards = wc::kAll & ~(wc::kDlType | wc::kNwProto | wc::kTpSrc |
+                             wc::kTpDst | wc::kNwSrcMask | wc::kNwDstMask);
+  m.dl_type = 0x0800;
+  m.nw_proto = nw_proto;
+  m.nw_src = nw_src;
+  m.nw_dst = nw_dst;
+  m.tp_src = tp_src;
+  m.tp_dst = tp_dst;
+  return m;
+}
+
+bool OfMatch::matches_packet(const OfMatch& c) const noexcept {
+  if (!(wildcards & wc::kInPort) && in_port != c.in_port) return false;
+  if (!(wildcards & wc::kDlSrc) && !(dl_src == c.dl_src)) return false;
+  if (!(wildcards & wc::kDlDst) && !(dl_dst == c.dl_dst)) return false;
+  if (!(wildcards & wc::kDlVlan) && dl_vlan != c.dl_vlan) return false;
+  if (!(wildcards & wc::kDlVlanPcp) && dl_vlan_pcp != c.dl_vlan_pcp)
+    return false;
+  if (!(wildcards & wc::kDlType) && dl_type != c.dl_type) return false;
+  if (!(wildcards & wc::kNwTos) && nw_tos != c.nw_tos) return false;
+  if (!(wildcards & wc::kNwProto) && nw_proto != c.nw_proto) return false;
+  {
+    const std::uint32_t mask = care_mask(nw_src_wild_bits());
+    if ((nw_src & mask) != (c.nw_src & mask)) return false;
+  }
+  {
+    const std::uint32_t mask = care_mask(nw_dst_wild_bits());
+    if ((nw_dst & mask) != (c.nw_dst & mask)) return false;
+  }
+  if (!(wildcards & wc::kTpSrc) && tp_src != c.tp_src) return false;
+  if (!(wildcards & wc::kTpDst) && tp_dst != c.tp_dst) return false;
+  return true;
+}
+
+bool OfMatch::covers(const OfMatch& o) const noexcept {
+  // Every field this match cares about must (a) also be cared about by
+  // `o` (o at least as specific) and (b) agree on the value.
+  const auto field_ok = [&](std::uint32_t bit, bool equal) {
+    if (wildcards & bit) return true;   // we don't care
+    if (o.wildcards & bit) return false;  // o is wilder than us
+    return equal;
+  };
+  if (!field_ok(wc::kInPort, in_port == o.in_port)) return false;
+  if (!field_ok(wc::kDlSrc, dl_src == o.dl_src)) return false;
+  if (!field_ok(wc::kDlDst, dl_dst == o.dl_dst)) return false;
+  if (!field_ok(wc::kDlVlan, dl_vlan == o.dl_vlan)) return false;
+  if (!field_ok(wc::kDlVlanPcp, dl_vlan_pcp == o.dl_vlan_pcp)) return false;
+  if (!field_ok(wc::kDlType, dl_type == o.dl_type)) return false;
+  if (!field_ok(wc::kNwTos, nw_tos == o.nw_tos)) return false;
+  if (!field_ok(wc::kNwProto, nw_proto == o.nw_proto)) return false;
+  if (!field_ok(wc::kTpSrc, tp_src == o.tp_src)) return false;
+  if (!field_ok(wc::kTpDst, tp_dst == o.tp_dst)) return false;
+  // Prefix fields: our prefix must be no longer, and agree on shared bits.
+  {
+    const std::uint32_t my_wild = nw_src_wild_bits();
+    if (my_wild < o.nw_src_wild_bits()) return false;
+    const std::uint32_t mask = care_mask(my_wild);
+    if ((nw_src & mask) != (o.nw_src & mask)) return false;
+  }
+  {
+    const std::uint32_t my_wild = nw_dst_wild_bits();
+    if (my_wild < o.nw_dst_wild_bits()) return false;
+    const std::uint32_t mask = care_mask(my_wild);
+    if ((nw_dst & mask) != (o.nw_dst & mask)) return false;
+  }
+  return true;
+}
+
+void OfMatch::write(MutByteSpan out) const noexcept {
+  store_be32(out.data(), wildcards);
+  store_be16(out.data() + 4, in_port);
+  std::memcpy(out.data() + 6, dl_src.b.data(), 6);
+  std::memcpy(out.data() + 12, dl_dst.b.data(), 6);
+  store_be16(out.data() + 18, dl_vlan);
+  out[20] = dl_vlan_pcp;
+  out[21] = 0;  // pad
+  store_be16(out.data() + 22, dl_type);
+  out[24] = nw_tos;
+  out[25] = nw_proto;
+  out[26] = out[27] = 0;  // pad
+  store_be32(out.data() + 28, nw_src);
+  store_be32(out.data() + 32, nw_dst);
+  store_be16(out.data() + 36, tp_src);
+  store_be16(out.data() + 38, tp_dst);
+}
+
+std::optional<OfMatch> OfMatch::read(ByteSpan in) noexcept {
+  if (in.size() < kWireSize) return std::nullopt;
+  OfMatch m;
+  m.wildcards = load_be32(in.data());
+  m.in_port = load_be16(in.data() + 4);
+  std::memcpy(m.dl_src.b.data(), in.data() + 6, 6);
+  std::memcpy(m.dl_dst.b.data(), in.data() + 12, 6);
+  m.dl_vlan = load_be16(in.data() + 18);
+  m.dl_vlan_pcp = in[20];
+  m.dl_type = load_be16(in.data() + 22);
+  m.nw_tos = in[24];
+  m.nw_proto = in[25];
+  m.nw_src = load_be32(in.data() + 28);
+  m.nw_dst = load_be32(in.data() + 32);
+  m.tp_src = load_be16(in.data() + 36);
+  m.tp_dst = load_be16(in.data() + 38);
+  return m;
+}
+
+}  // namespace osnt::openflow

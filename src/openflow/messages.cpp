@@ -1,0 +1,640 @@
+#include "osnt/openflow/messages.hpp"
+
+#include <cstring>
+
+namespace osnt::openflow {
+namespace {
+
+// ------------------------------------------------------------ byte writer
+
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    const std::size_t n = out_.size();
+    out_.resize(n + 2);
+    store_be16(out_.data() + n, v);
+  }
+  void u32(std::uint32_t v) {
+    const std::size_t n = out_.size();
+    out_.resize(n + 4);
+    store_be32(out_.data() + n, v);
+  }
+  void u64(std::uint64_t v) {
+    const std::size_t n = out_.size();
+    out_.resize(n + 8);
+    store_be64(out_.data() + n, v);
+  }
+  void pad(std::size_t n) { out_.resize(out_.size() + n, 0); }
+  void bytes(ByteSpan b) { out_.insert(out_.end(), b.begin(), b.end()); }
+  void match(const OfMatch& m) {
+    const std::size_t n = out_.size();
+    out_.resize(n + OfMatch::kWireSize);
+    m.write(MutByteSpan{out_.data() + n, OfMatch::kWireSize});
+  }
+
+ private:
+  Bytes& out_;
+};
+
+// -------------------------------------------------------------- reader
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan in) : in_(in) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return in_.size() - pos_;
+  }
+
+  std::uint8_t u8() { return take(1) ? in_[pos_ - 1] : 0; }
+  std::uint16_t u16() { return take(2) ? load_be16(&in_[pos_ - 2]) : 0; }
+  std::uint32_t u32() { return take(4) ? load_be32(&in_[pos_ - 4]) : 0; }
+  std::uint64_t u64() { return take(8) ? load_be64(&in_[pos_ - 8]) : 0; }
+  void skip(std::size_t n) { take(n); }
+  Bytes rest() {
+    Bytes b(in_.begin() + static_cast<std::ptrdiff_t>(pos_), in_.end());
+    pos_ = in_.size();
+    return b;
+  }
+  Bytes bytes(std::size_t n) {
+    if (!take(n)) return {};
+    return Bytes(in_.begin() + static_cast<std::ptrdiff_t>(pos_ - n),
+                 in_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  }
+  std::optional<OfMatch> match() {
+    if (!take(OfMatch::kWireSize)) return std::nullopt;
+    return OfMatch::read(in_.subspan(pos_ - OfMatch::kWireSize));
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (pos_ + n > in_.size()) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  ByteSpan in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// -------------------------------------------------------------- actions
+
+enum ActionType : std::uint16_t {
+  kActOutput = 0,
+  kActSetVlanVid = 1,
+  kActStripVlan = 3,
+  kActEnqueue = 11,
+};
+
+void write_actions(Writer& w, const std::vector<Action>& actions) {
+  for (const auto& a : actions) {
+    std::visit(
+        [&](const auto& act) {
+          using T = std::decay_t<decltype(act)>;
+          if constexpr (std::is_same_v<T, ActionOutput>) {
+            w.u16(kActOutput);
+            w.u16(8);
+            w.u16(act.port);
+            w.u16(act.max_len);
+          } else if constexpr (std::is_same_v<T, ActionSetVlanVid>) {
+            w.u16(kActSetVlanVid);
+            w.u16(8);
+            w.u16(act.vlan_vid);
+            w.pad(2);
+          } else if constexpr (std::is_same_v<T, ActionEnqueue>) {
+            w.u16(kActEnqueue);
+            w.u16(16);
+            w.u16(act.port);
+            w.pad(6);
+            w.u32(act.queue_id);
+          } else {
+            w.u16(kActStripVlan);
+            w.u16(8);
+            w.pad(4);
+          }
+        },
+        a);
+  }
+}
+
+bool read_actions(Reader& r, std::size_t bytes, std::vector<Action>& out) {
+  std::size_t consumed = 0;
+  while (consumed < bytes) {
+    const std::uint16_t type = r.u16();
+    const std::uint16_t len = r.u16();
+    if (!r.ok() || len < 8 || len % 8 != 0) return false;
+    switch (type) {
+      case kActOutput: {
+        ActionOutput a;
+        a.port = r.u16();
+        a.max_len = r.u16();
+        out.emplace_back(a);
+        r.skip(len - 8);
+        break;
+      }
+      case kActSetVlanVid: {
+        ActionSetVlanVid a;
+        a.vlan_vid = r.u16();
+        r.skip(2);
+        out.emplace_back(a);
+        r.skip(len - 8);
+        break;
+      }
+      case kActStripVlan:
+        r.skip(len - 4);
+        out.emplace_back(ActionStripVlan{});
+        break;
+      case kActEnqueue: {
+        if (len != 16) return false;
+        ActionEnqueue a;
+        a.port = r.u16();
+        r.skip(6);
+        a.queue_id = r.u32();
+        out.emplace_back(a);
+        break;
+      }
+      default:
+        r.skip(len - 4);  // unknown action: skip body
+        break;
+    }
+    if (!r.ok()) return false;
+    consumed += len;
+  }
+  return consumed == bytes;
+}
+
+std::size_t actions_wire_size(const std::vector<Action>& actions) noexcept {
+  std::size_t n = 0;
+  for (const auto& a : actions) n += action_wire_size(a);
+  return n;
+}
+
+constexpr std::uint16_t kStatsTypeFlow = 1;
+constexpr std::uint16_t kStatsTypeAggregate = 2;
+constexpr std::uint16_t kStatsTypePort = 4;
+
+}  // namespace
+
+std::size_t action_wire_size(const Action& a) noexcept {
+  return std::holds_alternative<ActionEnqueue>(a) ? 16 : 8;
+}
+
+MsgType message_type(const OfMessage& msg) noexcept {
+  return std::visit(
+      [](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) return MsgType::kHello;
+        else if constexpr (std::is_same_v<T, EchoRequest>) return MsgType::kEchoRequest;
+        else if constexpr (std::is_same_v<T, EchoReply>) return MsgType::kEchoReply;
+        else if constexpr (std::is_same_v<T, FeaturesRequest>) return MsgType::kFeaturesRequest;
+        else if constexpr (std::is_same_v<T, FeaturesReply>) return MsgType::kFeaturesReply;
+        else if constexpr (std::is_same_v<T, FlowMod>) return MsgType::kFlowMod;
+        else if constexpr (std::is_same_v<T, PacketIn>) return MsgType::kPacketIn;
+        else if constexpr (std::is_same_v<T, PacketOut>) return MsgType::kPacketOut;
+        else if constexpr (std::is_same_v<T, FlowRemoved>) return MsgType::kFlowRemoved;
+        else if constexpr (std::is_same_v<T, BarrierRequest>) return MsgType::kBarrierRequest;
+        else if constexpr (std::is_same_v<T, BarrierReply>) return MsgType::kBarrierReply;
+        else if constexpr (std::is_same_v<T, ErrorMsg>) return MsgType::kError;
+        else if constexpr (std::is_same_v<T, FlowStatsRequest>) return MsgType::kStatsRequest;
+        else if constexpr (std::is_same_v<T, PortStatsRequest>) return MsgType::kStatsRequest;
+        else if constexpr (std::is_same_v<T, AggregateStatsRequest>) return MsgType::kStatsRequest;
+        else if constexpr (std::is_same_v<T, QueueGetConfigRequest>) return MsgType::kQueueGetConfigRequest;
+        else if constexpr (std::is_same_v<T, QueueGetConfigReply>) return MsgType::kQueueGetConfigReply;
+        else return MsgType::kStatsReply;
+      },
+      msg);
+}
+
+Bytes encode(const OfMessage& msg, std::uint32_t xid) {
+  Bytes out;
+  Writer w{out};
+  // Header placeholder; length patched at the end.
+  w.u8(kOfVersion);
+  w.u8(static_cast<std::uint8_t>(message_type(msg)));
+  w.u16(0);
+  w.u32(xid);
+
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello> ||
+                      std::is_same_v<T, FeaturesRequest> ||
+                      std::is_same_v<T, BarrierRequest> ||
+                      std::is_same_v<T, BarrierReply>) {
+          // header only
+        } else if constexpr (std::is_same_v<T, EchoRequest> ||
+                             std::is_same_v<T, EchoReply>) {
+          w.bytes(ByteSpan{m.payload.data(), m.payload.size()});
+        } else if constexpr (std::is_same_v<T, FeaturesReply>) {
+          w.u64(m.datapath_id);
+          w.u32(m.n_buffers);
+          w.u8(m.n_tables);
+          w.pad(3);
+          w.u32(m.capabilities);
+          w.u32(m.actions);
+          // ofp_phy_port descriptions: 48 zeroed bytes each, port_no set.
+          for (std::uint16_t i = 0; i < m.n_ports; ++i) {
+            w.u16(static_cast<std::uint16_t>(i + 1));
+            w.pad(46);
+          }
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          w.match(m.match);
+          w.u64(m.cookie);
+          w.u16(static_cast<std::uint16_t>(m.command));
+          w.u16(m.idle_timeout);
+          w.u16(m.hard_timeout);
+          w.u16(m.priority);
+          w.u32(m.buffer_id);
+          w.u16(m.out_port);
+          w.u16(m.flags);
+          write_actions(w, m.actions);
+        } else if constexpr (std::is_same_v<T, PacketIn>) {
+          w.u32(m.buffer_id);
+          w.u16(m.total_len);
+          w.u16(m.in_port);
+          w.u8(static_cast<std::uint8_t>(m.reason));
+          w.pad(1);
+          w.bytes(ByteSpan{m.data.data(), m.data.size()});
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          w.u32(m.buffer_id);
+          w.u16(m.in_port);
+          w.u16(static_cast<std::uint16_t>(actions_wire_size(m.actions)));
+          write_actions(w, m.actions);
+          w.bytes(ByteSpan{m.data.data(), m.data.size()});
+        } else if constexpr (std::is_same_v<T, FlowRemoved>) {
+          w.match(m.match);
+          w.u64(m.cookie);
+          w.u16(m.priority);
+          w.u8(static_cast<std::uint8_t>(m.reason));
+          w.pad(1);
+          w.u32(m.duration_sec);
+          w.u32(m.duration_nsec);
+          w.u16(m.idle_timeout);
+          w.pad(2);
+          w.u64(m.packet_count);
+          w.u64(m.byte_count);
+        } else if constexpr (std::is_same_v<T, ErrorMsg>) {
+          w.u16(m.type);
+          w.u16(m.code);
+          w.bytes(ByteSpan{m.data.data(), m.data.size()});
+        } else if constexpr (std::is_same_v<T, FlowStatsRequest>) {
+          w.u16(kStatsTypeFlow);
+          w.u16(0);  // flags
+          w.match(m.match);
+          w.u8(m.table_id);
+          w.pad(1);
+          w.u16(m.out_port);
+        } else if constexpr (std::is_same_v<T, FlowStatsReply>) {
+          w.u16(kStatsTypeFlow);
+          w.u16(0);  // flags
+          for (const auto& f : m.flows) {
+            const std::size_t entry_len = 88 + actions_wire_size(f.actions);
+            w.u16(static_cast<std::uint16_t>(entry_len));
+            w.u8(f.table_id);
+            w.pad(1);
+            w.match(f.match);
+            w.u32(f.duration_sec);
+            w.u32(f.duration_nsec);
+            w.u16(f.priority);
+            w.u16(f.idle_timeout);
+            w.u16(f.hard_timeout);
+            w.pad(6);
+            w.u64(f.cookie);
+            w.u64(f.packet_count);
+            w.u64(f.byte_count);
+            write_actions(w, f.actions);
+          }
+        } else if constexpr (std::is_same_v<T, PortStatsRequest>) {
+          w.u16(kStatsTypePort);
+          w.u16(0);  // flags
+          w.u16(m.port_no);
+          w.pad(6);
+        } else if constexpr (std::is_same_v<T, PortStatsReply>) {
+          w.u16(kStatsTypePort);
+          w.u16(0);  // flags
+          for (const auto& ps : m.ports) {
+            w.u16(ps.port_no);
+            w.pad(6);
+            w.u64(ps.rx_packets);
+            w.u64(ps.tx_packets);
+            w.u64(ps.rx_bytes);
+            w.u64(ps.tx_bytes);
+            w.u64(ps.rx_dropped);
+            w.u64(ps.tx_dropped);
+            w.u64(ps.rx_errors);
+            w.u64(ps.tx_errors);
+            w.u64(ps.rx_frame_err);
+            w.u64(ps.rx_over_err);
+            w.u64(ps.rx_crc_err);
+            w.u64(ps.collisions);
+          }
+        } else if constexpr (std::is_same_v<T, AggregateStatsRequest>) {
+          w.u16(kStatsTypeAggregate);
+          w.u16(0);  // flags
+          w.match(m.match);
+          w.u8(m.table_id);
+          w.pad(1);
+          w.u16(m.out_port);
+        } else if constexpr (std::is_same_v<T, AggregateStatsReply>) {
+          w.u16(kStatsTypeAggregate);
+          w.u16(0);  // flags
+          w.u64(m.packet_count);
+          w.u64(m.byte_count);
+          w.u32(m.flow_count);
+          w.pad(4);
+        } else if constexpr (std::is_same_v<T, QueueGetConfigRequest>) {
+          w.u16(m.port);
+          w.pad(2);
+        } else if constexpr (std::is_same_v<T, QueueGetConfigReply>) {
+          w.u16(m.port);
+          w.pad(6);
+          for (const auto& q : m.queues) {
+            w.u32(q.queue_id);
+            if (q.min_rate_tenths == 0xFFFF) {
+              w.u16(8);  // ofp_packet_queue header only
+              w.pad(2);
+            } else {
+              w.u16(8 + 16);  // + one OFPQT_MIN_RATE property
+              w.pad(2);
+              w.u16(1);   // OFPQT_MIN_RATE
+              w.u16(16);  // property length
+              w.pad(4);
+              w.u16(q.min_rate_tenths);
+              w.pad(6);
+            }
+          }
+        }
+      },
+      msg);
+
+  store_be16(out.data() + 2, static_cast<std::uint16_t>(out.size()));
+  return out;
+}
+
+std::optional<Decoded> decode(ByteSpan in) {
+  if (in.size() < kHeaderSize) return std::nullopt;
+  if (in[0] != kOfVersion) return std::nullopt;
+  const auto type = static_cast<MsgType>(in[1]);
+  const std::uint16_t length = load_be16(in.data() + 2);
+  if (length < kHeaderSize || in.size() < length) return std::nullopt;
+  const std::uint32_t xid = load_be32(in.data() + 4);
+
+  Reader r{in.subspan(kHeaderSize, length - kHeaderSize)};
+  Decoded d;
+  d.xid = xid;
+  d.wire_size = length;
+
+  switch (type) {
+    case MsgType::kHello:
+      d.msg = Hello{};
+      break;
+    case MsgType::kEchoRequest:
+      d.msg = EchoRequest{r.rest()};
+      break;
+    case MsgType::kEchoReply:
+      d.msg = EchoReply{r.rest()};
+      break;
+    case MsgType::kFeaturesRequest:
+      d.msg = FeaturesRequest{};
+      break;
+    case MsgType::kFeaturesReply: {
+      FeaturesReply m;
+      m.datapath_id = r.u64();
+      m.n_buffers = r.u32();
+      m.n_tables = r.u8();
+      r.skip(3);
+      m.capabilities = r.u32();
+      m.actions = r.u32();
+      m.n_ports = static_cast<std::uint16_t>(r.remaining() / 48);
+      if (!r.ok()) return std::nullopt;
+      d.msg = m;
+      break;
+    }
+    case MsgType::kFlowMod: {
+      FlowMod m;
+      auto match = r.match();
+      if (!match) return std::nullopt;
+      m.match = *match;
+      m.cookie = r.u64();
+      m.command = static_cast<FlowModCommand>(r.u16());
+      m.idle_timeout = r.u16();
+      m.hard_timeout = r.u16();
+      m.priority = r.u16();
+      m.buffer_id = r.u32();
+      m.out_port = r.u16();
+      m.flags = r.u16();
+      if (!r.ok() || !read_actions(r, r.remaining(), m.actions))
+        return std::nullopt;
+      d.msg = std::move(m);
+      break;
+    }
+    case MsgType::kPacketIn: {
+      PacketIn m;
+      m.buffer_id = r.u32();
+      m.total_len = r.u16();
+      m.in_port = r.u16();
+      m.reason = static_cast<PacketInReason>(r.u8());
+      r.skip(1);
+      m.data = r.rest();
+      if (!r.ok()) return std::nullopt;
+      d.msg = std::move(m);
+      break;
+    }
+    case MsgType::kPacketOut: {
+      PacketOut m;
+      m.buffer_id = r.u32();
+      m.in_port = r.u16();
+      const std::uint16_t alen = r.u16();
+      if (!r.ok() || !read_actions(r, alen, m.actions)) return std::nullopt;
+      m.data = r.rest();
+      d.msg = std::move(m);
+      break;
+    }
+    case MsgType::kFlowRemoved: {
+      FlowRemoved m;
+      auto match = r.match();
+      if (!match) return std::nullopt;
+      m.match = *match;
+      m.cookie = r.u64();
+      m.priority = r.u16();
+      m.reason = static_cast<FlowRemovedReason>(r.u8());
+      r.skip(1);
+      m.duration_sec = r.u32();
+      m.duration_nsec = r.u32();
+      m.idle_timeout = r.u16();
+      r.skip(2);
+      m.packet_count = r.u64();
+      m.byte_count = r.u64();
+      if (!r.ok()) return std::nullopt;
+      d.msg = m;
+      break;
+    }
+    case MsgType::kBarrierRequest:
+      d.msg = BarrierRequest{};
+      break;
+    case MsgType::kBarrierReply:
+      d.msg = BarrierReply{};
+      break;
+    case MsgType::kError: {
+      ErrorMsg m;
+      m.type = r.u16();
+      m.code = r.u16();
+      m.data = r.rest();
+      if (!r.ok()) return std::nullopt;
+      d.msg = std::move(m);
+      break;
+    }
+    case MsgType::kStatsRequest: {
+      const std::uint16_t stype = r.u16();
+      r.skip(2);  // flags
+      if (stype == kStatsTypePort) {
+        PortStatsRequest m;
+        m.port_no = r.u16();
+        r.skip(6);
+        if (!r.ok()) return std::nullopt;
+        d.msg = m;
+        break;
+      }
+      if (stype == kStatsTypeAggregate) {
+        AggregateStatsRequest m;
+        auto match = r.match();
+        if (!match) return std::nullopt;
+        m.match = *match;
+        m.table_id = r.u8();
+        r.skip(1);
+        m.out_port = r.u16();
+        if (!r.ok()) return std::nullopt;
+        d.msg = m;
+        break;
+      }
+      if (stype != kStatsTypeFlow) return std::nullopt;
+      FlowStatsRequest m;
+      auto match = r.match();
+      if (!match) return std::nullopt;
+      m.match = *match;
+      m.table_id = r.u8();
+      r.skip(1);
+      m.out_port = r.u16();
+      if (!r.ok()) return std::nullopt;
+      d.msg = m;
+      break;
+    }
+    case MsgType::kStatsReply: {
+      const std::uint16_t stype = r.u16();
+      r.skip(2);  // flags
+      if (stype == kStatsTypePort) {
+        PortStatsReply m;
+        while (r.ok() && r.remaining() >= 104) {
+          PortStatsEntry ps;
+          ps.port_no = r.u16();
+          r.skip(6);
+          ps.rx_packets = r.u64();
+          ps.tx_packets = r.u64();
+          ps.rx_bytes = r.u64();
+          ps.tx_bytes = r.u64();
+          ps.rx_dropped = r.u64();
+          ps.tx_dropped = r.u64();
+          ps.rx_errors = r.u64();
+          ps.tx_errors = r.u64();
+          ps.rx_frame_err = r.u64();
+          ps.rx_over_err = r.u64();
+          ps.rx_crc_err = r.u64();
+          ps.collisions = r.u64();
+          m.ports.push_back(ps);
+        }
+        if (!r.ok()) return std::nullopt;
+        d.msg = std::move(m);
+        break;
+      }
+      if (stype == kStatsTypeAggregate) {
+        AggregateStatsReply m;
+        m.packet_count = r.u64();
+        m.byte_count = r.u64();
+        m.flow_count = r.u32();
+        r.skip(4);
+        if (!r.ok()) return std::nullopt;
+        d.msg = m;
+        break;
+      }
+      if (stype != kStatsTypeFlow) return std::nullopt;
+      FlowStatsReply m;
+      while (r.ok() && r.remaining() >= 88) {
+        FlowStatsEntry f;
+        const std::uint16_t entry_len = r.u16();
+        f.table_id = r.u8();
+        r.skip(1);
+        auto match = r.match();
+        if (!match) return std::nullopt;
+        f.match = *match;
+        f.duration_sec = r.u32();
+        f.duration_nsec = r.u32();
+        f.priority = r.u16();
+        f.idle_timeout = r.u16();
+        f.hard_timeout = r.u16();
+        r.skip(6);
+        f.cookie = r.u64();
+        f.packet_count = r.u64();
+        f.byte_count = r.u64();
+        if (entry_len < 88 ||
+            !read_actions(r, entry_len - 88, f.actions))
+          return std::nullopt;
+        m.flows.push_back(std::move(f));
+      }
+      if (!r.ok()) return std::nullopt;
+      d.msg = std::move(m);
+      break;
+    }
+    case MsgType::kQueueGetConfigRequest: {
+      QueueGetConfigRequest m;
+      m.port = r.u16();
+      r.skip(2);
+      if (!r.ok()) return std::nullopt;
+      d.msg = m;
+      break;
+    }
+    case MsgType::kQueueGetConfigReply: {
+      QueueGetConfigReply m;
+      m.port = r.u16();
+      r.skip(6);
+      while (r.ok() && r.remaining() >= 8) {
+        QueueDesc q;
+        q.queue_id = r.u32();
+        const std::uint16_t qlen = r.u16();
+        r.skip(2);
+        if (qlen < 8) return std::nullopt;
+        std::size_t props = qlen - 8;
+        while (props >= 8) {
+          const std::uint16_t ptype = r.u16();
+          const std::uint16_t plen = r.u16();
+          r.skip(4);
+          if (!r.ok() || plen < 8 || plen > props) return std::nullopt;
+          if (ptype == 1 && plen == 16) {
+            q.min_rate_tenths = r.u16();
+            r.skip(6);
+          } else {
+            r.skip(plen - 8);
+          }
+          props -= plen;
+        }
+        if (props != 0) return std::nullopt;
+        m.queues.push_back(q);
+      }
+      if (!r.ok()) return std::nullopt;
+      d.msg = std::move(m);
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return d;
+}
+
+}  // namespace osnt::openflow

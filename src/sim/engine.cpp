@@ -1,0 +1,59 @@
+#include "osnt/sim/engine.hpp"
+
+#include <algorithm>
+
+namespace osnt::sim {
+
+EventId Engine::schedule_at(Picos t, EventFn fn) {
+  Entry e;
+  e.time = std::max(t, now_);
+  e.seq = next_seq_++;
+  e.id = next_id_++;
+  e.fn = std::make_shared<EventFn>(std::move(fn));
+  const std::uint64_t id = e.id;
+  pending_.insert(id);
+  queue_.push(std::move(e));
+  return EventId{id};
+}
+
+bool Engine::cancel(EventId id) {
+  if (!id) return false;
+  // Lazy deletion: drop it from the pending set; skip it when popped.
+  if (pending_.erase(id.v) == 0) return false;  // already fired or cancelled
+  cancelled_.insert(id.v);
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(e.id) > 0) continue;
+    pending_.erase(e.id);
+    now_ = e.time;
+    ++processed_;
+    (*e.fn)();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(Picos t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled heads without advancing time.
+    if (cancelled_.erase(queue_.top().id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t) break;
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace osnt::sim

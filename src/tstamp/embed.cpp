@@ -1,0 +1,22 @@
+#include "osnt/tstamp/embed.hpp"
+
+namespace osnt::tstamp {
+
+bool embed_timestamp(MutByteSpan frame, std::size_t offset,
+                     EmbeddedStamp stamp) noexcept {
+  if (offset + kEmbedSize > frame.size()) return false;
+  store_be64(frame.data() + offset, stamp.ts.raw);
+  store_be32(frame.data() + offset + 8, stamp.seq);
+  return true;
+}
+
+std::optional<EmbeddedStamp> extract_timestamp(ByteSpan frame,
+                                               std::size_t offset) noexcept {
+  if (offset + kEmbedSize > frame.size()) return std::nullopt;
+  EmbeddedStamp s;
+  s.ts = Timestamp::from_raw(load_be64(frame.data() + offset));
+  s.seq = load_be32(frame.data() + offset + 8);
+  return s;
+}
+
+}  // namespace osnt::tstamp

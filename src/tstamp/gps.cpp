@@ -1,0 +1,22 @@
+#include "osnt/tstamp/gps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osnt::tstamp {
+
+std::optional<Picos> GpsModel::next_pps_after(Picos after) {
+  if (!cfg_.connected) return std::nullopt;
+  // PPS edges occur near every whole true second. Issue each second once.
+  std::int64_t sec = after / kPicosPerSec + 1;
+  sec = std::max(sec, last_second_issued_ + 1);
+  last_second_issued_ = sec;
+  Picos edge = sec * kPicosPerSec;
+  if (cfg_.jitter_rms > 0) {
+    edge += static_cast<Picos>(
+        rng_.normal(0.0, static_cast<double>(cfg_.jitter_rms)));
+  }
+  return std::max(edge, after + 1);
+}
+
+}  // namespace osnt::tstamp

@@ -1,0 +1,116 @@
+// Control channel: delivery, ordering, latency and bandwidth modelling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "osnt/openflow/channel.hpp"
+
+namespace osnt::openflow {
+namespace {
+
+TEST(Channel, DeliversDecodedMessage) {
+  sim::Engine eng;
+  ControlChannel chan{eng};
+  std::vector<Decoded> at_switch;
+  chan.switch_end().set_handler(
+      [&](Decoded d) { at_switch.push_back(std::move(d)); });
+  const std::uint32_t xid = chan.controller().send(Hello{});
+  eng.run();
+  ASSERT_EQ(at_switch.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<Hello>(at_switch[0].msg));
+  EXPECT_EQ(at_switch[0].xid, xid);
+}
+
+TEST(Channel, LatencyApplied) {
+  sim::Engine eng;
+  ChannelConfig cfg;
+  cfg.latency = 250 * kPicosPerMicro;
+  cfg.mbps = 1e9;  // effectively instant serialization
+  ControlChannel chan{eng, cfg};
+  Picos arrival = -1;
+  chan.switch_end().set_handler([&](Decoded) { arrival = eng.now(); });
+  chan.controller().send(Hello{});
+  eng.run();
+  EXPECT_NEAR(static_cast<double>(arrival), 250e6, 1e6);
+}
+
+TEST(Channel, BandwidthSerializesBursts) {
+  sim::Engine eng;
+  ChannelConfig cfg;
+  cfg.latency = 0;
+  cfg.mbps = 8.0;  // 1 byte per µs
+  ControlChannel chan{eng, cfg};
+  std::vector<Picos> arrivals;
+  chan.switch_end().set_handler([&](Decoded) { arrivals.push_back(eng.now()); });
+  chan.controller().send(Hello{});  // 8 bytes → 8 µs
+  chan.controller().send(Hello{});
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 8 * kPicosPerMicro);
+  EXPECT_EQ(arrivals[1], 16 * kPicosPerMicro);
+}
+
+TEST(Channel, InOrderDelivery) {
+  sim::Engine eng;
+  ControlChannel chan{eng};
+  std::vector<std::uint32_t> xids;
+  chan.switch_end().set_handler([&](Decoded d) { xids.push_back(d.xid); });
+  for (int i = 0; i < 10; ++i) chan.controller().send(BarrierRequest{});
+  eng.run();
+  ASSERT_EQ(xids.size(), 10u);
+  for (std::size_t i = 1; i < xids.size(); ++i) EXPECT_GT(xids[i], xids[i - 1]);
+}
+
+TEST(Channel, BothDirectionsIndependent) {
+  sim::Engine eng;
+  ControlChannel chan{eng};
+  int at_ctrl = 0, at_sw = 0;
+  chan.controller().set_handler([&](Decoded) { ++at_ctrl; });
+  chan.switch_end().set_handler([&](Decoded) { ++at_sw; });
+  chan.controller().send(Hello{});
+  chan.switch_end().send(Hello{});
+  eng.run();
+  EXPECT_EQ(at_ctrl, 1);
+  EXPECT_EQ(at_sw, 1);
+}
+
+TEST(Channel, ExplicitXidPreserved) {
+  sim::Engine eng;
+  ControlChannel chan{eng};
+  std::uint32_t got = 0;
+  chan.switch_end().set_handler([&](Decoded d) { got = d.xid; });
+  chan.controller().send(EchoRequest{}, 0xCAFEBABE);
+  eng.run();
+  EXPECT_EQ(got, 0xCAFEBABEu);
+}
+
+TEST(Channel, CountsBytes) {
+  sim::Engine eng;
+  ControlChannel chan{eng};
+  chan.switch_end().set_handler([](Decoded) {});
+  chan.controller().send(Hello{});
+  EXPECT_EQ(chan.controller().messages_sent(), 1u);
+  EXPECT_EQ(chan.controller().bytes_sent(), 8u);
+}
+
+TEST(Channel, FlowModSurvivesWireFormat) {
+  sim::Engine eng;
+  ControlChannel chan{eng};
+  FlowMod got;
+  chan.switch_end().set_handler([&](Decoded d) {
+    ASSERT_TRUE(std::holds_alternative<FlowMod>(d.msg));
+    got = std::get<FlowMod>(d.msg);
+  });
+  FlowMod fm;
+  fm.match = OfMatch::exact_5tuple(0x0A000001, 0x0A000002, 17, 1, 2);
+  fm.priority = 777;
+  fm.actions = {ActionOutput{3}};
+  chan.controller().send(fm);
+  eng.run();
+  EXPECT_EQ(got.priority, 777);
+  EXPECT_EQ(got.match, fm.match);
+  ASSERT_EQ(got.actions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace osnt::openflow

@@ -1,0 +1,83 @@
+// RFC 1071 checksum properties and known vectors.
+#include <gtest/gtest.h>
+
+#include "osnt/common/random.hpp"
+#include "osnt/net/checksum.hpp"
+
+namespace osnt::net {
+namespace {
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // The worked example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7
+  // sum to ddf2 (before inversion).
+  const std::uint8_t data[] = {0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7};
+  EXPECT_EQ(internet_checksum(ByteSpan{data, 8}),
+            static_cast<std::uint16_t>(~0xDDF2 & 0xFFFF));
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::uint8_t even[] = {0x12, 0x34, 0xAB, 0x00};
+  const std::uint8_t odd[] = {0x12, 0x34, 0xAB};
+  EXPECT_EQ(internet_checksum(ByteSpan{even, 4}),
+            internet_checksum(ByteSpan{odd, 3}));
+}
+
+TEST(InternetChecksum, VerificationYieldsZero) {
+  // Appending the computed checksum makes the whole sum validate to 0.
+  Rng rng{1};
+  for (int trial = 0; trial < 50; ++trial) {
+    Bytes data;
+    const auto n = 2 * rng.uniform_int(4, 50);
+    for (std::uint64_t i = 0; i < n; ++i)
+      data.push_back(static_cast<std::uint8_t>(rng()));
+    const std::uint16_t ck = internet_checksum(ByteSpan{data.data(), data.size()});
+    data.push_back(static_cast<std::uint8_t>(ck >> 8));
+    data.push_back(static_cast<std::uint8_t>(ck));
+    EXPECT_EQ(internet_checksum(ByteSpan{data.data(), data.size()}), 0u);
+  }
+}
+
+TEST(InternetChecksum, IncrementalAdditionsMatch) {
+  const std::uint8_t part1[] = {0xDE, 0xAD};
+  const std::uint8_t part2[] = {0xBE, 0xEF};
+  InternetChecksum inc;
+  inc.add(ByteSpan{part1, 2});
+  inc.add(ByteSpan{part2, 2});
+  const std::uint8_t all[] = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(inc.fold(), internet_checksum(ByteSpan{all, 4}));
+}
+
+TEST(L4Checksum, PseudoHeaderAffectsResult) {
+  const std::uint8_t seg[] = {0x00, 0x35, 0x00, 0x35, 0x00, 0x08, 0x00, 0x00};
+  const auto a = l4_checksum_v4(Ipv4Addr::of(1, 1, 1, 1),
+                                Ipv4Addr::of(2, 2, 2, 2), 17, ByteSpan{seg, 8});
+  const auto b = l4_checksum_v4(Ipv4Addr::of(1, 1, 1, 2),
+                                Ipv4Addr::of(2, 2, 2, 2), 17, ByteSpan{seg, 8});
+  EXPECT_NE(a, b);
+}
+
+TEST(L4Checksum, V6DiffersFromV4) {
+  // Note: addresses are chosen so the ones-complement sums genuinely
+  // differ (v6 ::1/::2 would alias v4 0.0.0.1/0.0.0.2 bit-for-bit).
+  const std::uint8_t seg[] = {0x00, 0x35, 0x00, 0x35, 0x00, 0x08, 0x00, 0x00};
+  Ipv6Addr s6, d6;
+  s6.b[0] = 0x20;
+  s6.b[15] = 1;
+  d6.b[0] = 0xFE;
+  d6.b[15] = 2;
+  const auto v6 = l4_checksum_v6(s6, d6, 17, ByteSpan{seg, 8});
+  const auto v4 = l4_checksum_v4(Ipv4Addr{1}, Ipv4Addr{2}, 17, ByteSpan{seg, 8});
+  EXPECT_NE(v6, v4);
+}
+
+TEST(InternetChecksum, AddU32MatchesBytes) {
+  InternetChecksum a;
+  a.add_u32(0x0A000001);
+  const std::uint8_t bytes[] = {0x0A, 0x00, 0x00, 0x01};
+  InternetChecksum b;
+  b.add(ByteSpan{bytes, 4});
+  EXPECT_EQ(a.fold(), b.fold());
+}
+
+}  // namespace
+}  // namespace osnt::net

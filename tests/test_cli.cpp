@@ -1,0 +1,114 @@
+// CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "osnt/common/cli.hpp"
+
+namespace osnt {
+namespace {
+
+TEST(Cli, ParsesAllTypes) {
+  std::string s = "default";
+  double d = 1.5;
+  std::int64_t i = 7;
+  bool b = false;
+  CliParser cli{"test"};
+  cli.add_flag("str", &s, "a string");
+  cli.add_flag("num", &d, "a double");
+  cli.add_flag("count", &i, "an int");
+  cli.add_flag("verbose", &b, "a bool");
+  const char* argv[] = {"prog", "--str", "hello", "--num=2.25",
+                        "--count", "42", "--verbose"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(s, "hello");
+  EXPECT_DOUBLE_EQ(d, 2.25);
+  EXPECT_EQ(i, 42);
+  EXPECT_TRUE(b);
+}
+
+TEST(Cli, DefaultsSurviveWhenAbsent) {
+  double d = 3.0;
+  CliParser cli{"test"};
+  cli.add_flag("num", &d, "a double");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(d, 3.0);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli{"test"};
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+  EXPECT_FALSE(cli.help_requested());
+}
+
+TEST(Cli, MissingValueFails) {
+  double d = 0;
+  CliParser cli{"test"};
+  cli.add_flag("num", &d, "a double");
+  const char* argv[] = {"prog", "--num"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, BadNumberFails) {
+  double d = 0;
+  std::int64_t i = 0;
+  CliParser cli{"test"};
+  cli.add_flag("num", &d, "a double");
+  cli.add_flag("count", &i, "an int");
+  const char* bad_d[] = {"prog", "--num", "abc"};
+  EXPECT_FALSE(cli.parse(3, bad_d));
+  CliParser cli2{"test"};
+  cli2.add_flag("count", &i, "an int");
+  const char* bad_i[] = {"prog", "--count", "12x"};
+  EXPECT_FALSE(cli2.parse(3, bad_i));
+}
+
+TEST(Cli, BoolValueForms) {
+  bool b = false;
+  CliParser cli{"test"};
+  cli.add_flag("flag", &b, "a bool");
+  const char* on[] = {"prog", "--flag=yes"};
+  ASSERT_TRUE(cli.parse(2, on));
+  EXPECT_TRUE(b);
+  CliParser cli2{"test"};
+  cli2.add_flag("flag", &b, "a bool");
+  const char* off[] = {"prog", "--flag=0"};
+  ASSERT_TRUE(cli2.parse(2, off));
+  EXPECT_FALSE(b);
+  CliParser cli3{"test"};
+  cli3.add_flag("flag", &b, "a bool");
+  const char* junk[] = {"prog", "--flag=maybe"};
+  EXPECT_FALSE(cli3.parse(2, junk));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli{"test"};
+  double d = 0;
+  cli.add_flag("num", &d, "a double");
+  const char* argv[] = {"prog", "input.pcap", "--num", "1", "out.pcap"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.pcap");
+  EXPECT_EQ(cli.positional()[1], "out.pcap");
+}
+
+TEST(Cli, HelpShortCircuits) {
+  CliParser cli{"test tool"};
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.help_requested());
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  double d = 2.5;
+  CliParser cli{"my tool"};
+  cli.add_flag("rate", &d, "the rate");
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("my tool"), std::string::npos);
+  EXPECT_NE(u.find("--rate"), std::string::npos);
+  EXPECT_NE(u.find("2.5"), std::string::npos);
+  EXPECT_NE(u.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osnt

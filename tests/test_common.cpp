@@ -1,0 +1,251 @@
+// Unit tests for the common substrate: CRC, hashes, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "osnt/common/crc.hpp"
+#include "osnt/common/hash.hpp"
+#include "osnt/common/random.hpp"
+#include "osnt/common/stats.hpp"
+#include "osnt/common/time.hpp"
+#include "osnt/common/types.hpp"
+
+namespace osnt {
+namespace {
+
+// ------------------------------------------------------------- byte order
+
+TEST(ByteOrder, Be16RoundTrip) {
+  std::uint8_t buf[2];
+  store_be16(buf, 0xABCD);
+  EXPECT_EQ(buf[0], 0xAB);
+  EXPECT_EQ(buf[1], 0xCD);
+  EXPECT_EQ(load_be16(buf), 0xABCD);
+}
+
+TEST(ByteOrder, Be32RoundTrip) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0xDEADBEEF);
+  EXPECT_EQ(buf[0], 0xDE);
+  EXPECT_EQ(load_be32(buf), 0xDEADBEEFu);
+}
+
+TEST(ByteOrder, Be64RoundTrip) {
+  std::uint8_t buf[8];
+  store_be64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xEF);
+  EXPECT_EQ(load_be64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(ByteOrder, Le32RoundTrip) {
+  std::uint8_t buf[4];
+  store_le32(buf, 0xA1B2C3D4);
+  EXPECT_EQ(buf[0], 0xD4);
+  EXPECT_EQ(load_le32(buf), 0xA1B2C3D4u);
+}
+
+// -------------------------------------------------------------------- CRC
+
+TEST(Crc32, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (the classic check value).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(ByteSpan{reinterpret_cast<const std::uint8_t*>(s), 9}),
+            0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32({}), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  Crc32 inc;
+  inc.update(ByteSpan{data.data(), 40});
+  inc.update(ByteSpan{data.data() + 40, 60});
+  EXPECT_EQ(inc.value(), crc32(ByteSpan{data.data(), data.size()}));
+}
+
+TEST(Crc32, SensitiveToSingleBit) {
+  Bytes a(64, 0);
+  Bytes b = a;
+  b[31] ^= 0x01;
+  EXPECT_NE(crc32(ByteSpan{a.data(), a.size()}),
+            crc32(ByteSpan{b.data(), b.size()}));
+}
+
+// ------------------------------------------------------------------ hash
+
+TEST(Hash, Fnv1aKnownVector) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(fnv1a64({}), 0xCBF29CE484222325ull);
+}
+
+TEST(Hash, JenkinsDistinguishesPermutations) {
+  const std::uint8_t a[] = {1, 2, 3};
+  const std::uint8_t b[] = {3, 2, 1};
+  EXPECT_NE(jenkins_oaat(ByteSpan{a, 3}), jenkins_oaat(ByteSpan{b, 3}));
+}
+
+TEST(Hash, Mix64NoFixedPointAtSmallInputs) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);  // injective on this range
+}
+
+// ------------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng r{9};
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r{5};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{11};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{13};
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ParetoBounded) {
+  Rng r{17};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.pareto(1.2, 64.0, 1518.0);
+    EXPECT_GE(v, 64.0 - 1e-9);
+    EXPECT_LE(v, 1518.0 + 1e-9);
+  }
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng r{19};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+// ------------------------------------------------------------- statistics
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.1380899, 1e-6);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // reverse order on purpose
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+}
+
+TEST(SampleSet, QuantileOnEmpty) {
+  SampleSet s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(SampleSet, MeanTracksRunningStats) {
+  SampleSet s;
+  Rng r{3};
+  for (int i = 0; i < 1000; ++i) s.add(r.uniform(0, 10));
+  EXPECT_GT(s.mean(), 4.5);
+  EXPECT_LT(s.mean(), 5.5);
+}
+
+TEST(Histogram, BinningAndQuantile) {
+  Histogram h{0.0, 100.0, 10};
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bin(b), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 55.0, 10.0);
+}
+
+TEST(Histogram, OutOfRangeCounted) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-1.0);
+  h.add(11.0);
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, AsciiRenders) {
+  Histogram h{0.0, 10.0, 2};
+  h.add(1.0);
+  h.add(6.0);
+  h.add(7.0);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+// ------------------------------------------------------------------ time
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(from_nanos(1.0), kPicosPerNano);
+  EXPECT_EQ(from_micros(1.0), kPicosPerMicro);
+  EXPECT_EQ(from_seconds(1.0), kPicosPerSec);
+  EXPECT_DOUBLE_EQ(to_seconds(kPicosPerSec), 1.0);
+  EXPECT_DOUBLE_EQ(to_nanos(kPicosPerMicro), 1000.0);
+}
+
+}  // namespace
+}  // namespace osnt

@@ -1,0 +1,137 @@
+// Determinism: the whole simulation is seeded and single-threaded, so an
+// identical scenario must reproduce bit-identical results — the property
+// that makes regression comparisons and distributed debugging possible.
+// Plus: fragmented workloads through the full device path.
+#include <gtest/gtest.h>
+
+#include "osnt/core/device.hpp"
+#include "osnt/core/measure.hpp"
+#include "osnt/dut/legacy_switch.hpp"
+#include "osnt/net/builder.hpp"
+#include "osnt/gen/replay.hpp"
+#include "osnt/net/fragment.hpp"
+#include "osnt/net/pcap.hpp"
+#include "osnt/oflops/context.hpp"
+#include "osnt/oflops/flowmod_latency.hpp"
+
+namespace osnt {
+namespace {
+
+core::RunResult run_scenario() {
+  sim::Engine eng;
+  core::OsntDevice osnt{eng};
+  dut::LegacySwitch sw{eng};
+  hw::connect(osnt.port(0), sw.port(0));
+  hw::connect(osnt.port(1), sw.port(1));
+  net::PacketBuilder b;
+  (void)osnt.port(1).tx().transmit(
+      b.eth(net::MacAddr::from_index(2), net::MacAddr::from_index(1))
+          .ipv4(net::Ipv4Addr::of(10, 0, 1, 1), net::Ipv4Addr::of(10, 0, 0, 1),
+                net::ipproto::kUdp)
+          .udp(5001, 1024)
+          .build());
+  eng.run();
+  core::TrafficSpec spec;
+  spec.rate = gen::RateSpec::gbps(3.0);
+  spec.frame_size = 512;
+  spec.arrivals = core::TrafficSpec::Arrivals::kPoisson;  // uses the RNG
+  spec.seed = 99;
+  return core::run_capture_test(eng, osnt, 0, 1, spec, 2 * kPicosPerMilli);
+}
+
+TEST(Determinism, IdenticalScenariosBitIdentical) {
+  const auto a = run_scenario();
+  const auto b = run_scenario();
+  EXPECT_EQ(a.tx_frames, b.tx_frames);
+  EXPECT_EQ(a.rx_frames, b.rx_frames);
+  EXPECT_EQ(a.captured, b.captured);
+  ASSERT_EQ(a.latency_ns.count(), b.latency_ns.count());
+  // Sample-for-sample equality, not just summary statistics.
+  EXPECT_EQ(a.latency_ns.samples(), b.latency_ns.samples());
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  sim::Engine eng;
+  core::OsntDevice osnt{eng};
+  hw::connect(osnt.port(0), osnt.port(1));
+  core::TrafficSpec spec;
+  spec.rate = gen::RateSpec::gbps(3.0);
+  spec.arrivals = core::TrafficSpec::Arrivals::kPoisson;
+  spec.seed = 1;
+  const auto a = core::run_capture_test(eng, osnt, 0, 1, spec, kPicosPerMilli);
+  sim::Engine eng2;
+  core::OsntDevice osnt2{eng2};
+  hw::connect(osnt2.port(0), osnt2.port(1));
+  spec.seed = 2;
+  const auto b =
+      core::run_capture_test(eng2, osnt2, 0, 1, spec, kPicosPerMilli);
+  // Different Poisson draws → different frame counts (with high odds).
+  EXPECT_NE(a.latency_ns.samples(), b.latency_ns.samples());
+}
+
+TEST(Determinism, OflopsModuleReproduces) {
+  auto run_once = [] {
+    dut::OpenFlowSwitchConfig sw_cfg;
+    sw_cfg.commit_base = kPicosPerMilli;
+    oflops::Testbed tb{sw_cfg};
+    oflops::FlowModLatencyConfig cfg;
+    cfg.rounds = 4;
+    cfg.table_size = 8;
+    oflops::FlowModLatencyModule mod{cfg};
+    const auto rep = tb.ctx.run(mod, 120 * kPicosPerSec);
+    for (const auto& [name, d] : rep.distributions)
+      if (name == "data_plane_ms") return d.samples();
+    return std::vector<double>{};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(FragmentedWorkload, SurvivesDeviceAndReassembles) {
+  // Generator port 0 emits jumbos pre-fragmented to MTU 1500; the monitor
+  // captures the fragments; host-side reassembly recovers every datagram.
+  sim::Engine eng;
+  core::OsntDevice dev{eng};
+  hw::connect(dev.port(0), dev.port(1));
+
+  std::vector<net::PcapRecord> recs;
+  for (int i = 0; i < 20; ++i) {
+    net::PacketBuilder b;
+    net::Packet p =
+        b.eth(net::MacAddr::from_index(1), net::MacAddr::from_index(2))
+            .ipv4(net::Ipv4Addr::of(10, 0, 0, 1), net::Ipv4Addr::of(10, 0, 1, 1),
+                  net::ipproto::kUdp)
+            .udp(1024, 5001)
+            .payload_random(4000, static_cast<std::uint64_t>(i))
+            .build();
+    store_be16(p.data.data() + net::EthHeader::kSize + 4,
+               static_cast<std::uint16_t>(1000 + i));  // unique IP id
+    net::PcapRecord rec;
+    rec.ts_nanos = static_cast<std::uint64_t>(i) * 20'000;
+    rec.orig_len = static_cast<std::uint32_t>(p.size());
+    rec.data = std::move(p.data);
+    recs.push_back(std::move(rec));
+  }
+
+  gen::TxConfig txc;
+  txc.embed_timestamp = false;  // don't clobber fragment payloads
+  auto& tx = dev.configure_tx(0, txc);
+  tx.set_source(std::make_unique<gen::FragmentingSource>(
+      std::make_unique<gen::PcapReplaySource>(std::move(recs)), 1500));
+  tx.start();
+  eng.run();
+
+  // 20 datagrams × 3 fragments (4028 B datagram at 1480 B payload/frag).
+  EXPECT_EQ(dev.rx(1).seen(), 60u);
+  net::Ipv4Reassembler r;
+  int whole = 0;
+  for (const auto& rec : dev.capture().records()) {
+    net::Packet f;
+    f.data = rec.data;
+    if (r.add(f, 0)) ++whole;
+  }
+  EXPECT_EQ(whole, 20);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace osnt

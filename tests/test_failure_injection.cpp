@@ -1,0 +1,130 @@
+// Failure injection: wire bit errors, FCS drops at the RX MAC, CRC-error
+// accounting up through switch port stats, GPS holdover behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "osnt/core/device.hpp"
+#include "osnt/core/measure.hpp"
+#include "osnt/hw/port.hpp"
+#include "osnt/net/builder.hpp"
+#include "osnt/tstamp/clock.hpp"
+
+namespace osnt {
+namespace {
+
+net::Packet frame(std::size_t size = 512) {
+  net::PacketBuilder b;
+  return b.eth(net::MacAddr::from_index(1), net::MacAddr::from_index(2))
+      .ipv4(net::Ipv4Addr::of(10, 0, 0, 1), net::Ipv4Addr::of(10, 0, 1, 1),
+            net::ipproto::kUdp)
+      .udp(1024, 5001)
+      .pad_to_frame(size)
+      .build();
+}
+
+TEST(BitErrors, CleanLinkDeliversEverything) {
+  sim::Engine eng;
+  hw::EthPort a{eng}, b{eng};
+  hw::connect(a, b);
+  for (int i = 0; i < 100; ++i) (void)a.tx().transmit(frame());
+  eng.run();
+  EXPECT_EQ(b.rx().frames_received(), 100u);
+  EXPECT_EQ(b.rx().crc_errors(), 0u);
+  EXPECT_EQ(a.out_link().frames_corrupted(), 0u);
+}
+
+TEST(BitErrors, BerCorruptsExpectedFraction) {
+  sim::Engine eng;
+  hw::EthPort a{eng}, b{eng};
+  hw::connect(a, b);
+  // 512 B frame = 4256 line bits; BER 1e-4 → P(hit) ≈ 1 - e^-0.426 ≈ 0.347.
+  a.out_link().set_bit_error_rate(1e-4);
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) (void)a.tx().transmit(frame());
+  eng.run();
+  const double hit_frac =
+      static_cast<double>(a.out_link().frames_corrupted()) / n;
+  EXPECT_NEAR(hit_frac, 0.347, 0.03);
+  EXPECT_EQ(b.rx().crc_errors(), a.out_link().frames_corrupted());
+  EXPECT_EQ(b.rx().frames_received() + b.rx().crc_errors(),
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(BitErrors, CorruptedFramesNeverReachTheMonitor) {
+  sim::Engine eng;
+  core::OsntDevice osnt{eng};
+  hw::connect(osnt.port(0), osnt.port(1));
+  osnt.port(0).out_link().set_bit_error_rate(1e-5);
+  core::TrafficSpec spec;
+  spec.rate = gen::RateSpec::gbps(2.0);
+  spec.frame_size = 1518;
+  const auto r = core::run_capture_test(eng, osnt, 0, 1, spec, 4 * kPicosPerMilli);
+  const auto corrupted = osnt.port(0).out_link().frames_corrupted();
+  EXPECT_GT(corrupted, 0u);
+  // Lost = exactly the corrupted frames (the MAC dropped them pre-pipeline).
+  EXPECT_EQ(r.tx_frames - r.rx_frames, corrupted);
+  EXPECT_EQ(osnt.port(1).rx().crc_errors(), corrupted);
+}
+
+TEST(BitErrors, ZeroBerAfterNonZeroStopsCorruption) {
+  sim::Engine eng;
+  hw::EthPort a{eng}, b{eng};
+  hw::connect(a, b);
+  a.out_link().set_bit_error_rate(1.0);  // corrupt everything
+  (void)a.tx().transmit(frame());
+  eng.run();
+  EXPECT_EQ(a.out_link().frames_corrupted(), 1u);
+  a.out_link().set_bit_error_rate(0.0);
+  (void)a.tx().transmit(frame());
+  eng.run();
+  EXPECT_EQ(a.out_link().frames_corrupted(), 1u);
+  EXPECT_EQ(b.rx().frames_received(), 1u);
+}
+
+// ------------------------------------------------------------- holdover
+
+TEST(Holdover, UnplugDriftsReplugRecovers) {
+  tstamp::GpsConfig gcfg;
+  gcfg.jitter_rms = 0;
+  tstamp::GpsModel gps{gcfg};
+  tstamp::ClockConfig cfg;
+  cfg.osc.ppm_offset = 10.0;
+  tstamp::DisciplinedClock clk{gps, cfg};
+
+  // Converge for 10 s.
+  (void)clk.now(10 * kPicosPerSec);
+  EXPECT_LT(std::abs(clk.error_nanos(10 * kPicosPerSec)), 200.0);
+  EXPECT_FALSE(clk.in_holdover());
+
+  // Unplug the antenna: the clock coasts on its trimmed frequency.
+  gps.set_connected(false);
+  (void)clk.now(11 * kPicosPerSec);
+  EXPECT_TRUE(clk.in_holdover());
+  const double err20 = clk.error_nanos(20 * kPicosPerSec);
+  // Far better than the raw 10 ppm (which would be 100 µs over 10 s),
+  // because the servo's frequency estimate survives the outage.
+  EXPECT_LT(std::abs(err20), 10'000.0);
+
+  // Replug: discipline resumes within a couple of seconds.
+  gps.set_connected(true);
+  (void)clk.now(25 * kPicosPerSec);
+  EXPECT_FALSE(clk.in_holdover());
+  double err_after = std::abs(clk.error_nanos(30 * kPicosPerSec));
+  EXPECT_LT(err_after, 500.0);
+}
+
+TEST(Holdover, NeverConnectedStaysFreeRunning) {
+  tstamp::GpsConfig gcfg;
+  gcfg.connected = false;
+  tstamp::GpsModel gps{gcfg};
+  tstamp::ClockConfig cfg;
+  cfg.osc.ppm_offset = 10.0;
+  tstamp::DisciplinedClock clk{gps, cfg};
+  EXPECT_TRUE(clk.in_holdover());
+  // 10 ppm × 10 s = 100 µs, uncorrected.
+  EXPECT_NEAR(clk.error_nanos(10 * kPicosPerSec), 100'000.0, 1'000.0);
+}
+
+}  // namespace
+}  // namespace osnt

@@ -1,0 +1,107 @@
+// 5-tuple extraction and flow-hash behaviour.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "osnt/net/builder.hpp"
+#include "osnt/net/flow.hpp"
+
+namespace osnt::net {
+namespace {
+
+Packet udp(std::uint32_t dst_last, std::uint16_t sport, std::uint16_t dport) {
+  PacketBuilder b;
+  return b.eth(MacAddr::from_index(1), MacAddr::from_index(2))
+      .ipv4(Ipv4Addr::of(10, 0, 0, 1), Ipv4Addr::of(10, 0, 1, static_cast<std::uint8_t>(dst_last)),
+            ipproto::kUdp)
+      .udp(sport, dport)
+      .build();
+}
+
+TEST(Flow, ExtractUdp) {
+  const Packet p = udp(5, 1111, 2222);
+  const auto t = extract_flow(p.bytes());
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->src_ip, Ipv4Addr::of(10, 0, 0, 1));
+  EXPECT_EQ(t->dst_ip, Ipv4Addr::of(10, 0, 1, 5));
+  EXPECT_EQ(t->src_port, 1111);
+  EXPECT_EQ(t->dst_port, 2222);
+  EXPECT_EQ(t->protocol, ipproto::kUdp);
+}
+
+TEST(Flow, ExtractTcp) {
+  PacketBuilder b;
+  const Packet p =
+      b.eth(MacAddr::from_index(1), MacAddr::from_index(2))
+          .ipv4(Ipv4Addr::of(1, 1, 1, 1), Ipv4Addr::of(2, 2, 2, 2),
+                ipproto::kTcp)
+          .tcp(80, 8080)
+          .build();
+  const auto t = extract_flow(p.bytes());
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->protocol, ipproto::kTcp);
+  EXPECT_EQ(t->src_port, 80);
+}
+
+TEST(Flow, IcmpHasZeroPorts) {
+  PacketBuilder b;
+  const Packet p =
+      b.eth(MacAddr::from_index(1), MacAddr::from_index(2))
+          .ipv4(Ipv4Addr::of(1, 1, 1, 1), Ipv4Addr::of(2, 2, 2, 2),
+                ipproto::kIcmp)
+          .icmp_echo(1, 1)
+          .build();
+  const auto t = extract_flow(p.bytes());
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->src_port, 0);
+  EXPECT_EQ(t->dst_port, 0);
+}
+
+TEST(Flow, NonIpHasNoFlow) {
+  PacketBuilder b;
+  const Packet p = b.eth(MacAddr::from_index(1), MacAddr::broadcast())
+                       .arp(1, MacAddr::from_index(1), Ipv4Addr::of(1, 1, 1, 1),
+                            MacAddr{}, Ipv4Addr::of(1, 1, 1, 2))
+                       .build();
+  EXPECT_FALSE(extract_flow(p.bytes()));
+}
+
+TEST(Flow, ReversedSwapsEndpoints) {
+  const FiveTuple t{Ipv4Addr::of(1, 1, 1, 1), Ipv4Addr::of(2, 2, 2, 2), 10, 20,
+                    6};
+  const FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, t.dst_ip);
+  EXPECT_EQ(r.src_port, t.dst_port);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(Flow, HashEqualForEqualTuples) {
+  const Packet a = udp(5, 1111, 2222);
+  const Packet b = udp(5, 1111, 2222);
+  EXPECT_EQ(extract_flow(a.bytes())->hash(), extract_flow(b.bytes())->hash());
+}
+
+TEST(Flow, HashSpreadsAcrossFlows) {
+  std::unordered_set<std::uint64_t> hashes;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const auto t =
+        extract_flow(udp(i % 250 + 1, static_cast<std::uint16_t>(1000 + i),
+                         2222)
+                         .bytes());
+    ASSERT_TRUE(t);
+    hashes.insert(t->hash());
+  }
+  EXPECT_EQ(hashes.size(), 200u);  // no collisions on this small set
+}
+
+TEST(Flow, StdHashUsable) {
+  std::unordered_set<FiveTuple> set;
+  set.insert(FiveTuple{Ipv4Addr::of(1, 1, 1, 1), Ipv4Addr::of(2, 2, 2, 2), 1,
+                       2, 17});
+  EXPECT_EQ(set.count(FiveTuple{Ipv4Addr::of(1, 1, 1, 1),
+                                Ipv4Addr::of(2, 2, 2, 2), 1, 2, 17}),
+            1u);
+}
+
+}  // namespace
+}  // namespace osnt::net

@@ -1,0 +1,387 @@
+// Traffic generation: rate math, gap/size models, template source, PCAP
+// replay, and the TX pipeline driving a real MAC.
+#include <gtest/gtest.h>
+
+#include "osnt/common/stats.hpp"
+#include "osnt/gen/models.hpp"
+#include "osnt/gen/rate.hpp"
+#include "osnt/gen/replay.hpp"
+#include "osnt/gen/template_gen.hpp"
+#include "osnt/gen/tx_pipeline.hpp"
+#include "osnt/hw/port.hpp"
+#include "osnt/net/parser.hpp"
+#include "osnt/tstamp/clock.hpp"
+
+namespace osnt::gen {
+namespace {
+
+// ------------------------------------------------------------------ rate
+
+TEST(RateController, FullLineRateEqualsAirTime) {
+  RateController rc{RateSpec::line_rate(1.0)};
+  // 64 B frame → 84 B line → 67.2 ns.
+  EXPECT_EQ(rc.departure_interval(84), 67'200);
+  EXPECT_NEAR(rc.offered_gbps(84), 10.0, 1e-9);
+}
+
+TEST(RateController, HalfLineRateDoublesInterval) {
+  RateController rc{RateSpec::line_rate(0.5)};
+  EXPECT_EQ(rc.departure_interval(84), 134'400);
+  EXPECT_NEAR(rc.offered_gbps(84), 5.0, 1e-9);
+}
+
+TEST(RateController, GbpsMode) {
+  RateController rc{RateSpec::gbps(1.0)};
+  EXPECT_NEAR(rc.offered_gbps(84), 1.0, 1e-9);
+}
+
+TEST(RateController, PpsMode) {
+  RateController rc{RateSpec::pps(1'000'000)};
+  EXPECT_EQ(rc.departure_interval(84), kPicosPerMicro);
+}
+
+TEST(RateController, GapMode) {
+  RateController rc{RateSpec::gap_ns(100)};
+  EXPECT_EQ(rc.departure_interval(84), 67'200 + 100'000);
+}
+
+TEST(RateController, NeverExceedsLineRate) {
+  RateController rc{RateSpec::pps(100'000'000)};  // absurd pps
+  EXPECT_GE(rc.departure_interval(84), 67'200);
+}
+
+// ------------------------------------------------------------- gap models
+
+TEST(GapModels, ConstantIsExact) {
+  Rng rng{1};
+  ConstantGap g;
+  EXPECT_EQ(g.sample(rng, 1000, 10), 1000);
+  EXPECT_EQ(g.sample(rng, 5, 10), 10);  // clamped to air time
+}
+
+TEST(GapModels, PoissonPreservesMean) {
+  Rng rng{2};
+  PoissonGap g;
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(g.sample(rng, 1'000'000, 1));
+  EXPECT_NEAR(sum / n, 1e6, 1e4);
+}
+
+TEST(GapModels, BurstAlternatesLineRateAndIdle) {
+  Rng rng{3};
+  BurstGap g{4};
+  const Picos mean = 1000, air = 100;
+  Picos total = 0;
+  int line_rate_gaps = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Picos s = g.sample(rng, mean, air);
+    total += s;
+    if (s == air) ++line_rate_gaps;
+  }
+  EXPECT_EQ(line_rate_gaps, 3);       // 3 back-to-back + 1 idle
+  EXPECT_EQ(total, 4 * mean);         // long-run mean preserved
+}
+
+TEST(GapModels, ParetoPreservesMeanRoughly) {
+  Rng rng{6};
+  ParetoGap g{1.5};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(g.sample(rng, 1'000'000, 1));
+  // Heavy tail: the empirical mean converges slowly; 15% is plenty tight
+  // to catch a broken rescale.
+  EXPECT_NEAR(sum / n, 1e6, 1.5e5);
+}
+
+TEST(GapModels, ParetoIsBurstierThanPoisson) {
+  Rng rng{7};
+  ParetoGap pareto{1.5};
+  PoissonGap poisson;
+  RunningStats sp, sq;
+  for (int i = 0; i < 100000; ++i) {
+    sp.add(static_cast<double>(pareto.sample(rng, 1'000'000, 1)));
+    sq.add(static_cast<double>(poisson.sample(rng, 1'000'000, 1)));
+  }
+  // Coefficient of variation well above the exponential's 1.
+  EXPECT_GT(sp.stddev() / sp.mean(), 1.5 * sq.stddev() / sq.mean());
+}
+
+TEST(GapModels, ParetoRejectsBadAlpha) {
+  EXPECT_THROW(ParetoGap{1.0}, std::invalid_argument);
+  EXPECT_THROW(ParetoGap{3.0}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------ size models
+
+TEST(SizeModels, FixedAlwaysSame) {
+  Rng rng{1};
+  FixedSize s{512};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s.sample(rng), 512u);
+}
+
+TEST(SizeModels, UniformInBounds) {
+  Rng rng{1};
+  UniformSize s{64, 1518};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = s.sample(rng);
+    EXPECT_GE(v, 64u);
+    EXPECT_LE(v, 1518u);
+  }
+}
+
+TEST(SizeModels, ImixMixtureRatios) {
+  Rng rng{4};
+  ImixSize s;
+  int small = 0, mid = 0, big = 0;
+  const int n = 120000;
+  for (int i = 0; i < n; ++i) {
+    switch (s.sample(rng)) {
+      case 64: ++small; break;
+      case 594: ++mid; break;
+      case 1518: ++big; break;
+      default: FAIL() << "unexpected IMIX size";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(small) / n, 7.0 / 12, 0.01);
+  EXPECT_NEAR(static_cast<double>(mid) / n, 4.0 / 12, 0.01);
+  EXPECT_NEAR(static_cast<double>(big) / n, 1.0 / 12, 0.01);
+}
+
+TEST(SizeModels, WeightedFollowsWeights) {
+  Rng rng{5};
+  WeightedSize s{{{100, 1.0}, {200, 3.0}}};
+  int hits200 = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i)
+    if (s.sample(rng) == 200) ++hits200;
+  EXPECT_NEAR(static_cast<double>(hits200) / n, 0.75, 0.02);
+}
+
+TEST(SizeModels, WeightedRejectsEmptyAndBad) {
+  EXPECT_THROW(WeightedSize{{}}, std::invalid_argument);
+  EXPECT_THROW((WeightedSize{{{64, -1.0}}}), std::invalid_argument);
+}
+
+// -------------------------------------------------------- template source
+
+TEST(TemplateSource, ProducesRequestedCount) {
+  TemplateConfig tc;
+  tc.count = 5;
+  TemplateSource src{tc, std::make_unique<FixedSize>(64)};
+  int n = 0;
+  while (src.next()) ++n;
+  EXPECT_EQ(n, 5);
+  src.rewind();
+  EXPECT_TRUE(src.next());
+}
+
+TEST(TemplateSource, FramesAreValidUdp) {
+  TemplateConfig tc;
+  tc.count = 3;
+  TemplateSource src{tc, std::make_unique<FixedSize>(256)};
+  while (auto tp = src.next()) {
+    EXPECT_EQ(tp->pkt.wire_len(), 256u);
+    const auto parsed = net::parse_packet(tp->pkt.bytes());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->l4, net::L4Kind::kUdp);
+    EXPECT_FALSE(tp->gap_hint);  // synthetic: rate controller paces
+  }
+}
+
+TEST(TemplateSource, FlowsRotate) {
+  TemplateConfig tc;
+  tc.count = 4;
+  tc.flow_count = 2;
+  tc.vary_dst_ip = true;
+  TemplateSource src{tc, std::make_unique<FixedSize>(128)};
+  std::vector<std::uint32_t> dsts;
+  while (auto tp = src.next()) {
+    const auto parsed = net::parse_packet(tp->pkt.bytes());
+    dsts.push_back(parsed->ipv4.dst.v);
+  }
+  ASSERT_EQ(dsts.size(), 4u);
+  EXPECT_EQ(dsts[0], dsts[2]);
+  EXPECT_EQ(dsts[1], dsts[3]);
+  EXPECT_EQ(dsts[1], dsts[0] + 1);
+}
+
+TEST(TemplateSource, VlanTagging) {
+  TemplateConfig tc;
+  tc.count = 1;
+  tc.vlan_id = 42;
+  TemplateSource src{tc, std::make_unique<FixedSize>(128)};
+  const auto tp = src.next();
+  ASSERT_TRUE(tp);
+  const auto parsed = net::parse_packet(tp->pkt.bytes());
+  ASSERT_TRUE(parsed && parsed->vlan);
+  EXPECT_EQ(parsed->vlan->vid, 42);
+}
+
+TEST(TemplateSource, NullSizeModelThrows) {
+  EXPECT_THROW(TemplateSource(TemplateConfig{}, nullptr),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ pcap replay
+
+std::vector<net::PcapRecord> make_trace(std::size_t n, std::uint64_t gap_ns) {
+  std::vector<net::PcapRecord> recs;
+  TemplateConfig tc;
+  tc.count = n;
+  TemplateSource src{tc, std::make_unique<FixedSize>(128)};
+  std::uint64_t t = 1'000'000;
+  while (auto tp = src.next()) {
+    net::PcapRecord r;
+    r.ts_nanos = t;
+    t += gap_ns;
+    r.orig_len = static_cast<std::uint32_t>(tp->pkt.size());
+    r.data = tp->pkt.data;
+    recs.push_back(std::move(r));
+  }
+  return recs;
+}
+
+TEST(PcapReplay, AsRecordedGaps) {
+  PcapReplaySource src{make_trace(3, 500)};
+  const auto a = src.next();
+  ASSERT_TRUE(a && a->gap_hint);
+  EXPECT_EQ(*a->gap_hint, 500 * kPicosPerNano);
+}
+
+TEST(PcapReplay, SpeedupDividesGaps) {
+  ReplayConfig cfg;
+  cfg.speedup = 2.0;
+  PcapReplaySource src{make_trace(3, 500), cfg};
+  const auto a = src.next();
+  ASSERT_TRUE(a && a->gap_hint);
+  EXPECT_EQ(*a->gap_hint, 250 * kPicosPerNano);
+}
+
+TEST(PcapReplay, LoopsThroughTrace) {
+  ReplayConfig cfg;
+  cfg.loops = 3;
+  PcapReplaySource src{make_trace(2, 100), cfg};
+  int n = 0;
+  while (src.next()) ++n;
+  EXPECT_EQ(n, 6);
+}
+
+TEST(PcapReplay, IgnoreTimingLeavesNoHints) {
+  ReplayConfig cfg;
+  cfg.timing = ReplayTiming::kIgnore;
+  PcapReplaySource src{make_trace(2, 100), cfg};
+  EXPECT_FALSE(src.next()->gap_hint);
+}
+
+TEST(PcapReplay, EmptyTraceThrows) {
+  EXPECT_THROW(PcapReplaySource(std::vector<net::PcapRecord>{}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ tx pipeline
+
+struct TxFixture {
+  sim::Engine eng;
+  hw::EthPort a{eng}, b{eng};
+  tstamp::GpsModel gps;
+  tstamp::DisciplinedClock clock{gps};
+  std::vector<net::Packet> received;
+
+  TxFixture() {
+    hw::connect(a, b);
+    b.rx().set_handler([this](net::Packet p, Picos, Picos) {
+      received.push_back(std::move(p));
+    });
+  }
+};
+
+TEST(TxPipeline, SendsAllFramesAtLineRate) {
+  TxFixture f;
+  gen::TxConfig cfg;
+  cfg.rate = RateSpec::line_rate(1.0);
+  TxPipeline tx{f.eng, f.a.tx(), f.clock, cfg};
+  TemplateConfig tc;
+  tc.count = 100;
+  tx.set_source(std::make_unique<TemplateSource>(
+      tc, std::make_unique<FixedSize>(64)));
+  tx.start();
+  f.eng.run();
+  EXPECT_EQ(tx.frames_sent(), 100u);
+  EXPECT_EQ(f.received.size(), 100u);
+  EXPECT_NEAR(tx.achieved_gbps(), 10.0, 0.05);
+}
+
+TEST(TxPipeline, RateAccuracyAtFraction) {
+  TxFixture f;
+  gen::TxConfig cfg;
+  cfg.rate = RateSpec::line_rate(0.4);
+  TxPipeline tx{f.eng, f.a.tx(), f.clock, cfg};
+  TemplateConfig tc;
+  tc.count = 1000;
+  tx.set_source(std::make_unique<TemplateSource>(
+      tc, std::make_unique<FixedSize>(512)));
+  tx.start();
+  f.eng.run();
+  EXPECT_NEAR(tx.achieved_gbps(), 4.0, 0.05);
+}
+
+TEST(TxPipeline, EmbedsMonotonicSequence) {
+  TxFixture f;
+  TxPipeline tx{f.eng, f.a.tx(), f.clock};
+  TemplateConfig tc;
+  tc.count = 10;
+  tx.set_source(std::make_unique<TemplateSource>(
+      tc, std::make_unique<FixedSize>(128)));
+  tx.start();
+  f.eng.run();
+  ASSERT_EQ(f.received.size(), 10u);
+  std::uint32_t expected = 0;
+  for (const auto& p : f.received) {
+    const auto stamp =
+        tstamp::extract_timestamp(p.bytes(), tstamp::kDefaultEmbedOffset);
+    ASSERT_TRUE(stamp);
+    EXPECT_EQ(stamp->seq, expected++);
+  }
+}
+
+TEST(TxPipeline, StopHaltsGeneration) {
+  TxFixture f;
+  gen::TxConfig cfg;
+  cfg.rate = RateSpec::pps(1'000'000);
+  TxPipeline tx{f.eng, f.a.tx(), f.clock, cfg};
+  TemplateConfig tc;  // unbounded
+  tx.set_source(std::make_unique<TemplateSource>(
+      tc, std::make_unique<FixedSize>(64)));
+  tx.start();
+  f.eng.run_until(100 * kPicosPerMicro);
+  tx.stop();
+  f.eng.run();
+  EXPECT_NEAR(static_cast<double>(tx.frames_sent()), 100.0, 2.0);
+}
+
+TEST(TxPipeline, StartWithoutSourceThrows) {
+  TxFixture f;
+  TxPipeline tx{f.eng, f.a.tx(), f.clock};
+  EXPECT_THROW(tx.start(), std::logic_error);
+}
+
+TEST(TxPipeline, GapHintsOverrideRate) {
+  TxFixture f;
+  gen::TxConfig cfg;
+  cfg.rate = RateSpec::line_rate(1.0);  // would be back-to-back
+  TxPipeline tx{f.eng, f.a.tx(), f.clock, cfg};
+  auto trace = make_trace(5, 10'000);  // 10 µs recorded gaps
+  tx.set_source(std::make_unique<PcapReplaySource>(std::move(trace)));
+  tx.start();
+  f.eng.run();
+  EXPECT_EQ(tx.frames_sent(), 5u);
+  // 5 frames with 10 µs spacing → last departure ≈ 40 µs.
+  EXPECT_NEAR(static_cast<double>(tx.last_departure()),
+              4.0 * 10'000 * 1000.0, 1'000'000.0);
+}
+
+}  // namespace
+}  // namespace osnt::gen

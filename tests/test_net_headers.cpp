@@ -1,0 +1,220 @@
+// Header value types: parse/format, wire round-trips, edge cases.
+#include <gtest/gtest.h>
+
+#include "osnt/net/headers.hpp"
+
+namespace osnt::net {
+namespace {
+
+TEST(MacAddr, ParseAndFormat) {
+  const auto m = MacAddr::parse("0a:1b:2c:3d:4e:5f");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->to_string(), "0a:1b:2c:3d:4e:5f");
+}
+
+TEST(MacAddr, ParseRejectsGarbage) {
+  EXPECT_FALSE(MacAddr::parse("not a mac"));
+  EXPECT_FALSE(MacAddr::parse("00:11:22:33:44"));
+  EXPECT_FALSE(MacAddr::parse("00:11:22:33:44:55:66"));
+  EXPECT_FALSE(MacAddr::parse("00:11:22:33:44:1z2"));
+}
+
+TEST(MacAddr, BroadcastAndMulticast) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  const auto uni = MacAddr::from_index(7);
+  EXPECT_FALSE(uni.is_broadcast());
+  EXPECT_FALSE(uni.is_multicast());
+}
+
+TEST(MacAddr, FromIndexDistinct) {
+  EXPECT_NE(MacAddr::from_index(1), MacAddr::from_index(2));
+  EXPECT_EQ(MacAddr::from_index(42), MacAddr::from_index(42));
+}
+
+TEST(MacAddr, U64RoundHoldsBytes) {
+  const auto m = MacAddr::parse("01:02:03:04:05:06");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->to_u64(), 0x010203040506ull);
+}
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  const auto a = Ipv4Addr::parse("192.168.1.42");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "192.168.1.42");
+  EXPECT_EQ(a->v, (192u << 24) | (168u << 16) | (1u << 8) | 42u);
+}
+
+TEST(Ipv4Addr, ParseRejectsBad) {
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+}
+
+TEST(Ipv4Addr, OfConstructor) {
+  EXPECT_EQ(Ipv4Addr::of(10, 0, 0, 1).to_string(), "10.0.0.1");
+}
+
+TEST(EthHeader, WireRoundTrip) {
+  EthHeader h;
+  h.dst = MacAddr::from_index(1);
+  h.src = MacAddr::from_index(2);
+  h.ethertype = 0x0800;
+  std::uint8_t buf[EthHeader::kSize];
+  h.write(buf);
+  const auto back = EthHeader::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->ethertype, h.ethertype);
+}
+
+TEST(EthHeader, ReadRejectsShort) {
+  std::uint8_t buf[13] = {};
+  EXPECT_FALSE(EthHeader::read(ByteSpan{buf, sizeof buf}));
+}
+
+TEST(VlanTag, WireRoundTrip) {
+  VlanTag t;
+  t.pcp = 5;
+  t.dei = true;
+  t.vid = 1234;
+  t.inner_ethertype = 0x86DD;
+  std::uint8_t buf[6];
+  t.write(MutByteSpan{buf, 6});
+  const auto back = VlanTag::read(ByteSpan{buf, 6});
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->pcp, 5);
+  EXPECT_TRUE(back->dei);
+  EXPECT_EQ(back->vid, 1234);
+  EXPECT_EQ(back->inner_ethertype, 0x86DD);
+}
+
+TEST(Ipv4Header, WireRoundTrip) {
+  Ipv4Header h;
+  h.dscp = 46;
+  h.ecn = 1;
+  h.total_length = 1500;
+  h.identification = 0x4242;
+  h.dont_fragment = true;
+  h.ttl = 17;
+  h.protocol = 6;
+  h.src = Ipv4Addr::of(10, 1, 2, 3);
+  h.dst = Ipv4Addr::of(172, 16, 0, 9);
+  h.finalize_checksum();
+  std::uint8_t buf[Ipv4Header::kMinSize];
+  h.write(buf);
+  const auto back = Ipv4Header::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->dscp, 46);
+  EXPECT_EQ(back->ecn, 1);
+  EXPECT_EQ(back->total_length, 1500);
+  EXPECT_TRUE(back->dont_fragment);
+  EXPECT_FALSE(back->more_fragments);
+  EXPECT_EQ(back->ttl, 17);
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+  EXPECT_EQ(back->checksum, h.checksum);
+}
+
+TEST(Ipv4Header, RejectsWrongVersion) {
+  std::uint8_t buf[Ipv4Header::kMinSize] = {};
+  buf[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Header::read(buf));
+}
+
+TEST(Ipv4Header, RejectsBadIhl) {
+  std::uint8_t buf[Ipv4Header::kMinSize] = {};
+  buf[0] = 0x43;  // version 4, ihl 3 (< 5)
+  EXPECT_FALSE(Ipv4Header::read(buf));
+}
+
+TEST(Ipv6Header, WireRoundTrip) {
+  Ipv6Header h;
+  h.traffic_class = 0xAB;
+  h.flow_label = 0xBEEF5;
+  h.payload_length = 512;
+  h.next_header = 17;
+  h.hop_limit = 3;
+  h.src.b[0] = 0x20;
+  h.src.b[15] = 0x01;
+  h.dst.b[0] = 0xFE;
+  std::uint8_t buf[Ipv6Header::kSize];
+  h.write(buf);
+  const auto back = Ipv6Header::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->traffic_class, 0xAB);
+  EXPECT_EQ(back->flow_label, 0xBEEF5u);
+  EXPECT_EQ(back->payload_length, 512);
+  EXPECT_EQ(back->next_header, 17);
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+}
+
+TEST(ArpHeader, WireRoundTrip) {
+  ArpHeader h;
+  h.opcode = 2;
+  h.sender_mac = MacAddr::from_index(3);
+  h.sender_ip = Ipv4Addr::of(10, 0, 0, 1);
+  h.target_mac = MacAddr::from_index(4);
+  h.target_ip = Ipv4Addr::of(10, 0, 0, 2);
+  std::uint8_t buf[ArpHeader::kSize];
+  h.write(buf);
+  const auto back = ArpHeader::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->opcode, 2);
+  EXPECT_EQ(back->sender_mac, h.sender_mac);
+  EXPECT_EQ(back->target_ip, h.target_ip);
+}
+
+TEST(TcpHeader, WireRoundTrip) {
+  TcpHeader h;
+  h.src_port = 443;
+  h.dst_port = 51234;
+  h.seq = 0xDEADBEEF;
+  h.ack = 0x12345678;
+  h.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  h.window = 29200;
+  std::uint8_t buf[TcpHeader::kMinSize];
+  h.write(buf);
+  const auto back = TcpHeader::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->src_port, 443);
+  EXPECT_EQ(back->seq, 0xDEADBEEFu);
+  EXPECT_EQ(back->flags, TcpFlags::kSyn | TcpFlags::kAck);
+  EXPECT_EQ(back->header_len(), 20u);
+}
+
+TEST(UdpHeader, WireRoundTrip) {
+  UdpHeader h;
+  h.src_port = 53;
+  h.dst_port = 33000;
+  h.length = 100;
+  h.checksum = 0xBEEF;
+  std::uint8_t buf[UdpHeader::kSize];
+  h.write(buf);
+  const auto back = UdpHeader::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->src_port, 53);
+  EXPECT_EQ(back->dst_port, 33000);
+  EXPECT_EQ(back->length, 100);
+  EXPECT_EQ(back->checksum, 0xBEEF);
+}
+
+TEST(IcmpHeader, WireRoundTrip) {
+  IcmpHeader h;
+  h.type = 8;
+  h.identifier = 0x1234;
+  h.sequence = 7;
+  std::uint8_t buf[IcmpHeader::kSize];
+  h.write(buf);
+  const auto back = IcmpHeader::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->type, 8);
+  EXPECT_EQ(back->identifier, 0x1234);
+  EXPECT_EQ(back->sequence, 7);
+}
+
+}  // namespace
+}  // namespace osnt::net

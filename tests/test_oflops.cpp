@@ -1,0 +1,215 @@
+// OFLOPS-turbo framework + modules running against the full Testbed.
+#include <gtest/gtest.h>
+
+#include "osnt/oflops/consistency.hpp"
+#include "osnt/oflops/context.hpp"
+#include "osnt/oflops/echo_rtt.hpp"
+#include "osnt/oflops/flowmod_latency.hpp"
+#include "osnt/oflops/packet_in_latency.hpp"
+#include "osnt/oflops/interaction.hpp"
+#include "osnt/oflops/stats_poll.hpp"
+
+namespace osnt::oflops {
+namespace {
+
+double scalar(const Report& r, const std::string& name) {
+  for (const auto& m : r.scalars)
+    if (m.name == name) return m.value;
+  ADD_FAILURE() << "missing scalar " << name;
+  return -1;
+}
+
+const SampleSet& dist(const Report& r, const std::string& name) {
+  for (const auto& [n, d] : r.distributions)
+    if (n == name) return d;
+  static SampleSet empty;
+  ADD_FAILURE() << "missing distribution " << name;
+  return empty;
+}
+
+TEST(Testbed, WiresFourCables) {
+  Testbed tb;
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(tb.osnt.port(i).cabled());
+    EXPECT_TRUE(tb.sw.port(i).cabled());
+  }
+}
+
+TEST(EchoRtt, MeasuresChannelPlusAgent) {
+  Testbed tb;
+  EchoRttConfig cfg;
+  cfg.count = 20;
+  EchoRttModule mod{cfg};
+  const auto rep = tb.ctx.run(mod);
+  EXPECT_EQ(scalar(rep, "echo_replies"), 20);
+  const auto& rtt = dist(rep, "rtt_us");
+  ASSERT_EQ(rtt.count(), 20u);
+  // 2× channel latency (50 µs) + agent service (~20 µs) ⇒ ~120 µs.
+  EXPECT_GT(rtt.quantile(0.5), 100.0);
+  EXPECT_LT(rtt.quantile(0.5), 200.0);
+}
+
+TEST(PacketInLatency, StampSurvivesTruncation) {
+  Testbed tb;
+  PacketInLatencyConfig cfg;
+  cfg.probes = 30;
+  PacketInLatencyModule mod{cfg};
+  const auto rep = tb.ctx.run(mod);
+  EXPECT_EQ(scalar(rep, "packet_ins_received"), 30);
+  const auto& lat = dist(rep, "packet_in_latency_us");
+  ASSERT_EQ(lat.count(), 30u);
+  // Data path + agent + channel ⇒ dominated by agent+channel (~70 µs+).
+  EXPECT_GT(lat.min(), 50.0);
+  EXPECT_LT(lat.quantile(0.5), 1000.0);
+}
+
+TEST(FlowModLatency, DataPlaneLagsControlPlane) {
+  dut::OpenFlowSwitchConfig sw_cfg;
+  sw_cfg.commit_base = 2 * kPicosPerMilli;
+  Testbed tb{sw_cfg};
+  FlowModLatencyConfig cfg;
+  cfg.rounds = 8;
+  cfg.table_size = 16;
+  FlowModLatencyModule mod{cfg};
+  const auto rep = tb.ctx.run(mod, 120 * kPicosPerSec);
+  EXPECT_EQ(scalar(rep, "rounds_completed"), 8);
+  const auto& ctrl = dist(rep, "control_plane_ms");
+  const auto& data = dist(rep, "data_plane_ms");
+  ASSERT_GE(ctrl.count(), 8u);
+  ASSERT_EQ(data.count(), 8u);
+  // The barrier acks before the hardware commit: data > control.
+  EXPECT_GT(data.quantile(0.5), ctrl.quantile(0.5));
+  // Data-plane install ≈ commit_base (2 ms) + probe spacing.
+  EXPECT_GT(data.quantile(0.5), 2.0);
+  EXPECT_LT(data.quantile(0.5), 30.0);
+}
+
+TEST(FlowModLatency, SpecFaithfulBarrierClosesGap) {
+  dut::OpenFlowSwitchConfig sw_cfg;
+  sw_cfg.commit_base = 2 * kPicosPerMilli;
+  sw_cfg.barrier_covers_commit = true;
+  Testbed tb{sw_cfg};
+  FlowModLatencyConfig cfg;
+  cfg.rounds = 6;
+  cfg.table_size = 8;
+  FlowModLatencyModule mod{cfg};
+  const auto rep = tb.ctx.run(mod, 120 * kPicosPerSec);
+  const auto& ctrl = dist(rep, "control_plane_ms");
+  ASSERT_GE(ctrl.count(), 6u);
+  // Now the barrier itself waits ≥ commit time.
+  EXPECT_GT(ctrl.quantile(0.5), 2.0);
+}
+
+TEST(Consistency, UpdateWindowAndStaleness) {
+  dut::OpenFlowSwitchConfig sw_cfg;
+  sw_cfg.commit_base = 500 * kPicosPerMicro;  // 0.5 ms per rule
+  Testbed tb{sw_cfg};
+  ConsistencyConfig cfg;
+  cfg.rule_count = 32;
+  cfg.traffic_gbps = 1.0;
+  ConsistencyModule mod{cfg};
+  const auto rep = tb.ctx.run(mod, 120 * kPicosPerSec);
+  EXPECT_EQ(scalar(rep, "flows_switched"), 32);
+  // Rules commit serially at ~0.5 ms each ⇒ window ≈ 16 ms, and during
+  // it the old path keeps forwarding: stale packets must exist.
+  EXPECT_GT(scalar(rep, "stale_packets_after_burst"), 0);
+  EXPECT_GT(scalar(rep, "update_window_ms"), 5.0);
+  const auto& eff = dist(rep, "rule_effective_ms");
+  EXPECT_EQ(eff.count(), 32u);
+  EXPECT_GT(eff.max(), eff.min());
+}
+
+TEST(StatsPoll, RttScalesWithTableAndPacketInsSurvive) {
+  dut::OpenFlowSwitchConfig sw_cfg;
+  Testbed tb{sw_cfg};
+  StatsPollConfig cfg;
+  cfg.table_size = 256;
+  cfg.probes_per_phase = 40;
+  StatsPollModule mod{cfg};
+  const auto rep = tb.ctx.run(mod, 300 * kPicosPerSec);
+  EXPECT_GT(scalar(rep, "stats_polls_answered"), 0);
+  // Every answered poll reported the full table.
+  EXPECT_EQ(scalar(rep, "flow_entries_reported"),
+            scalar(rep, "stats_polls_answered") * 256);
+  const auto& rtt = dist(rep, "stats_rtt_ms");
+  ASSERT_GT(rtt.count(), 0u);
+  // Scan cost: agent service + 2 µs × 256 entries ≈ 0.5 ms + channel.
+  EXPECT_GT(rtt.quantile(0.5), 0.5);
+  const auto& base = dist(rep, "packet_in_baseline_us");
+  const auto& poll = dist(rep, "packet_in_while_polling_us");
+  EXPECT_EQ(base.count(), 40u);
+  EXPECT_EQ(poll.count(), 40u);
+  // Polling may inflate the tail but must not break the path.
+  EXPECT_GE(poll.quantile(0.5), base.quantile(0.5) * 0.8);
+}
+
+TEST(Interaction, StormSlowsRuleInstallation) {
+  dut::OpenFlowSwitchConfig sw_cfg;
+  sw_cfg.agent_service = 200 * kPicosPerMicro;  // a slow agent CPU
+  sw_cfg.agent_jitter_ns = 0;
+  Testbed tb{sw_cfg};
+  InteractionConfig cfg;
+  cfg.rounds_per_phase = 20;
+  cfg.storm_pps = 1500.0;  // 30% agent utilization at 200 µs/job
+  InteractionModule mod{cfg};
+  const auto rep = tb.ctx.run(mod, 300 * kPicosPerSec);
+
+  const auto& idle = dist(rep, "barrier_rtt_idle_us");
+  const auto& storm = dist(rep, "barrier_rtt_under_storm_us");
+  ASSERT_EQ(idle.count(), 20u);
+  ASSERT_EQ(storm.count(), 20u);
+  EXPECT_GT(scalar(rep, "packet_ins_during_run"), 0);
+  // Queueing behind punt jobs inflates the storm-phase tail.
+  EXPECT_GT(storm.quantile(0.9), idle.quantile(0.9));
+  double slowdown = 0;
+  for (const auto& m : rep.scalars)
+    if (m.name == "storm_slowdown_x") slowdown = m.value;
+  EXPECT_GE(slowdown, 1.0);
+}
+
+TEST(Context, SnmpRoundTrip) {
+  Testbed tb;
+  // A trivial module that polls one OID and finishes.
+  class SnmpProbe final : public MeasurementModule {
+   public:
+    std::string name() const override { return "snmp_probe"; }
+    void start(OflopsContext& ctx) override { ctx.snmp_get("ofFlowTableSize.0"); }
+    void on_snmp(OflopsContext&, const std::string& oid,
+                 std::uint64_t value) override {
+      oid_ = oid;
+      value_ = value;
+      done_ = true;
+    }
+    bool finished() const override { return done_; }
+    Report report() const override {
+      Report r;
+      r.module = name();
+      r.add("value", static_cast<double>(value_));
+      return r;
+    }
+    std::string oid_;
+    std::uint64_t value_ = 999;
+    bool done_ = false;
+  };
+  SnmpProbe probe;
+  const auto rep = tb.ctx.run(probe);
+  EXPECT_EQ(probe.oid_, "ofFlowTableSize.0");
+  EXPECT_EQ(scalar(rep, "value"), 0);  // empty table
+}
+
+TEST(Report, PrintDoesNotCrash) {
+  Report r;
+  r.module = "demo";
+  r.add("x", 1.5, "ms");
+  SampleSet s;
+  s.add(1);
+  s.add(2);
+  r.add_distribution("d", s);
+  std::FILE* sink = std::fopen("/dev/null", "w");
+  ASSERT_NE(sink, nullptr);
+  r.print(sink);
+  std::fclose(sink);
+}
+
+}  // namespace
+}  // namespace osnt::oflops

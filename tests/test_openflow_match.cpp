@@ -1,0 +1,153 @@
+// ofp_match algebra: packet matching, rule covering, prefix wildcards,
+// wire layout, plus a property sweep (cover ⇒ matches-subset).
+#include <gtest/gtest.h>
+
+#include "osnt/common/random.hpp"
+#include "osnt/net/builder.hpp"
+#include "osnt/openflow/match.hpp"
+
+namespace osnt::openflow {
+namespace {
+
+OfMatch concrete_udp(std::uint32_t src, std::uint32_t dst, std::uint16_t sp,
+                     std::uint16_t dp) {
+  net::PacketBuilder b;
+  const auto pkt =
+      b.eth(net::MacAddr::from_index(1), net::MacAddr::from_index(2))
+          .ipv4(net::Ipv4Addr{src}, net::Ipv4Addr{dst}, net::ipproto::kUdp)
+          .udp(sp, dp)
+          .build();
+  const auto parsed = net::parse_packet(pkt.bytes());
+  EXPECT_TRUE(parsed);
+  return OfMatch::from_packet(*parsed, 1);
+}
+
+TEST(OfMatch, AnyMatchesEverything) {
+  EXPECT_TRUE(OfMatch::any().matches_packet(concrete_udp(1, 2, 3, 4)));
+}
+
+TEST(OfMatch, FromPacketIsFullyConcrete) {
+  const auto c = concrete_udp(0x0A000001, 0x0A000002, 100, 200);
+  EXPECT_EQ(c.wildcards, 0u);
+  EXPECT_EQ(c.in_port, 1);
+  EXPECT_EQ(c.dl_type, 0x0800);
+  EXPECT_EQ(c.nw_proto, net::ipproto::kUdp);
+  EXPECT_EQ(c.nw_src, 0x0A000001u);
+  EXPECT_EQ(c.tp_src, 100);
+  EXPECT_EQ(c.tp_dst, 200);
+  EXPECT_EQ(c.dl_vlan, 0xFFFF);  // untagged → OFP_VLAN_NONE
+}
+
+TEST(OfMatch, Exact5TupleMatchesOnlyItsFlow) {
+  const auto rule = OfMatch::exact_5tuple(0x0A000001, 0x0A000002, 17, 100, 200);
+  EXPECT_TRUE(rule.matches_packet(concrete_udp(0x0A000001, 0x0A000002, 100, 200)));
+  EXPECT_FALSE(rule.matches_packet(concrete_udp(0x0A000001, 0x0A000002, 100, 201)));
+  EXPECT_FALSE(rule.matches_packet(concrete_udp(0x0A000001, 0x0A000003, 100, 200)));
+}
+
+TEST(OfMatch, Exact5TupleIgnoresMacsAndPort) {
+  auto rule = OfMatch::exact_5tuple(1, 2, 17, 3, 4);
+  auto pkt = concrete_udp(1, 2, 3, 4);
+  pkt.in_port = 99;
+  pkt.dl_src = net::MacAddr::from_index(77);
+  EXPECT_TRUE(rule.matches_packet(pkt));
+}
+
+TEST(OfMatch, PrefixWildcards) {
+  OfMatch m = OfMatch::any();
+  m.wildcards &= ~wc::kDlType;
+  m.dl_type = 0x0800;
+  m.set_nw_dst_prefix((10u << 24) | (1u << 16), 16);  // 10.1/16
+  EXPECT_EQ(m.nw_dst_wild_bits(), 16u);
+  EXPECT_TRUE(m.matches_packet(concrete_udp(1, (10u << 24) | (1u << 16) | 55, 1, 1)));
+  EXPECT_FALSE(m.matches_packet(concrete_udp(1, (10u << 24) | (2u << 16) | 55, 1, 1)));
+}
+
+TEST(OfMatch, PrefixFullWildIsDontCare) {
+  OfMatch m = OfMatch::any();
+  m.set_nw_src_prefix(0xDEADBEEF, 0);  // /0 = anything
+  EXPECT_TRUE(m.matches_packet(concrete_udp(1, 2, 3, 4)));
+}
+
+TEST(OfMatch, CoversReflexive) {
+  const auto r = OfMatch::exact_5tuple(1, 2, 17, 3, 4);
+  EXPECT_TRUE(r.covers(r));
+  EXPECT_TRUE(OfMatch::any().covers(r));
+  EXPECT_FALSE(r.covers(OfMatch::any()));
+}
+
+TEST(OfMatch, CoversRespectsPrefixLengths) {
+  OfMatch wide = OfMatch::any();
+  wide.set_nw_dst_prefix(10u << 24, 8);  // 10/8
+  OfMatch narrow = OfMatch::any();
+  narrow.set_nw_dst_prefix((10u << 24) | (1 << 16), 16);  // 10.1/16
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  OfMatch other = OfMatch::any();
+  other.set_nw_dst_prefix(11u << 24, 8);  // 11/8
+  EXPECT_FALSE(wide.covers(other));
+}
+
+TEST(OfMatch, WireRoundTrip) {
+  OfMatch m = OfMatch::exact_5tuple(0x01020304, 0x05060708, 6, 1234, 80);
+  m.dl_src = net::MacAddr::from_index(1);
+  m.dl_vlan = 55;
+  m.nw_tos = 0xB8;
+  std::uint8_t buf[OfMatch::kWireSize];
+  m.write(buf);
+  const auto back = OfMatch::read(buf);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, m);
+}
+
+TEST(OfMatch, ReadRejectsShort) {
+  std::uint8_t buf[OfMatch::kWireSize - 1] = {};
+  EXPECT_FALSE(OfMatch::read(ByteSpan{buf, sizeof buf}));
+}
+
+// Property: if A covers B (both as rules) then any packet matching B also
+// matches A. Randomized over field subsets.
+TEST(OfMatchProperty, CoverImpliesMatchSubset) {
+  osnt::Rng rng{99};
+  int cover_pairs = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Random concrete packet from a small universe (to get collisions).
+    const std::uint32_t src = 1 + static_cast<std::uint32_t>(rng.uniform_int(0, 3));
+    const std::uint32_t dst = 1 + static_cast<std::uint32_t>(rng.uniform_int(0, 3));
+    const auto sp = static_cast<std::uint16_t>(rng.uniform_int(1, 3));
+    const auto dp = static_cast<std::uint16_t>(rng.uniform_int(1, 3));
+    const OfMatch pkt = concrete_udp(src, dst, sp, dp);
+
+    auto random_rule = [&] {
+      OfMatch r = OfMatch::any();
+      if (rng.chance(0.5)) {
+        r.wildcards &= ~wc::kDlType;
+        r.dl_type = 0x0800;
+      }
+      if (rng.chance(0.5)) {
+        r.wildcards &= ~wc::kNwProto;
+        r.nw_proto = 17;
+      }
+      if (rng.chance(0.5))
+        r.set_nw_src_prefix(1 + static_cast<std::uint32_t>(rng.uniform_int(0, 3)), 32);
+      if (rng.chance(0.5)) {
+        r.wildcards &= ~wc::kTpDst;
+        r.tp_dst = static_cast<std::uint16_t>(rng.uniform_int(1, 3));
+      }
+      return r;
+    };
+    const OfMatch a = random_rule();
+    const OfMatch b = random_rule();
+    if (a.covers(b)) {
+      ++cover_pairs;
+      if (b.matches_packet(pkt)) {
+        EXPECT_TRUE(a.matches_packet(pkt))
+            << "cover violated at trial " << trial;
+      }
+    }
+  }
+  EXPECT_GT(cover_pairs, 50);  // the property was actually exercised
+}
+
+}  // namespace
+}  // namespace osnt::openflow

@@ -1,0 +1,118 @@
+// Repeated-measurement statistics (mean ± 95% CI) and the action-latency
+// OFLOPS module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "osnt/common/random.hpp"
+#include "osnt/core/repeat.hpp"
+#include "osnt/oflops/action_latency.hpp"
+#include "osnt/oflops/context.hpp"
+
+namespace osnt {
+namespace {
+
+TEST(Repeat, ConstantTrialHasZeroCi) {
+  const auto r = core::run_repeated([](std::uint64_t) { return 5.0; }, 10);
+  EXPECT_DOUBLE_EQ(r.mean, 5.0);
+  EXPECT_DOUBLE_EQ(r.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(r.ci95_half, 0.0);
+  EXPECT_EQ(r.values.size(), 10u);
+}
+
+TEST(Repeat, SeedsArePassedInOrder) {
+  std::vector<std::uint64_t> seeds;
+  (void)core::run_repeated(
+      [&](std::uint64_t s) {
+        seeds.push_back(s);
+        return 0.0;
+      },
+      4);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(Repeat, CiCoversTrueMeanUsually) {
+  // Gaussian trials around 100: the 95% CI should contain 100 in the
+  // vast majority of meta-trials.
+  Rng meta{5};
+  int covered = 0;
+  const int meta_trials = 200;
+  for (int m = 0; m < meta_trials; ++m) {
+    Rng local{meta()};
+    const auto r = core::run_repeated(
+        [&](std::uint64_t) { return local.normal(100.0, 10.0); }, 10);
+    if (r.lo() <= 100.0 && 100.0 <= r.hi()) ++covered;
+  }
+  EXPECT_GT(covered, meta_trials * 0.88);  // ~95% nominal, slack for luck
+}
+
+TEST(Repeat, TTableSane) {
+  EXPECT_NEAR(core::t_critical_95(2), 12.706, 1e-3);   // df=1
+  EXPECT_NEAR(core::t_critical_95(10), 2.262, 1e-3);   // df=9
+  EXPECT_NEAR(core::t_critical_95(31), 2.042, 1e-3);   // df=30
+  EXPECT_NEAR(core::t_critical_95(1000), 1.96, 1e-9);  // normal limit
+  EXPECT_EQ(core::t_critical_95(1), 0.0);
+}
+
+TEST(Repeat, ZeroRepetitionsThrows) {
+  EXPECT_THROW(
+      (void)core::run_repeated([](std::uint64_t) { return 0.0; }, 0),
+      std::invalid_argument);
+}
+
+TEST(Repeat, RelativeCi) {
+  Rng rng{9};
+  const auto r = core::run_repeated(
+      [&](std::uint64_t) { return rng.normal(50.0, 5.0); }, 20);
+  EXPECT_GT(r.relative_ci(), 0.0);
+  EXPECT_LT(r.relative_ci(), 0.2);
+}
+
+// ------------------------------------------------- action latency module
+
+TEST(ActionLatency, SlowPathRewriteShowsUp) {
+  dut::OpenFlowSwitchConfig sw_cfg;
+  sw_cfg.action_modify_latency = 20 * kPicosPerMicro;  // slow-path switch
+  sw_cfg.latency_jitter_ns = 0;
+  oflops::Testbed tb{sw_cfg};
+  oflops::ActionLatencyConfig cfg;
+  cfg.samples_per_mode = 50;
+  oflops::ActionLatencyModule mod{cfg};
+  const auto rep = tb.ctx.run(mod, 120 * kPicosPerSec);
+
+  const SampleSet* plain = nullptr;
+  const SampleSet* rewrite = nullptr;
+  double overhead = -1;
+  for (const auto& [name, d] : rep.distributions) {
+    if (name == "forward_only_ns") plain = &d;
+    if (name == "vlan_rewrite_ns") rewrite = &d;
+  }
+  for (const auto& m : rep.scalars)
+    if (m.name == "action_overhead_ns") overhead = m.value;
+  ASSERT_NE(plain, nullptr);
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_EQ(plain->count(), 50u);
+  EXPECT_EQ(rewrite->count(), 50u);
+  // The 20 µs slow-path cost dominates the measured overhead.
+  EXPECT_NEAR(overhead, 20'000.0, 1'000.0);
+}
+
+TEST(ActionLatency, FastRewriteIsCheap) {
+  dut::OpenFlowSwitchConfig sw_cfg;
+  sw_cfg.action_modify_latency = 50 * kPicosPerNano;  // pipeline rewrite
+  sw_cfg.latency_jitter_ns = 0;
+  oflops::Testbed tb{sw_cfg};
+  oflops::ActionLatencyConfig cfg;
+  cfg.samples_per_mode = 30;
+  oflops::ActionLatencyModule mod{cfg};
+  const auto rep = tb.ctx.run(mod, 120 * kPicosPerSec);
+  for (const auto& m : rep.scalars) {
+    if (m.name == "action_overhead_ns") {
+      EXPECT_LT(m.value, 500.0);
+      EXPECT_GT(m.value, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osnt

@@ -1,0 +1,132 @@
+// RFC 2544 search logic, exercised against synthetic DUT behaviours.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "osnt/core/rfc2544.hpp"
+
+namespace osnt::core {
+namespace {
+
+/// Fake DUT that forwards loss-free up to `capacity` of line rate.
+TrialFn capacity_dut(double capacity) {
+  return [capacity](double load, std::size_t) {
+    TrialStats s;
+    s.tx_frames = 10000;
+    s.rx_frames = load <= capacity + 1e-12
+                      ? 10000
+                      : static_cast<std::uint64_t>(10000 * capacity / load);
+    s.offered_gbps = 10.0 * load;
+    return s;
+  };
+}
+
+TEST(Rfc2544, WireRateDutFoundInOneTrial) {
+  const auto pt = find_throughput(capacity_dut(1.0), 64);
+  EXPECT_DOUBLE_EQ(pt.max_load_fraction, 1.0);
+  EXPECT_EQ(pt.trials, 1u);
+  EXPECT_NEAR(pt.gbps, 10.0, 1e-6);
+  EXPECT_NEAR(pt.mpps, 14.88, 0.01);
+}
+
+TEST(Rfc2544, BinarySearchConvergesToCapacity) {
+  ThroughputSearchConfig cfg;
+  cfg.resolution = 0.002;
+  const auto pt = find_throughput(capacity_dut(0.63), 512, cfg);
+  EXPECT_NEAR(pt.max_load_fraction, 0.63, 0.002 + 1e-9);
+  EXPECT_LE(pt.max_load_fraction, 0.63 + 1e-9);  // never overshoots
+}
+
+TEST(Rfc2544, DeadDutReportsZero) {
+  const auto dead = [](double, std::size_t) {
+    TrialStats s;
+    s.tx_frames = 1000;
+    s.rx_frames = 0;
+    return s;
+  };
+  const auto pt = find_throughput(dead, 64);
+  EXPECT_EQ(pt.max_load_fraction, 0.0);
+  EXPECT_EQ(pt.gbps, 0.0);
+}
+
+TEST(Rfc2544, LossToleranceRelaxesSearch) {
+  // DUT always loses exactly 1%.
+  const auto lossy = [](double load, std::size_t) {
+    TrialStats s;
+    s.tx_frames = 10000;
+    s.rx_frames = 9900;
+    s.offered_gbps = 10.0 * load;
+    return s;
+  };
+  ThroughputSearchConfig strict;
+  EXPECT_EQ(find_throughput(lossy, 64, strict).max_load_fraction, 0.0);
+  ThroughputSearchConfig relaxed;
+  relaxed.loss_tolerance = 0.02;
+  EXPECT_DOUBLE_EQ(find_throughput(lossy, 64, relaxed).max_load_fraction, 1.0);
+}
+
+TEST(Rfc2544, SweepCoversAllSizes) {
+  const auto sizes = rfc2544_frame_sizes();
+  const auto pts = throughput_sweep(capacity_dut(1.0), sizes);
+  ASSERT_EQ(pts.size(), sizes.size());
+  EXPECT_EQ(pts.front().frame_size, 64u);
+  EXPECT_EQ(pts.back().frame_size, 1518u);
+  // Mpps decreases with frame size; Gb/s constant at wire rate.
+  EXPECT_GT(pts.front().mpps, pts.back().mpps);
+  EXPECT_NEAR(pts.front().gbps, pts.back().gbps, 1e-6);
+}
+
+TEST(Rfc2544, LossRateSweepMonotoneForQueueDut) {
+  // A DUT with 80% capacity: loss grows with offered load above that.
+  const auto ladder = loss_rate_sweep(capacity_dut(0.8), 256, 1.0, 0.2);
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_NEAR(ladder[0].load_fraction, 1.0, 1e-9);
+  EXPECT_NEAR(ladder[0].loss_fraction, 0.2, 0.01);
+  EXPECT_NEAR(ladder[1].loss_fraction, 0.0, 0.01);  // 0.8 load: no loss
+}
+
+TEST(Rfc2544, BackToBackFindsBufferLimit) {
+  // Fake DUT: forwards bursts up to 1000 frames, then tail-drops.
+  const auto dut = [](std::size_t burst, std::size_t) {
+    TrialStats s;
+    s.tx_frames = burst;
+    s.rx_frames = std::min<std::uint64_t>(burst, 1000);
+    return s;
+  };
+  const auto pt = find_back_to_back(dut, 64, 1 << 14);
+  EXPECT_EQ(pt.max_burst, 1000u);
+  EXPECT_LE(pt.trials, 16u);
+}
+
+TEST(Rfc2544, BackToBackUnlimitedDut) {
+  const auto perfect = [](std::size_t burst, std::size_t) {
+    TrialStats s;
+    s.tx_frames = burst;
+    s.rx_frames = burst;
+    return s;
+  };
+  const auto pt = find_back_to_back(perfect, 64, 4096);
+  EXPECT_EQ(pt.max_burst, 4096u);
+  EXPECT_EQ(pt.trials, 1u);
+}
+
+TEST(Rfc2544, BackToBackDeadDut) {
+  const auto dead = [](std::size_t burst, std::size_t) {
+    TrialStats s;
+    s.tx_frames = burst;
+    s.rx_frames = 0;
+    return s;
+  };
+  EXPECT_EQ(find_back_to_back(dead, 64, 1024).max_burst, 0u);
+}
+
+TEST(Rfc2544, TrialCountBounded) {
+  ThroughputSearchConfig cfg;
+  cfg.resolution = 0.001;
+  const auto pt = find_throughput(capacity_dut(0.5), 64, cfg);
+  // log2((1.0-0.02)/0.001) ≈ 10 trials, plus the ceiling probe.
+  EXPECT_LE(pt.trials, 12u);
+}
+
+}  // namespace
+}  // namespace osnt::core

@@ -1,0 +1,148 @@
+// Discrete-event engine invariants: ordering, determinism, cancellation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "osnt/sim/engine.hpp"
+
+namespace osnt::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(300, [&] { order.push_back(3); });
+  e.schedule_at(100, [&] { order.push_back(1); });
+  e.schedule_at(200, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 300);
+}
+
+TEST(Engine, SameTimeIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(50, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInPastClampsToNow) {
+  Engine e;
+  e.schedule_at(100, [] {});
+  e.run();
+  Picos fired_at = -1;
+  e.schedule_at(50, [&] { fired_at = e.now(); });
+  e.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.schedule_in(10, recurse);
+  };
+  e.schedule_at(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 40);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelTwiceFails) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelAfterFireFails) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelDefaultIdFails) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(EventId{}));
+}
+
+TEST(Engine, RunUntilAdvancesExactly) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(100, [&] { ++fired; });
+  e.schedule_at(200, [&] { ++fired; });
+  e.schedule_at(300, [&] { ++fired; });
+  e.run_until(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 200);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(1000);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(e.now(), 1000);
+}
+
+TEST(Engine, RunUntilWithCancelledHead) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(50, [&] { fired = true; });
+  e.schedule_at(150, [] {});
+  e.cancel(id);
+  e.run_until(100);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.now(), 100);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, PendingCountsLiveEventsOnly) {
+  Engine e;
+  const EventId a = e.schedule_at(10, [] {});
+  e.schedule_at(20, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, EventsProcessedCounter) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 7u);
+}
+
+TEST(Engine, DeterministicInterleaving) {
+  // Two runs with the same schedule produce identical orders.
+  auto run_once = [] {
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_at((i * 37) % 100, [&order, i] { order.push_back(i); });
+    }
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace osnt::sim

@@ -1,0 +1,92 @@
+// SNMP agent: response latency, snapshot staleness, unknown OIDs.
+#include <gtest/gtest.h>
+
+#include "osnt/dut/snmp.hpp"
+
+namespace osnt::dut {
+namespace {
+
+TEST(Snmp, RespondsAfterLatency) {
+  sim::Engine eng;
+  SnmpConfig cfg;
+  cfg.response_latency = 5 * kPicosPerMilli;
+  cfg.response_jitter_ms = 0;
+  SnmpAgent agent{eng, cfg};
+  agent.register_counter("x", [] { return 42u; });
+  Picos answered = -1;
+  std::uint64_t value = 0;
+  agent.get("x", [&](std::string, std::uint64_t v, Picos t) {
+    value = v;
+    answered = t;
+  });
+  eng.run();
+  EXPECT_EQ(value, 42u);
+  EXPECT_EQ(answered, 5 * kPicosPerMilli);
+  EXPECT_EQ(agent.polls_served(), 1u);
+}
+
+TEST(Snmp, SnapshotsAreStaleWithinRefreshWindow) {
+  sim::Engine eng;
+  SnmpConfig cfg;
+  cfg.refresh_interval = kPicosPerSec;
+  cfg.response_jitter_ms = 0;
+  SnmpAgent agent{eng, cfg};
+  std::uint64_t live = 1;
+  agent.register_counter("c", [&] { return live; });
+
+  std::vector<std::uint64_t> observed;
+  auto poll = [&] {
+    agent.get("c", [&](std::string, std::uint64_t v, Picos) {
+      observed.push_back(v);
+    });
+  };
+  // First poll at t=0 snapshots live=1.
+  poll();
+  eng.run();
+  // Counter changes, but a poll within the same refresh window still
+  // sees the old snapshot.
+  live = 100;
+  eng.schedule_at(500 * kPicosPerMilli, poll);
+  eng.run();
+  // After the refresh boundary the new value is visible.
+  eng.schedule_at(1500 * kPicosPerMilli, poll);
+  eng.run();
+  ASSERT_EQ(observed.size(), 3u);
+  EXPECT_EQ(observed[0], 1u);
+  EXPECT_EQ(observed[1], 1u);    // stale!
+  EXPECT_EQ(observed[2], 100u);  // refreshed
+}
+
+TEST(Snmp, UnknownOidAnswersZero) {
+  sim::Engine eng;
+  SnmpAgent agent{eng};
+  std::uint64_t value = 99;
+  agent.get("no.such.oid", [&](std::string, std::uint64_t v, Picos) {
+    value = v;
+  });
+  eng.run();
+  EXPECT_EQ(value, 0u);
+}
+
+TEST(Snmp, JitterVariesResponseTimes) {
+  sim::Engine eng;
+  SnmpConfig cfg;
+  cfg.response_jitter_ms = 2.0;
+  SnmpAgent agent{eng, cfg};
+  agent.register_counter("x", [] { return 1u; });
+  std::vector<Picos> times;
+  for (int i = 0; i < 20; ++i)
+    agent.get("x", [&](std::string, std::uint64_t, Picos t) {
+      times.push_back(t);
+    });
+  eng.run();
+  ASSERT_EQ(times.size(), 20u);
+  // Not all identical (jitter applied per poll).
+  bool varied = false;
+  for (std::size_t i = 1; i < times.size(); ++i)
+    if (times[i] - times[0] != static_cast<Picos>(i) * 0) varied |= times[i] != times[0];
+  EXPECT_TRUE(varied);
+}
+
+}  // namespace
+}  // namespace osnt::dut

@@ -1,0 +1,153 @@
+// Trace splitting across ports + windowed rate series.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "osnt/gen/splitter.hpp"
+#include "osnt/mon/rate_series.hpp"
+#include "osnt/net/builder.hpp"
+#include "osnt/net/flow.hpp"
+
+namespace osnt {
+namespace {
+
+std::vector<net::PcapRecord> trace_with_flows(std::size_t flows,
+                                              std::size_t per_flow) {
+  std::vector<net::PcapRecord> recs;
+  std::uint64_t t = 0;
+  for (std::size_t p = 0; p < per_flow; ++p) {
+    for (std::size_t f = 0; f < flows; ++f) {
+      net::PacketBuilder b;
+      const auto pkt =
+          b.eth(net::MacAddr::from_index(1), net::MacAddr::from_index(2))
+              .ipv4(net::Ipv4Addr::of(10, 0, 0, 1),
+                    net::Ipv4Addr::of(10, 0, 1, static_cast<std::uint8_t>(f + 1)),
+                    net::ipproto::kUdp)
+              .udp(static_cast<std::uint16_t>(1000 + f), 5001)
+              .build();
+      net::PcapRecord rec;
+      rec.ts_nanos = t;
+      t += 1000;
+      rec.data = pkt.data;
+      rec.orig_len = static_cast<std::uint32_t>(pkt.size());
+      recs.push_back(std::move(rec));
+    }
+  }
+  return recs;
+}
+
+TEST(Splitter, PartitionsAllRecords) {
+  const auto trace = trace_with_flows(16, 10);
+  const auto sources = gen::split_trace(trace, 4);
+  ASSERT_EQ(sources.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& src : sources)
+    if (src) total += src->trace_size();
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST(Splitter, FlowsNeverStraddlePorts) {
+  const auto trace = trace_with_flows(16, 10);
+  auto sources = gen::split_trace(trace, 4);
+  std::unordered_map<std::uint64_t, std::size_t> flow_to_port;
+  for (std::size_t port = 0; port < sources.size(); ++port) {
+    if (!sources[port]) continue;
+    while (auto tp = sources[port]->next()) {
+      const auto flow = net::extract_flow(tp->pkt.bytes());
+      ASSERT_TRUE(flow);
+      const auto [it, inserted] =
+          flow_to_port.try_emplace(flow->hash(), port);
+      EXPECT_EQ(it->second, port) << "flow split across ports";
+    }
+  }
+  EXPECT_EQ(flow_to_port.size(), 16u);
+}
+
+TEST(Splitter, SinglePortIsIdentity) {
+  const auto trace = trace_with_flows(4, 3);
+  const auto sources = gen::split_trace(trace, 1);
+  ASSERT_EQ(sources.size(), 1u);
+  ASSERT_TRUE(sources[0]);
+  EXPECT_EQ(sources[0]->trace_size(), trace.size());
+}
+
+TEST(Splitter, ZeroPortsThrows) {
+  EXPECT_THROW((void)gen::split_trace({}, 0), std::invalid_argument);
+}
+
+TEST(Splitter, NonIpRoundRobins) {
+  std::vector<net::PcapRecord> recs;
+  for (int i = 0; i < 8; ++i) {
+    net::PacketBuilder b;
+    const auto arp =
+        b.eth(net::MacAddr::from_index(1), net::MacAddr::broadcast())
+            .arp(1, net::MacAddr::from_index(1), net::Ipv4Addr::of(1, 1, 1, 1),
+                 net::MacAddr{}, net::Ipv4Addr::of(1, 1, 1, 2))
+            .build();
+    net::PcapRecord rec;
+    rec.ts_nanos = static_cast<std::uint64_t>(i);
+    rec.data = arp.data;
+    recs.push_back(std::move(rec));
+  }
+  const auto sources = gen::split_trace(recs, 4);
+  for (const auto& src : sources) {
+    ASSERT_TRUE(src);
+    EXPECT_EQ(src->trace_size(), 2u);
+  }
+}
+
+// -------------------------------------------------------------- series
+
+TEST(RateSeries, BucketsAccumulate) {
+  mon::RateSeries s{kPicosPerMilli};
+  s.record(100, 1000);                    // bucket 0
+  s.record(kPicosPerMilli + 1, 500);      // bucket 1
+  s.record(kPicosPerMilli + 2, 500);      // bucket 1
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.bucket(0).frames, 1u);
+  EXPECT_EQ(s.bucket(0).line_bytes, 1000u);
+  EXPECT_EQ(s.bucket(1).frames, 2u);
+  EXPECT_EQ(s.bucket(1).start, kPicosPerMilli);
+}
+
+TEST(RateSeries, GbpsMath) {
+  mon::RateSeries s{kPicosPerMilli};
+  // 1.25 MB in 1 ms = 10 Gb/s.
+  s.record(0, 1'250'000);
+  EXPECT_NEAR(s.bucket(0).gbps(s.bucket_width()), 10.0, 1e-9);
+  EXPECT_NEAR(s.peak_gbps(), 10.0, 1e-9);
+}
+
+TEST(RateSeries, GapBucketsAreZero) {
+  mon::RateSeries s{kPicosPerMilli};
+  s.record(0, 100);
+  s.record(5 * kPicosPerMilli, 100);
+  ASSERT_EQ(s.size(), 6u);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(s.bucket(i).frames, 0u);
+}
+
+TEST(RateSeries, FirstDipFindsTransition) {
+  mon::RateSeries s{kPicosPerMilli};
+  for (int ms = 0; ms < 10; ++ms) {
+    if (ms == 4 || ms == 5) continue;  // the dip
+    s.record(static_cast<Picos>(ms) * kPicosPerMilli + 1, 1'250'000);
+  }
+  EXPECT_EQ(s.first_dip_below(5.0), 4);
+  EXPECT_EQ(s.first_dip_below(0.0001), 4);
+  mon::RateSeries flat{kPicosPerMilli};
+  flat.record(0, 100);
+  EXPECT_EQ(flat.first_dip_below(1e-6), -1);
+}
+
+TEST(RateSeries, RejectsBadWidth) {
+  EXPECT_THROW(mon::RateSeries{0}, std::invalid_argument);
+}
+
+TEST(RateSeries, NegativeTimeIgnored) {
+  mon::RateSeries s{kPicosPerMilli};
+  s.record(-5, 100);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+}  // namespace
+}  // namespace osnt

@@ -1,0 +1,291 @@
+// osnt_run — the command-line driver (the paper's "software driver
+// supporting command-line interfaces"). Subcommands build a simulated
+// testbed and run one measurement:
+//
+//   osnt_run latency    [--rate-gbps N] [--frame-size N] [--duration-ms N]
+//                       [--dut none|legacy|lossy] [--poisson]
+//   osnt_run throughput [--frame-size N] [--resolution F] [--dut ...]
+//   osnt_run capture    [--rate-gbps N] [--snap N] [--flows N]
+//                       [--pcap-out PATH]
+//   osnt_run oflops     [--module M] [--table-size N] [--rounds N]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "osnt/common/cli.hpp"
+#include "osnt/core/device.hpp"
+#include "osnt/core/measure.hpp"
+#include "osnt/core/rfc2544.hpp"
+#include "osnt/dut/legacy_switch.hpp"
+#include "osnt/net/builder.hpp"
+#include "osnt/mon/flow_stats.hpp"
+#include "osnt/oflops/consistency.hpp"
+#include "osnt/oflops/context.hpp"
+#include "osnt/oflops/echo_rtt.hpp"
+#include "osnt/oflops/flowmod_latency.hpp"
+#include "osnt/oflops/packet_in_latency.hpp"
+#include "osnt/oflops/interaction.hpp"
+#include "osnt/oflops/queue_delay.hpp"
+#include "osnt/oflops/stats_poll.hpp"
+#include "osnt/topo/fabric.hpp"
+
+using namespace osnt;
+
+namespace {
+
+struct DutHolder {
+  std::unique_ptr<dut::LegacySwitch> sw;
+};
+
+/// Wire OSNT port 0 → DUT → OSNT port 1 (or back-to-back for "none").
+DutHolder wire(sim::Engine& eng, core::OsntDevice& osnt,
+               const std::string& dut) {
+  DutHolder h;
+  if (dut == "none") {
+    hw::connect(osnt.port(0), osnt.port(1));
+    return h;
+  }
+  dut::LegacySwitchConfig cfg;
+  if (dut == "lossy") cfg.lookup_rate_mpps = 2.0;
+  h.sw = std::make_unique<dut::LegacySwitch>(eng, cfg);
+  hw::connect(osnt.port(0), h.sw->port(0));
+  hw::connect(osnt.port(1), h.sw->port(1));
+  // Prime MAC learning for the monitor-side address.
+  net::PacketBuilder b;
+  (void)osnt.port(1).tx().transmit(
+      b.eth(net::MacAddr::from_index(2), net::MacAddr::from_index(1))
+          .ipv4(net::Ipv4Addr::of(10, 0, 1, 1), net::Ipv4Addr::of(10, 0, 0, 1),
+                net::ipproto::kUdp)
+          .udp(5001, 1024)
+          .build());
+  eng.run();
+  return h;
+}
+
+int cmd_latency(int argc, const char* const* argv) {
+  double rate_gbps = 1.0, duration_ms = 5.0;
+  std::int64_t frame_size = 256;
+  std::string dut = "legacy";
+  bool poisson = false;
+  CliParser cli{"osnt_run latency — one-way latency/jitter through a DUT"};
+  cli.add_flag("rate-gbps", &rate_gbps, "offered L1 rate");
+  cli.add_flag("frame-size", &frame_size, "frame size incl. FCS");
+  cli.add_flag("duration-ms", &duration_ms, "simulated test duration");
+  cli.add_flag("dut", &dut, "device under test: none|legacy|lossy");
+  cli.add_flag("poisson", &poisson, "Poisson arrivals instead of CBR");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  sim::Engine eng;
+  core::OsntDevice osnt{eng};
+  auto holder = wire(eng, osnt, dut);
+
+  core::TrafficSpec spec;
+  spec.rate = gen::RateSpec::gbps(rate_gbps);
+  spec.frame_size = static_cast<std::size_t>(frame_size);
+  if (poisson) spec.arrivals = core::TrafficSpec::Arrivals::kPoisson;
+  const auto r = core::run_capture_test(eng, osnt, 0, 1, spec,
+                                        from_micros(duration_ms * 1000.0));
+  std::printf("tx %llu  rx %llu  loss %.4f%%  offered %.3f Gb/s\n",
+              static_cast<unsigned long long>(r.tx_frames),
+              static_cast<unsigned long long>(r.rx_frames),
+              r.loss_fraction() * 100.0, r.offered_gbps);
+  std::printf("latency ns: min %.1f p50 %.1f p99 %.1f max %.1f\n",
+              r.latency_ns.min(), r.latency_ns.quantile(0.5),
+              r.latency_ns.quantile(0.99), r.latency_ns.max());
+  std::printf("jitter ns:  p50 %.2f p99 %.2f\n", r.jitter_ns.quantile(0.5),
+              r.jitter_ns.quantile(0.99));
+  return 0;
+}
+
+int cmd_throughput(int argc, const char* const* argv) {
+  std::int64_t frame_size = 0;  // 0 = full RFC 2544 sweep
+  double resolution = 0.01;
+  std::string dut = "legacy";
+  CliParser cli{"osnt_run throughput — RFC 2544 zero-loss search"};
+  cli.add_flag("frame-size", &frame_size, "single size, or 0 for the sweep");
+  cli.add_flag("resolution", &resolution, "search resolution (fraction)");
+  cli.add_flag("dut", &dut, "device under test: none|legacy|lossy");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  const auto trial = [&](double load, std::size_t fs) {
+    sim::Engine eng;
+    core::OsntDevice osnt{eng};
+    auto holder = wire(eng, osnt, dut);
+    core::TrafficSpec spec;
+    spec.rate = gen::RateSpec::line_rate(load);
+    spec.frame_size = fs;
+    const auto r = core::run_capture_test(eng, osnt, 0, 1, spec, kPicosPerMilli);
+    core::TrialStats s;
+    s.tx_frames = r.tx_frames;
+    s.rx_frames = r.rx_frames;
+    s.offered_gbps = r.offered_gbps;
+    s.latency_ns = r.latency_ns;
+    return s;
+  };
+
+  core::ThroughputSearchConfig cfg;
+  cfg.resolution = resolution;
+  std::printf("%7s %12s %10s %10s\n", "size", "zero-loss", "Gb/s", "Mpps");
+  if (frame_size > 0) {
+    const auto pt =
+        core::find_throughput(trial, static_cast<std::size_t>(frame_size), cfg);
+    std::printf("%6zuB %11.1f%% %10.3f %10.3f\n", pt.frame_size,
+                pt.max_load_fraction * 100.0, pt.gbps, pt.mpps);
+  } else {
+    for (const auto& pt :
+         core::throughput_sweep(trial, core::rfc2544_frame_sizes(), cfg)) {
+      std::printf("%6zuB %11.1f%% %10.3f %10.3f\n", pt.frame_size,
+                  pt.max_load_fraction * 100.0, pt.gbps, pt.mpps);
+    }
+  }
+  return 0;
+}
+
+int cmd_capture(int argc, const char* const* argv) {
+  double rate_gbps = 4.0;
+  std::int64_t snap = 0, flows = 16;
+  std::string pcap_out;
+  CliParser cli{"osnt_run capture — capture a traffic mix, report flows"};
+  cli.add_flag("rate-gbps", &rate_gbps, "offered L1 rate");
+  cli.add_flag("snap", &snap, "cutter snap length (0 = full frames)");
+  cli.add_flag("flows", &flows, "concurrent flows");
+  cli.add_flag("pcap-out", &pcap_out, "write the capture to this .pcap");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  sim::Engine eng;
+  core::OsntDevice osnt{eng};
+  hw::connect(osnt.port(0), osnt.port(1));
+  osnt.rx(1).cutter().set_snap_len(static_cast<std::size_t>(snap));
+
+  core::TrafficSpec spec;
+  spec.rate = gen::RateSpec::gbps(rate_gbps);
+  spec.sizes = core::TrafficSpec::Sizes::kImix;
+  spec.flow_count = static_cast<std::uint32_t>(flows);
+  const auto r =
+      core::run_capture_test(eng, osnt, 0, 1, spec, 5 * kPicosPerMilli);
+
+  std::printf("captured %llu records (DMA drops %llu)\n",
+              static_cast<unsigned long long>(r.captured),
+              static_cast<unsigned long long>(r.dma_drops));
+  mon::FlowStatsCollector collector;
+  collector.add_all(osnt.capture());
+  std::printf("%zu flows; top talkers:\n", collector.flow_count());
+  for (const auto& f : collector.top_by_bytes(5)) {
+    std::printf("  %s:%u > %s:%u  %llu pkts  %llu bytes  %.2f Mb/s\n",
+                f.key.src_ip.to_string().c_str(), f.key.src_port,
+                f.key.dst_ip.to_string().c_str(), f.key.dst_port,
+                static_cast<unsigned long long>(f.packets),
+                static_cast<unsigned long long>(f.bytes),
+                f.mean_rate_bps() / 1e6);
+  }
+  if (!pcap_out.empty()) {
+    osnt.capture().write_pcap(pcap_out);
+    std::printf("wrote %zu records to %s\n", osnt.capture().size(),
+                pcap_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_oflops(int argc, const char* const* argv) {
+  std::string module = "flowmod";
+  std::int64_t table_size = 128, rounds = 10;
+  CliParser cli{
+      "osnt_run oflops — OFLOPS-turbo module against an OpenFlow switch"};
+  cli.add_flag("module", &module,
+               "echo|packet_in|flowmod|consistency|stats_poll|queue_delay|interaction");
+  cli.add_flag("table-size", &table_size, "flow table occupancy");
+  cli.add_flag("rounds", &rounds, "measurement rounds (flowmod)");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  dut::OpenFlowSwitchConfig sw_cfg;
+  sw_cfg.commit_base = 2 * kPicosPerMilli;
+  sw_cfg.table.max_entries = 16384;
+  oflops::Testbed tb{sw_cfg};
+
+  std::unique_ptr<oflops::MeasurementModule> mod;
+  if (module == "echo") {
+    mod = std::make_unique<oflops::EchoRttModule>();
+  } else if (module == "packet_in") {
+    mod = std::make_unique<oflops::PacketInLatencyModule>();
+  } else if (module == "flowmod") {
+    oflops::FlowModLatencyConfig cfg;
+    cfg.table_size = static_cast<std::size_t>(table_size);
+    cfg.rounds = static_cast<std::size_t>(rounds);
+    mod = std::make_unique<oflops::FlowModLatencyModule>(cfg);
+  } else if (module == "consistency") {
+    oflops::ConsistencyConfig cfg;
+    cfg.rule_count = static_cast<std::size_t>(table_size);
+    mod = std::make_unique<oflops::ConsistencyModule>(cfg);
+  } else if (module == "stats_poll") {
+    oflops::StatsPollConfig cfg;
+    cfg.table_size = static_cast<std::size_t>(table_size);
+    mod = std::make_unique<oflops::StatsPollModule>(cfg);
+  } else if (module == "queue_delay") {
+    mod = std::make_unique<oflops::QueueDelayModule>();
+  } else if (module == "interaction") {
+    mod = std::make_unique<oflops::InteractionModule>();
+  } else {
+    std::fprintf(stderr, "unknown module '%s'\n", module.c_str());
+    return 1;
+  }
+  tb.ctx.run(*mod, 600 * kPicosPerSec).print();
+  return 0;
+}
+
+int cmd_fleet(int argc, const char* const* argv) {
+  std::int64_t leaves = 2, spines = 2, per_leaf = 2, frames = 100;
+  CliParser cli{"osnt_run fleet — latency matrix over a leaf-spine fabric"};
+  cli.add_flag("leaves", &leaves, "leaf switches");
+  cli.add_flag("spines", &spines, "spine switches");
+  cli.add_flag("per-leaf", &per_leaf, "testers per leaf");
+  cli.add_flag("frames", &frames, "probes per pair");
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  sim::Engine eng;
+  topo::FabricConfig cfg;
+  cfg.leaves = static_cast<std::size_t>(leaves);
+  cfg.spines = static_cast<std::size_t>(spines);
+  cfg.testers_per_leaf = static_cast<std::size_t>(per_leaf);
+  topo::LeafSpineFabric fabric{eng, cfg};
+  const std::size_t n = fabric.tester_count();
+  std::printf("p50 one-way latency (ns), %zu testers:\n      ", n);
+  for (std::size_t j = 0; j < n; ++j) std::printf("   T%-3zu ", j);
+  std::printf("\n");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("  T%-3zu", i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        std::printf("%8s", "-");
+        continue;
+      }
+      std::printf("%8.0f", fabric
+                               .measure_latency(i, j,
+                                                static_cast<std::size_t>(frames))
+                               .quantile(0.5));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: osnt_run <latency|throughput|capture|oflops|fleet> "
+                 "[flags]\n       osnt_run <cmd> --help\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (cmd == "latency") return cmd_latency(sub_argc, sub_argv);
+  if (cmd == "throughput") return cmd_throughput(sub_argc, sub_argv);
+  if (cmd == "capture") return cmd_capture(sub_argc, sub_argv);
+  if (cmd == "oflops") return cmd_oflops(sub_argc, sub_argv);
+  if (cmd == "fleet") return cmd_fleet(sub_argc, sub_argv);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}
