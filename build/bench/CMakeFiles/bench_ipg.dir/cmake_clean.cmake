@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipg.dir/bench_ipg.cpp.o"
+  "CMakeFiles/bench_ipg.dir/bench_ipg.cpp.o.d"
+  "bench_ipg"
+  "bench_ipg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jitter_fidelity.dir/bench_jitter_fidelity.cpp.o"
+  "CMakeFiles/bench_jitter_fidelity.dir/bench_jitter_fidelity.cpp.o.d"
+  "bench_jitter_fidelity"
+  "bench_jitter_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jitter_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

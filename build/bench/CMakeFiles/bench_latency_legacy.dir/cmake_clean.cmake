@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_legacy.dir/bench_latency_legacy.cpp.o"
+  "CMakeFiles/bench_latency_legacy.dir/bench_latency_legacy.cpp.o.d"
+  "bench_latency_legacy"
+  "bench_latency_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

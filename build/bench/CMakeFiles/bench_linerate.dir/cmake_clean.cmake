@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linerate.dir/bench_linerate.cpp.o"
+  "CMakeFiles/bench_linerate.dir/bench_linerate.cpp.o.d"
+  "bench_linerate"
+  "bench_linerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

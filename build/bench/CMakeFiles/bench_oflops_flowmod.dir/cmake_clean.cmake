@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oflops_flowmod.dir/bench_oflops_flowmod.cpp.o"
+  "CMakeFiles/bench_oflops_flowmod.dir/bench_oflops_flowmod.cpp.o.d"
+  "bench_oflops_flowmod"
+  "bench_oflops_flowmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oflops_flowmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_switch_test.dir/legacy_switch_test.cpp.o"
+  "CMakeFiles/legacy_switch_test.dir/legacy_switch_test.cpp.o.d"
+  "legacy_switch_test"
+  "legacy_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_card.dir/multi_card.cpp.o"
+  "CMakeFiles/multi_card.dir/multi_card.cpp.o.d"
+  "multi_card"
+  "multi_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

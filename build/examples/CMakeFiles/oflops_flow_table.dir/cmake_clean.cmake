@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oflops_flow_table.dir/oflops_flow_table.cpp.o"
+  "CMakeFiles/oflops_flow_table.dir/oflops_flow_table.cpp.o.d"
+  "oflops_flow_table"
+  "oflops_flow_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oflops_flow_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfc2544_suite.dir/rfc2544_suite.cpp.o"
+  "CMakeFiles/rfc2544_suite.dir/rfc2544_suite.cpp.o.d"
+  "rfc2544_suite"
+  "rfc2544_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfc2544_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/osnt.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/crc.cpp" "src/CMakeFiles/osnt.dir/common/crc.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/common/crc.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/CMakeFiles/osnt.dir/common/hash.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/common/hash.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/osnt.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/osnt.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/osnt.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "src/CMakeFiles/osnt.dir/core/device.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/core/device.cpp.o.d"
+  "/root/repo/src/core/measure.cpp" "src/CMakeFiles/osnt.dir/core/measure.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/core/measure.cpp.o.d"
+  "/root/repo/src/core/repeat.cpp" "src/CMakeFiles/osnt.dir/core/repeat.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/core/repeat.cpp.o.d"
+  "/root/repo/src/core/rfc2544.cpp" "src/CMakeFiles/osnt.dir/core/rfc2544.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/core/rfc2544.cpp.o.d"
+  "/root/repo/src/core/self_test.cpp" "src/CMakeFiles/osnt.dir/core/self_test.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/core/self_test.cpp.o.d"
+  "/root/repo/src/dut/legacy_switch.cpp" "src/CMakeFiles/osnt.dir/dut/legacy_switch.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/dut/legacy_switch.cpp.o.d"
+  "/root/repo/src/dut/openflow_switch.cpp" "src/CMakeFiles/osnt.dir/dut/openflow_switch.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/dut/openflow_switch.cpp.o.d"
+  "/root/repo/src/dut/snmp.cpp" "src/CMakeFiles/osnt.dir/dut/snmp.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/dut/snmp.cpp.o.d"
+  "/root/repo/src/gen/frag_source.cpp" "src/CMakeFiles/osnt.dir/gen/frag_source.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/gen/frag_source.cpp.o.d"
+  "/root/repo/src/gen/models.cpp" "src/CMakeFiles/osnt.dir/gen/models.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/gen/models.cpp.o.d"
+  "/root/repo/src/gen/rate.cpp" "src/CMakeFiles/osnt.dir/gen/rate.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/gen/rate.cpp.o.d"
+  "/root/repo/src/gen/replay.cpp" "src/CMakeFiles/osnt.dir/gen/replay.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/gen/replay.cpp.o.d"
+  "/root/repo/src/gen/splitter.cpp" "src/CMakeFiles/osnt.dir/gen/splitter.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/gen/splitter.cpp.o.d"
+  "/root/repo/src/gen/synth.cpp" "src/CMakeFiles/osnt.dir/gen/synth.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/gen/synth.cpp.o.d"
+  "/root/repo/src/gen/template_gen.cpp" "src/CMakeFiles/osnt.dir/gen/template_gen.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/gen/template_gen.cpp.o.d"
+  "/root/repo/src/gen/tx_pipeline.cpp" "src/CMakeFiles/osnt.dir/gen/tx_pipeline.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/gen/tx_pipeline.cpp.o.d"
+  "/root/repo/src/hw/dma.cpp" "src/CMakeFiles/osnt.dir/hw/dma.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/hw/dma.cpp.o.d"
+  "/root/repo/src/hw/fifo.cpp" "src/CMakeFiles/osnt.dir/hw/fifo.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/hw/fifo.cpp.o.d"
+  "/root/repo/src/hw/mac10g.cpp" "src/CMakeFiles/osnt.dir/hw/mac10g.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/hw/mac10g.cpp.o.d"
+  "/root/repo/src/hw/port.cpp" "src/CMakeFiles/osnt.dir/hw/port.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/hw/port.cpp.o.d"
+  "/root/repo/src/mon/capture.cpp" "src/CMakeFiles/osnt.dir/mon/capture.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/mon/capture.cpp.o.d"
+  "/root/repo/src/mon/cutter.cpp" "src/CMakeFiles/osnt.dir/mon/cutter.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/mon/cutter.cpp.o.d"
+  "/root/repo/src/mon/filter.cpp" "src/CMakeFiles/osnt.dir/mon/filter.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/mon/filter.cpp.o.d"
+  "/root/repo/src/mon/flow_stats.cpp" "src/CMakeFiles/osnt.dir/mon/flow_stats.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/mon/flow_stats.cpp.o.d"
+  "/root/repo/src/mon/rate_series.cpp" "src/CMakeFiles/osnt.dir/mon/rate_series.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/mon/rate_series.cpp.o.d"
+  "/root/repo/src/mon/rx_pipeline.cpp" "src/CMakeFiles/osnt.dir/mon/rx_pipeline.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/mon/rx_pipeline.cpp.o.d"
+  "/root/repo/src/mon/stats_block.cpp" "src/CMakeFiles/osnt.dir/mon/stats_block.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/mon/stats_block.cpp.o.d"
+  "/root/repo/src/net/builder.cpp" "src/CMakeFiles/osnt.dir/net/builder.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/builder.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/CMakeFiles/osnt.dir/net/checksum.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/checksum.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/CMakeFiles/osnt.dir/net/flow.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/flow.cpp.o.d"
+  "/root/repo/src/net/fragment.cpp" "src/CMakeFiles/osnt.dir/net/fragment.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/fragment.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/osnt.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/osnt.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/parser.cpp" "src/CMakeFiles/osnt.dir/net/parser.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/parser.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/CMakeFiles/osnt.dir/net/pcap.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/pcap.cpp.o.d"
+  "/root/repo/src/net/pcapng.cpp" "src/CMakeFiles/osnt.dir/net/pcapng.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/pcapng.cpp.o.d"
+  "/root/repo/src/net/tcp_options.cpp" "src/CMakeFiles/osnt.dir/net/tcp_options.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/net/tcp_options.cpp.o.d"
+  "/root/repo/src/oflops/action_latency.cpp" "src/CMakeFiles/osnt.dir/oflops/action_latency.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/action_latency.cpp.o.d"
+  "/root/repo/src/oflops/consistency.cpp" "src/CMakeFiles/osnt.dir/oflops/consistency.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/consistency.cpp.o.d"
+  "/root/repo/src/oflops/context.cpp" "src/CMakeFiles/osnt.dir/oflops/context.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/context.cpp.o.d"
+  "/root/repo/src/oflops/echo_rtt.cpp" "src/CMakeFiles/osnt.dir/oflops/echo_rtt.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/echo_rtt.cpp.o.d"
+  "/root/repo/src/oflops/flowmod_latency.cpp" "src/CMakeFiles/osnt.dir/oflops/flowmod_latency.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/flowmod_latency.cpp.o.d"
+  "/root/repo/src/oflops/interaction.cpp" "src/CMakeFiles/osnt.dir/oflops/interaction.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/interaction.cpp.o.d"
+  "/root/repo/src/oflops/module.cpp" "src/CMakeFiles/osnt.dir/oflops/module.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/module.cpp.o.d"
+  "/root/repo/src/oflops/packet_in_latency.cpp" "src/CMakeFiles/osnt.dir/oflops/packet_in_latency.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/packet_in_latency.cpp.o.d"
+  "/root/repo/src/oflops/packet_out_latency.cpp" "src/CMakeFiles/osnt.dir/oflops/packet_out_latency.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/packet_out_latency.cpp.o.d"
+  "/root/repo/src/oflops/queue_delay.cpp" "src/CMakeFiles/osnt.dir/oflops/queue_delay.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/queue_delay.cpp.o.d"
+  "/root/repo/src/oflops/stats_poll.cpp" "src/CMakeFiles/osnt.dir/oflops/stats_poll.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/oflops/stats_poll.cpp.o.d"
+  "/root/repo/src/openflow/channel.cpp" "src/CMakeFiles/osnt.dir/openflow/channel.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/openflow/channel.cpp.o.d"
+  "/root/repo/src/openflow/flow_table.cpp" "src/CMakeFiles/osnt.dir/openflow/flow_table.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/openflow/flow_table.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "src/CMakeFiles/osnt.dir/openflow/match.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/openflow/match.cpp.o.d"
+  "/root/repo/src/openflow/messages.cpp" "src/CMakeFiles/osnt.dir/openflow/messages.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/openflow/messages.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/osnt.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/CMakeFiles/osnt.dir/sim/link.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/sim/link.cpp.o.d"
+  "/root/repo/src/topo/fabric.cpp" "src/CMakeFiles/osnt.dir/topo/fabric.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/topo/fabric.cpp.o.d"
+  "/root/repo/src/tstamp/embed.cpp" "src/CMakeFiles/osnt.dir/tstamp/embed.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/tstamp/embed.cpp.o.d"
+  "/root/repo/src/tstamp/gps.cpp" "src/CMakeFiles/osnt.dir/tstamp/gps.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/tstamp/gps.cpp.o.d"
+  "/root/repo/src/tstamp/oscillator.cpp" "src/CMakeFiles/osnt.dir/tstamp/oscillator.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/tstamp/oscillator.cpp.o.d"
+  "/root/repo/src/tstamp/timestamp.cpp" "src/CMakeFiles/osnt.dir/tstamp/timestamp.cpp.o" "gcc" "src/CMakeFiles/osnt.dir/tstamp/timestamp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

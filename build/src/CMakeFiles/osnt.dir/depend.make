@@ -1,0 +1,2 @@
+# Empty dependencies file for osnt.
+# This may be replaced when dependencies are built.

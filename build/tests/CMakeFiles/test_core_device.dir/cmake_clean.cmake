@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_device.dir/test_core_device.cpp.o"
+  "CMakeFiles/test_core_device.dir/test_core_device.cpp.o.d"
+  "test_core_device"
+  "test_core_device.pdb"
+  "test_core_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mon.dir/test_mon.cpp.o"
+  "CMakeFiles/test_mon.dir/test_mon.cpp.o.d"
+  "test_mon"
+  "test_mon.pdb"
+  "test_mon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

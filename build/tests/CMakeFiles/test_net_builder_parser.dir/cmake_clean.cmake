@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_builder_parser.dir/test_net_builder_parser.cpp.o"
+  "CMakeFiles/test_net_builder_parser.dir/test_net_builder_parser.cpp.o.d"
+  "test_net_builder_parser"
+  "test_net_builder_parser.pdb"
+  "test_net_builder_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_builder_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

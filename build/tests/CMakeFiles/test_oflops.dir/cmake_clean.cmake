@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oflops.dir/test_oflops.cpp.o"
+  "CMakeFiles/test_oflops.dir/test_oflops.cpp.o.d"
+  "test_oflops"
+  "test_oflops.pdb"
+  "test_oflops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

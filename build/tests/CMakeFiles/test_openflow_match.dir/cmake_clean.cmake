@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openflow_match.dir/test_openflow_match.cpp.o"
+  "CMakeFiles/test_openflow_match.dir/test_openflow_match.cpp.o.d"
+  "test_openflow_match"
+  "test_openflow_match.pdb"
+  "test_openflow_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openflow_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

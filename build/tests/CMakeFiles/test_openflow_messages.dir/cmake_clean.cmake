@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openflow_messages.dir/test_openflow_messages.cpp.o"
+  "CMakeFiles/test_openflow_messages.dir/test_openflow_messages.cpp.o.d"
+  "test_openflow_messages"
+  "test_openflow_messages.pdb"
+  "test_openflow_messages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openflow_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openflow_switch.dir/test_openflow_switch.cpp.o"
+  "CMakeFiles/test_openflow_switch.dir/test_openflow_switch.cpp.o.d"
+  "test_openflow_switch"
+  "test_openflow_switch.pdb"
+  "test_openflow_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openflow_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repeat.dir/test_repeat.cpp.o"
+  "CMakeFiles/test_repeat.dir/test_repeat.cpp.o.d"
+  "test_repeat"
+  "test_repeat.pdb"
+  "test_repeat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfc2544.dir/test_rfc2544.cpp.o"
+  "CMakeFiles/test_rfc2544.dir/test_rfc2544.cpp.o.d"
+  "test_rfc2544"
+  "test_rfc2544.pdb"
+  "test_rfc2544[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfc2544.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

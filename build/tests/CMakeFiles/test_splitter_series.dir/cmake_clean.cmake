@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitter_series.dir/test_splitter_series.cpp.o"
+  "CMakeFiles/test_splitter_series.dir/test_splitter_series.cpp.o.d"
+  "test_splitter_series"
+  "test_splitter_series.pdb"
+  "test_splitter_series[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitter_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trigger_flap.dir/test_trigger_flap.cpp.o"
+  "CMakeFiles/test_trigger_flap.dir/test_trigger_flap.cpp.o.d"
+  "test_trigger_flap"
+  "test_trigger_flap.pdb"
+  "test_trigger_flap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trigger_flap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_trigger_flap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tstamp.dir/test_tstamp.cpp.o"
+  "CMakeFiles/test_tstamp.dir/test_tstamp.cpp.o.d"
+  "test_tstamp"
+  "test_tstamp.pdb"
+  "test_tstamp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tstamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_tstamp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osnt_pcap.dir/osnt_pcap.cpp.o"
+  "CMakeFiles/osnt_pcap.dir/osnt_pcap.cpp.o.d"
+  "osnt_pcap"
+  "osnt_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osnt_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osnt_run.dir/osnt_run.cpp.o"
+  "CMakeFiles/osnt_run.dir/osnt_run.cpp.o.d"
+  "osnt_run"
+  "osnt_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osnt_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
