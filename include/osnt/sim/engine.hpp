@@ -1,20 +1,34 @@
 // Discrete-event simulation engine. Single-threaded, deterministic:
 // events at equal times fire in scheduling order. All hardware models
 // (MACs, DMA, switch pipelines, clocks) hang off one Engine.
+//
+// Hot-path design (see DESIGN.md "Event core"): closures are emplaced
+// directly into a generation-counted slab of slots recycled through a
+// free list, so the steady state schedules and fires events with zero
+// heap allocations. Slots live in fixed 256-entry blocks whose addresses
+// never move, which lets a closure execute in place even when it
+// schedules new events (reentrant slab growth). The priority queue is a
+// 4-ary heap of slim 16-byte {time, seq, slot} entries; cancellation is
+// lazy (a cancelled slot's entry is skimmed off the heap head when it
+// surfaces). EventId packs {generation, slot}, so a stale id from a
+// fired event can never cancel the slot's next occupant.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "osnt/common/time.hpp"
+#include "osnt/sim/unique_fn.hpp"
 
 namespace osnt::sim {
 
-using EventFn = std::function<void()>;
+/// Move-only: packet-carrying closures are captured by move, not wrapped
+/// in shared_ptr to satisfy a copyability requirement.
+using EventFn = UniqueFn;
 
 /// Handle for cancellation. Default-constructed id is never issued.
 struct EventId {
@@ -32,17 +46,42 @@ class Engine {
   [[nodiscard]] Picos now() const noexcept { return now_; }
 
   /// Schedule `fn` at absolute time `t` (>= now; earlier is clamped to now).
-  EventId schedule_at(Picos t, EventFn fn);
+  /// The callable is emplaced straight into its slab slot.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_at(Picos t, F&& fn) {
+    const std::uint32_t slot = acquire_slot_();
+    fn_(slot).emplace(std::forward<F>(fn));
+    return arm_(t, slot, meta_[slot]);
+  }
+  EventId schedule_at(Picos t, EventFn fn) {
+    const std::uint32_t slot = acquire_slot_();
+    fn_(slot) = std::move(fn);
+    return arm_(t, slot, meta_[slot]);
+  }
+
   /// Schedule `fn` `dt` picoseconds from now (negative clamps to now).
-  EventId schedule_in(Picos dt, EventFn fn) {
-    return schedule_at(now_ + dt, std::move(fn));
+  template <typename F>
+  EventId schedule_in(Picos dt, F&& fn) {
+    return schedule_at(now_ + dt, std::forward<F>(fn));
   }
 
   /// Cancel a pending event. Returns false if already fired/cancelled.
   bool cancel(EventId id);
 
   /// Run a single event. Returns false when the queue is empty.
-  bool step();
+  bool step() {
+    Picos t;
+    const std::uint32_t slot =
+        pop_next_live_(std::numeric_limits<Picos>::max(), t);
+    if (slot == kNilSlot) return false;
+    now_ = t;
+    ++processed_;
+    fire_(slot);
+    return true;
+  }
 
   /// Run until the queue is empty.
   void run();
@@ -50,31 +89,175 @@ class Engine {
   /// Run all events with time <= t, then advance now to exactly t.
   void run_until(Picos t);
 
-  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return processed_;
   }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNilSlot =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint32_t kSlotBlockShift = 8;
+  static constexpr std::uint32_t kSlotBlockSize = 1u << kSlotBlockShift;
+
+  /// Slim 16-byte heap entry; the closure stays put in the slab while
+  /// entries are sifted around.
+  struct HeapEntry {
     Picos time;
-    std::uint64_t seq;  ///< tiebreaker: FIFO among same-time events
-    std::uint64_t id;
-    // heap entries are moved around; keep the closure on the heap
-    std::shared_ptr<EventFn> fn;
-    bool operator>(const Entry& o) const noexcept {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
+    std::uint32_t seq;  ///< tiebreaker: FIFO among same-time events
+    std::uint32_t slot;
   };
 
+  enum class State : std::uint8_t { kFree, kPending, kCancelled, kRunning };
+
+  /// Slot bookkeeping lives in a dense parallel array (12 B/slot) so the
+  /// cancel-check on the pop path stays L1-resident even when the closure
+  /// slab has outgrown the cache.
+  struct SlotMeta {
+    std::uint32_t gen = 1;  ///< bumped on release; stale ids mismatch
+    std::uint32_t next_free = kNilSlot;
+    State state = State::kFree;
+  };
+
+  /// `seq` is a wrapping 32-bit counter; events pending at the same time
+  /// always span far less than 2^31 seqs, so circular comparison gives the
+  /// exact FIFO order while keeping heap entries at 16 bytes.
+  static bool before_(const HeapEntry& a, const HeapEntry& b) noexcept {
+    // Bitwise (not short-circuit) composition so the comparison compiles to
+    // flag ops + cmov: the sift loops select among random keys, and a
+    // branchy two-field compare costs a mispredict per level.
+    const bool lt = a.time < b.time;
+    const bool eq = a.time == b.time;
+    const bool seq_lt = static_cast<std::int32_t>(a.seq - b.seq) < 0;
+    return lt | (eq & seq_lt);
+  }
+
+  [[nodiscard]] static EventId id_of_(std::uint32_t slot,
+                                      std::uint32_t gen) noexcept {
+    return EventId{(static_cast<std::uint64_t>(gen) << 32) | slot};
+  }
+
+  [[nodiscard]] UniqueFn& fn_(std::uint32_t i) noexcept {
+    return blocks_[i >> kSlotBlockShift][i & (kSlotBlockSize - 1)];
+  }
+
+  EventId arm_(Picos t, std::uint32_t slot, SlotMeta& m) {
+    m.state = State::kPending;
+    heap_push_(HeapEntry{t > now_ ? t : now_, next_seq_++, slot});
+    ++live_;
+    return id_of_(slot, m.gen);
+  }
+
+  std::uint32_t acquire_slot_() {
+    if (free_head_ == kNilSlot) add_block_();
+    const std::uint32_t slot = free_head_;
+    free_head_ = meta_[slot].next_free;
+    // Overlap the next acquisition's slab write-miss with this event's setup.
+    if (free_head_ != kNilSlot) __builtin_prefetch(&fn_(free_head_), 1, 1);
+    return slot;
+  }
+
+  /// Precondition: the slot's closure is already empty — consume() emptied
+  /// it on the fire path, cancel() reset it before the lazy skim.
+  void release_slot_(std::uint32_t slot) noexcept {
+    SlotMeta& m = meta_[slot];
+    // Bump the generation so any EventId still pointing here goes stale.
+    // gen 0 is reserved: it would make {gen, slot 0} collide with the null id.
+    if (++m.gen == 0) m.gen = 1;
+    m.state = State::kFree;
+    m.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  /// Run the closure in place (block addresses are stable, so reentrant
+  /// scheduling can't move it), then recycle the slot. While running, the
+  /// slot is off both the heap and the free list: kRunning just makes a
+  /// same-generation cancel from within the callback report false, as a
+  /// fired event always has.
+  void fire_(std::uint32_t slot) {
+    fn_(slot).consume();  // invoke + destroy in one dispatch
+    release_slot_(slot);
+  }
+
+  /// Skim cancelled entries off the heap head, then pop the next live event
+  /// if its time is <= `limit`. Returns its slot (kRunning, already off the
+  /// heap) and fills `time`, or kNilSlot.
+  std::uint32_t pop_next_live_(Picos limit, Picos& time) {
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.front();
+      SlotMeta& m = meta_[top.slot];
+      if (m.state == State::kCancelled) {
+        release_slot_(top.slot);
+        heap_pop_();
+        continue;
+      }
+      if (top.time > limit) return kNilSlot;
+      m.state = State::kRunning;
+      --live_;
+      heap_pop_();
+      // Overlap the next closure's slab miss with this one's execution.
+      if (!heap_.empty()) __builtin_prefetch(&fn_(heap_.front().slot), 1, 1);
+      time = top.time;
+      return top.slot;
+    }
+    return kNilSlot;
+  }
+
+  // Hole-shifting sift-up/down: one final store instead of a swap per level.
+  void heap_push_(const HeapEntry& e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before_(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void heap_pop_() {
+    const HeapEntry tail = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    // Floyd's variant: walk the min-child path all the way to a leaf, then
+    // bubble the tail up — skips the per-level tail comparison, and the
+    // tail (a former leaf) almost always belongs near the bottom anyway.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        best = before_(heap_[c], heap_[best]) ? c : best;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before_(tail, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = tail;
+  }
+
+  void add_block_();
+
   Picos now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
+  std::uint32_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> pending_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;  ///< scheduled and not yet fired/cancelled
+  std::vector<HeapEntry> heap_;
+  /// Fixed-size blocks: closure addresses are stable across slab growth,
+  /// so a closure can run in place while scheduling new events.
+  std::vector<std::unique_ptr<UniqueFn[]>> blocks_;
+  std::vector<SlotMeta> meta_;  ///< parallel to slot indices
+  std::uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace osnt::sim

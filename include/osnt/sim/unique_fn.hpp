@@ -1,0 +1,166 @@
+// UniqueFn: a move-only `void()` callable for the event core.
+//
+// std::function requires copy-constructible targets, which forced every
+// packet-carrying call site into a make_shared<Packet> wrapper (two heap
+// allocations per event: control block + std::function's own storage).
+// UniqueFn accepts move-only captures and keeps them in 104 bytes of
+// inline storage — sized so a move-captured {this, net::Packet, 2×Picos}
+// closure (88 bytes) fits with zero heap traffic. Larger or over-aligned
+// targets fall back to a single heap allocation. The object is one
+// 64-byte-aligned 128-byte block with the vtable pointer first, so small
+// closures (data + vtable) live on a single cache line — the event slab
+// indexes arrays of these.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace osnt::sim {
+
+class alignas(64) UniqueFn {
+ public:
+  /// Inline storage: fits a move-captured packet closure (see header note).
+  static constexpr std::size_t kInlineBytes = 104;
+
+  UniqueFn() noexcept = default;
+  UniqueFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  UniqueFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Construct the target directly in this object's storage (replacing any
+  /// current target) — lets the scheduler build a closure in its slab slot
+  /// without an intermediate UniqueFn relocation.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (fits_inline_<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  UniqueFn(UniqueFn&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, other.storage_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  UniqueFn& operator=(UniqueFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(storage_, other.storage_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueFn(const UniqueFn&) = delete;
+  UniqueFn& operator=(const UniqueFn&) = delete;
+
+  ~UniqueFn() { reset(); }
+
+  /// Destroy the target (and free its captures) without invoking it.
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vt_ != nullptr;
+  }
+
+  void operator()() { vt_->invoke(storage_); }
+
+  /// Invoke the target, then destroy it, in one virtual dispatch — the
+  /// fire-path fast case. Leaves this UniqueFn empty. If the target throws,
+  /// it stays alive (and owned) exactly as after a throwing operator().
+  void consume() {
+    const VTable* vt = vt_;
+    vt->consume(storage_);
+    vt_ = nullptr;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*consume)(void*);
+    /// Move-construct the target into `dst` from `src`, leaving `src` dead.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline_() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* inline_target_(void* p) noexcept {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+  template <typename D>
+  static D* heap_target_(void* p) noexcept {
+    return *std::launder(reinterpret_cast<D**>(p));
+  }
+
+  template <typename D>
+  static constexpr VTable kInlineVt{
+      [](void* p) { (*inline_target_<D>(p))(); },
+      [](void* p) {
+        D* f = inline_target_<D>(p);
+        (*f)();
+        f->~D();
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*inline_target_<D>(src)));
+        inline_target_<D>(src)->~D();
+      },
+      [](void* p) noexcept { inline_target_<D>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVt{
+      [](void* p) { (*heap_target_<D>(p))(); },
+      [](void* p) {
+        D* f = heap_target_<D>(p);
+        (*f)();
+        delete f;
+      },
+      [](void* dst, void* src) noexcept {
+        // The target stays put on the heap; only the pointer moves.
+        ::new (dst) D*(heap_target_<D>(src));
+      },
+      [](void* p) noexcept { delete heap_target_<D>(p); },
+  };
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+};
+
+static_assert(sizeof(UniqueFn) == 128);
+
+}  // namespace osnt::sim

@@ -105,9 +105,8 @@ void LegacySwitch::on_frame(std::size_t in_port, net::Packet pkt,
 
 void LegacySwitch::emit(std::size_t out_port, net::Packet pkt,
                         Picos not_before) {
-  auto shared = std::make_shared<net::Packet>(std::move(pkt));
-  eng_->schedule_at(not_before, [this, out_port, shared] {
-    ports_[out_port]->tx().transmit(std::move(*shared));
+  eng_->schedule_at(not_before, [this, out_port, pkt = std::move(pkt)]() mutable {
+    ports_[out_port]->tx().transmit(std::move(pkt));
   });
 }
 

@@ -72,11 +72,11 @@ void OpenFlowSwitch::on_control(openflow::Decoded d) {
           ctrl_->send(Hello{}, d.xid);
         } else if constexpr (std::is_same_v<T, EchoRequest>) {
           const Picos done = agent_run(cfg_.agent_service);
-          auto payload = std::make_shared<Bytes>(std::move(msg.payload));
           const std::uint32_t xid = d.xid;
-          eng_->schedule_at(done, [this, payload, xid] {
-            ctrl_->send(EchoReply{std::move(*payload)}, xid);
-          });
+          eng_->schedule_at(
+              done, [this, payload = std::move(msg.payload), xid]() mutable {
+                ctrl_->send(EchoReply{std::move(payload)}, xid);
+              });
         } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
           const Picos done = agent_run(cfg_.agent_service);
           const std::uint32_t xid = d.xid;
@@ -92,16 +92,17 @@ void OpenFlowSwitch::on_control(openflow::Decoded d) {
           const Picos parsed = agent_run(cfg_.agent_service);
           // Stage 2: asynchronous hardware commit; the cost grows with
           // table occupancy (TCAM reshuffling).
-          auto mod = std::make_shared<FlowMod>(std::move(msg));
           const std::uint32_t xid = d.xid;
-          eng_->schedule_at(parsed, [this, mod, xid] {
+          eng_->schedule_at(parsed, [this, mod = std::move(msg),
+                                     xid]() mutable {
             const Picos cost =
                 cfg_.commit_base +
                 cfg_.commit_per_entry * static_cast<Picos>(table_.size());
             commit_busy_ = std::max(commit_busy_, eng_->now()) + cost;
-            eng_->schedule_at(commit_busy_, [this, mod, xid] {
+            // The mod rides through both stages by move; nothing is shared.
+            eng_->schedule_at(commit_busy_, [this, mod = std::move(mod), xid] {
               std::vector<FlowEntry> removed;
-              const auto result = table_.apply(*mod, eng_->now(), &removed);
+              const auto result = table_.apply(mod, eng_->now(), &removed);
               ++commits_done_;
               if (result == FlowTable::ModResult::kTableFull ||
                   result == FlowTable::ModResult::kOverlap) {
@@ -110,7 +111,7 @@ void OpenFlowSwitch::on_control(openflow::Decoded d) {
                 err.code = result == FlowTable::ModResult::kTableFull
                                ? 0   // OFPFMFC_ALL_TABLES_FULL
                                : 2;  // OFPFMFC_OVERLAP
-                err.data = encode(*mod, xid);  // spec: offending message
+                err.data = encode(mod, xid);  // spec: offending message
                 ctrl_->send(std::move(err), xid);
                 return;
               }
@@ -136,23 +137,21 @@ void OpenFlowSwitch::on_control(openflow::Decoded d) {
           });
         } else if constexpr (std::is_same_v<T, PacketOut>) {
           const Picos done = agent_run(cfg_.agent_service);
-          auto po = std::make_shared<PacketOut>(std::move(msg));
-          eng_->schedule_at(done, [this, po] {
-            net::Packet pkt{std::move(po->data)};
+          eng_->schedule_at(done, [this, po = std::move(msg)]() mutable {
+            net::Packet pkt{std::move(po.data)};
             const std::size_t in_port =
-                po->in_port < ports_.size() ? po->in_port : SIZE_MAX;
-            execute_actions(po->actions, in_port, std::move(pkt), eng_->now());
+                po.in_port < ports_.size() ? po.in_port : SIZE_MAX;
+            execute_actions(po.actions, in_port, std::move(pkt), eng_->now());
           });
         } else if constexpr (std::is_same_v<T, FlowStatsRequest>) {
           // Stats extraction cost scales with the table scan.
           const Picos done = agent_run(
               cfg_.agent_service +
               static_cast<Picos>(table_.size()) * 2 * kPicosPerMicro);
-          auto req = std::make_shared<FlowStatsRequest>(msg);
           const std::uint32_t xid = d.xid;
-          eng_->schedule_at(done, [this, req, xid] {
+          eng_->schedule_at(done, [this, req = std::move(msg), xid] {
             FlowStatsReply reply;
-            for (const auto* e : table_.collect_stats(*req)) {
+            for (const auto* e : table_.collect_stats(req)) {
               FlowStatsEntry fe;
               fe.match = e->match;
               fe.priority = e->priority;
@@ -175,13 +174,12 @@ void OpenFlowSwitch::on_control(openflow::Decoded d) {
           const Picos done = agent_run(
               cfg_.agent_service +
               static_cast<Picos>(table_.size()) * 2 * kPicosPerMicro);
-          auto req = std::make_shared<AggregateStatsRequest>(msg);
           const std::uint32_t xid = d.xid;
-          eng_->schedule_at(done, [this, req, xid] {
+          eng_->schedule_at(done, [this, req = std::move(msg), xid] {
             FlowStatsRequest as_flow;
-            as_flow.match = req->match;
-            as_flow.table_id = req->table_id;
-            as_flow.out_port = req->out_port;
+            as_flow.match = req.match;
+            as_flow.table_id = req.table_id;
+            as_flow.out_port = req.out_port;
             AggregateStatsReply reply;
             for (const auto* e : table_.collect_stats(as_flow)) {
               reply.packet_count += e->packet_count;
@@ -194,13 +192,12 @@ void OpenFlowSwitch::on_control(openflow::Decoded d) {
           const Picos done = agent_run(
               cfg_.agent_service +
               static_cast<Picos>(ports_.size()) * kPicosPerMicro);
-          auto req = std::make_shared<PortStatsRequest>(msg);
           const std::uint32_t xid = d.xid;
-          eng_->schedule_at(done, [this, req, xid] {
+          eng_->schedule_at(done, [this, req = std::move(msg), xid] {
             PortStatsReply reply;
             for (std::size_t i = 0; i < ports_.size(); ++i) {
               const auto of_port = static_cast<std::uint16_t>(i + 1);
-              if (req->port_no != ofpp::kNone && req->port_no != of_port)
+              if (req.port_no != ofpp::kNone && req.port_no != of_port)
                 continue;
               PortStatsEntry ps;
               ps.port_no = of_port;
@@ -287,17 +284,15 @@ void OpenFlowSwitch::execute_actions(
                                                  10.0 * std::max(rate, 1e-6));
         if (enq->queue_id != 0) ++enqueue_shaped_;
         ++forwarded_;
-        auto shared = std::make_shared<net::Packet>(net::Packet{pkt});
-        eng_->schedule_at(start, [this, port, shared] {
-          ports_[port]->tx().transmit(std::move(*shared));
+        eng_->schedule_at(start, [this, port, p = net::Packet{pkt}]() mutable {
+          ports_[port]->tx().transmit(std::move(p));
         });
       }
     } else if (const auto* out = std::get_if<ActionOutput>(&action)) {
       auto deliver = [this, release](std::size_t port, net::Packet p) {
         ++forwarded_;
-        auto shared = std::make_shared<net::Packet>(std::move(p));
-        eng_->schedule_at(release, [this, port, shared] {
-          ports_[port]->tx().transmit(std::move(*shared));
+        eng_->schedule_at(release, [this, port, p = std::move(p)]() mutable {
+          ports_[port]->tx().transmit(std::move(p));
         });
       };
       if (out->port == ofpp::kController) {
@@ -386,10 +381,9 @@ void OpenFlowSwitch::send_packet_in(std::size_t in_port,
   const std::size_t keep = std::min(cfg_.packet_in_trunc, pkt.size());
   pin.data.assign(pkt.data.begin(),
                   pkt.data.begin() + static_cast<std::ptrdiff_t>(keep));
-  auto shared = std::make_shared<PacketIn>(std::move(pin));
-  eng_->schedule_at(done, [this, shared] {
+  eng_->schedule_at(done, [this, pin = std::move(pin)]() mutable {
     ++packet_ins_;
-    ctrl_->send(std::move(*shared));
+    ctrl_->send(std::move(pin));
   });
 }
 

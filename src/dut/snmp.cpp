@@ -34,9 +34,8 @@ void SnmpAgent::get(const std::string& oid, ResponseFn cb) {
         static_cast<double>(kPicosPerMilli));
   }
   ++polls_;
-  auto shared_cb = std::make_shared<ResponseFn>(std::move(cb));
-  eng_->schedule_in(delay, [oid, value, shared_cb, this] {
-    (*shared_cb)(oid, value, eng_->now());
+  eng_->schedule_in(delay, [oid, value, cb = std::move(cb), this] {
+    cb(oid, value, eng_->now());
   });
 }
 

@@ -20,12 +20,11 @@ bool DmaEngine::enqueue(DmaRecord rec) {
   const Picos xfer =
       net::serialization_time(bus_bytes, cfg_.gbps);
   bus_free_ = start + xfer;
-  auto shared = std::make_shared<DmaRecord>(std::move(rec));
-  eng_->schedule_at(bus_free_, [this, shared] {
+  eng_->schedule_at(bus_free_, [this, rec = std::move(rec)]() mutable {
     --in_ring_;
     ++delivered_;
-    bytes_delivered_ += shared->payload.size();
-    if (handler_) handler_(std::move(*shared));
+    bytes_delivered_ += rec.payload.size();
+    if (handler_) handler_(std::move(rec));
   });
   return true;
 }

@@ -38,12 +38,11 @@ void ControlChannel::transmit(Endpoint& from, const OfMessage& msg,
   const Picos deliver = from.tx_free_ + cfg_.latency;
 
   Endpoint* peer = from.peer_;
-  auto shared = std::make_shared<Bytes>(std::move(wire));
-  eng_->schedule_at(deliver, [peer, shared] {
-    auto decoded = decode(ByteSpan{shared->data(), shared->size()});
+  eng_->schedule_at(deliver, [peer, wire = std::move(wire)] {
+    auto decoded = decode(ByteSpan{wire.data(), wire.size()});
     if (!decoded) {
       OSNT_ERROR("control channel: undecodable message of %zu bytes",
-                 shared->size());
+                 wire.size());
       return;
     }
     if (peer->handler_) peer->handler_(std::move(*decoded));

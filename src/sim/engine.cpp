@@ -1,41 +1,39 @@
 #include "osnt/sim/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace osnt::sim {
 
-EventId Engine::schedule_at(Picos t, EventFn fn) {
-  Entry e;
-  e.time = std::max(t, now_);
-  e.seq = next_seq_++;
-  e.id = next_id_++;
-  e.fn = std::make_shared<EventFn>(std::move(fn));
-  const std::uint64_t id = e.id;
-  pending_.insert(id);
-  queue_.push(std::move(e));
-  return EventId{id};
+void Engine::add_block_() {
+  assert(blocks_.size() < (std::size_t{1} << (32 - kSlotBlockShift)) &&
+         "event slab exhausted");
+  const auto base = static_cast<std::uint32_t>(blocks_.size())
+                    << kSlotBlockShift;
+  blocks_.push_back(std::make_unique<UniqueFn[]>(kSlotBlockSize));
+  meta_.resize(meta_.size() + kSlotBlockSize);
+  // Chain the fresh block into the free list, lowest index first so slot
+  // acquisition order stays intuitive in debuggers.
+  for (std::uint32_t i = kSlotBlockSize; i-- > 0;) {
+    meta_[base + i].next_free = free_head_;
+    free_head_ = base + i;
+  }
 }
 
 bool Engine::cancel(EventId id) {
   if (!id) return false;
-  // Lazy deletion: drop it from the pending set; skip it when popped.
-  if (pending_.erase(id.v) == 0) return false;  // already fired or cancelled
-  cancelled_.insert(id.v);
+  const auto slot = static_cast<std::uint32_t>(id.v & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.v >> 32);
+  if (slot >= meta_.size()) return false;
+  SlotMeta& m = meta_[slot];
+  if (m.gen != gen || m.state != State::kPending) return false;
+  // Lazy deletion: free the captures now, skim the heap entry when it
+  // surfaces. The slot stays reserved until then so it can't be reused
+  // while the heap still points at it.
+  m.state = State::kCancelled;
+  fn_(slot).reset();
+  --live_;
   return true;
-}
-
-bool Engine::step() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(e.id) > 0) continue;
-    pending_.erase(e.id);
-    now_ = e.time;
-    ++processed_;
-    (*e.fn)();
-    return true;
-  }
-  return false;
 }
 
 void Engine::run() {
@@ -44,14 +42,11 @@ void Engine::run() {
 }
 
 void Engine::run_until(Picos t) {
-  while (!queue_.empty()) {
-    // Skip over cancelled heads without advancing time.
-    if (cancelled_.erase(queue_.top().id) > 0) {
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().time > t) break;
-    step();
+  Picos when;
+  for (std::uint32_t slot; (slot = pop_next_live_(t, when)) != kNilSlot;) {
+    now_ = when;
+    ++processed_;
+    fire_(slot);
   }
   now_ = std::max(now_, t);
 }

@@ -37,10 +37,10 @@ void Link::carry(net::Packet pkt, Picos tx_start, Picos tx_end) {
   const Picos last_bit = tx_end + propagation_;
   // Deliver at last-bit arrival: sinks are store-and-forward MACs. The
   // first-bit time rides along for MAC-receipt timestamping semantics.
-  auto shared = std::make_shared<net::Packet>(std::move(pkt));
-  eng_->schedule_at(last_bit, [this, shared, first_bit, last_bit] {
-    sink_->on_frame(std::move(*shared), first_bit, last_bit);
-  });
+  eng_->schedule_at(last_bit,
+                    [this, pkt = std::move(pkt), first_bit, last_bit]() mutable {
+                      sink_->on_frame(std::move(pkt), first_bit, last_bit);
+                    });
 }
 
 }  // namespace osnt::sim

@@ -130,6 +130,66 @@ TEST(Engine, EventsProcessedCounter) {
   EXPECT_EQ(e.events_processed(), 7u);
 }
 
+TEST(Engine, StaleIdCannotCancelSlotReuse) {
+  // After an event fires, its slot goes back on the free list and its
+  // generation is bumped. A new event reusing the slot must be immune to
+  // the old (now stale) EventId.
+  Engine e;
+  const EventId first = e.schedule_at(10, [] {});
+  e.run();  // fires `first`; its slot is recycled
+
+  // The engine hands out slots LIFO, so this reuses the same slot.
+  bool fired = false;
+  const EventId second = e.schedule_at(20, [&] { fired = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(e.cancel(first));  // stale id: different generation
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, StaleIdAfterCancelCannotCancelSlotReuse) {
+  // Same as above, but the first occupant was cancelled rather than fired.
+  Engine e;
+  const EventId first = e.schedule_at(10, [] { FAIL(); });
+  EXPECT_TRUE(e.cancel(first));
+  e.run_until(15);  // drains the cancelled entry, recycling the slot
+
+  bool fired = false;
+  e.schedule_at(20, [&] { fired = true; });
+  EXPECT_FALSE(e.cancel(first));
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, CancelFromWithinRunningEventReturnsFalse) {
+  // An event cancelling itself while running is a no-op: it already left
+  // the pending set, exactly as if it had finished firing.
+  Engine e;
+  EventId self;
+  bool saw_false = false;
+  self = e.schedule_at(5, [&] { saw_false = !e.cancel(self); });
+  e.run();
+  EXPECT_TRUE(saw_false);
+  EXPECT_EQ(e.events_processed(), 1u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, FifoOrderSurvivesSlabGrowth) {
+  // More same-time events than one 256-entry slab block: growth must not
+  // disturb FIFO order among equal timestamps.
+  constexpr int kEvents = 1000;
+  Engine e;
+  std::vector<int> order;
+  order.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    e.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST(Engine, DeterministicInterleaving) {
   // Two runs with the same schedule produce identical orders.
   auto run_once = [] {

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Snapshot the event-core throughput gate into BENCH_engine.json at the
+# repo root. Run from anywhere on a quiet machine:
+#
+#   tools/bench_engine_snapshot.sh [build-dir]
+#
+# The output is the google-benchmark JSON for bench_engine plus a
+# "seed_baseline" block: the same benchmarks measured against the
+# pre-slab shared_ptr<std::function> engine (interleaved A/B medians,
+# 7 repetitions, measured when the slab engine landed). DESIGN.md
+# ("Event core") cites both. Re-run after touching the scheduler hot
+# path and commit the refreshed file alongside the change.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+bench="$build_dir/bench/bench_engine"
+out="$repo_root/BENCH_engine.json"
+
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not found — build the 'bench_engine' target first:" >&2
+  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target bench_engine -j" >&2
+  exit 1
+fi
+
+"$bench" \
+  --benchmark_min_time=1.0 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+# Keep the old-engine reference numbers in the snapshot so the gate
+# (schedule+fire >= 2x events/sec over the seed engine) stays checkable
+# from this one file.
+python3 - "$out" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+doc = json.load(open(path))
+doc["seed_baseline"] = {
+    "note": (
+        "items_per_second of the pre-slab engine "
+        "(shared_ptr<std::function> + unordered_set pending/cancelled "
+        "bookkeeping), built from the seed tree with this same benchmark "
+        "source; interleaved A/B medians of 7 runs."
+    ),
+    "items_per_second": {
+        "BM_ScheduleFire/256": 10.70e6,
+        "BM_ScheduleFire/1024": 8.13e6,
+        "BM_ScheduleFire/16384": 4.77e6,
+        "BM_ScheduleCancelChurn/1024": 7.39e6,
+        "BM_LineRateStorm4Port/4096": 10.39e6,
+    },
+}
+json.dump(doc, open(path, "w"), indent=1)
+print(f"wrote {path}")
+PYEOF
