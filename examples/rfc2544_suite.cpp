@@ -1,6 +1,9 @@
 // Automated RFC 2544-style benchmark of a legacy switch using the OSNT
 // API: zero-loss throughput per frame size plus latency at the passing
 // load — the "evaluate the achievable bandwidth and latency" use case.
+// Each trial builds a pristine testbed (RFC 2544 methodology), which also
+// makes trials seed-isolated: the sweep shards across every core via
+// core::Runner and still prints byte-identical tables.
 //
 //   $ ./rfc2544_suite
 #include <cstdio>
@@ -8,6 +11,7 @@
 #include "osnt/core/device.hpp"
 #include "osnt/core/measure.hpp"
 #include "osnt/core/rfc2544.hpp"
+#include "osnt/core/runner.hpp"
 #include "osnt/dut/legacy_switch.hpp"
 #include "osnt/net/builder.hpp"
 
@@ -15,7 +19,7 @@ using namespace osnt;
 
 namespace {
 
-core::TrialStats run_trial(double load, std::size_t frame_size) {
+core::TrialStats run_trial(const core::TrialPoint& pt) {
   // Fresh testbed per trial, per RFC 2544 methodology.
   sim::Engine eng;
   core::OsntDevice osnt{eng};
@@ -33,8 +37,8 @@ core::TrialStats run_trial(double load, std::size_t frame_size) {
     eng.run();
   }
   core::TrafficSpec spec;
-  spec.rate = gen::RateSpec::line_rate(load);
-  spec.frame_size = frame_size;
+  spec.rate = gen::RateSpec::line_rate(pt.load_fraction);
+  spec.frame_size = pt.frame_size;
   const auto r = core::run_capture_test(eng, osnt, 0, 1, spec, kPicosPerMilli);
   core::TrialStats s;
   s.tx_frames = r.tx_frames;
@@ -47,14 +51,18 @@ core::TrialStats run_trial(double load, std::size_t frame_size) {
 }  // namespace
 
 int main() {
-  std::printf("RFC 2544 throughput + latency, legacy switch DUT\n");
+  core::RunnerConfig runner;
+  runner.jobs = 0;  // fill the machine; output is identical for any value
+
+  std::printf("RFC 2544 throughput + latency, legacy switch DUT (%zu jobs)\n",
+              runner.resolved_jobs());
   std::printf("%7s %12s %10s %10s %14s %7s\n", "size", "zero-loss", "Gb/s",
               "Mpps", "lat_p50_ns", "trials");
 
   core::ThroughputSearchConfig cfg;
   cfg.resolution = 0.01;
-  for (const std::size_t size : core::rfc2544_frame_sizes()) {
-    const auto pt = core::find_throughput(run_trial, size, cfg);
+  for (const auto& pt : core::throughput_sweep(
+           run_trial, core::rfc2544_frame_sizes(), cfg, runner)) {
     std::printf("%6zuB %11.1f%% %10.3f %10.3f %14.1f %7u\n", pt.frame_size,
                 pt.max_load_fraction * 100.0, pt.gbps, pt.mpps,
                 pt.latency_at_max_ns.quantile(0.5), pt.trials);
@@ -62,7 +70,8 @@ int main() {
 
   std::printf("\nframe loss rate ladder at 512 B:\n%8s %10s\n", "load",
               "loss%%");
-  for (const auto& lp : core::loss_rate_sweep(run_trial, 512, 1.0, 0.25)) {
+  for (const auto& lp :
+       core::loss_rate_sweep(run_trial, 512, 1.0, 0.25, runner)) {
     std::printf("%7.0f%% %9.3f%%\n", lp.load_fraction * 100.0,
                 lp.loss_fraction * 100.0);
   }

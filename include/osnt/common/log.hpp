@@ -13,7 +13,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Core sink. Thread-safe (single fprintf per message).
+/// Tag this thread's log lines with a worker id (core::Runner pool slot);
+/// -1 (the default) clears the tag. Thread-local.
+void set_log_worker(int id) noexcept;
+[[nodiscard]] int log_worker() noexcept;
+
+/// Core sink. Thread-safe: sink writes are serialized by a mutex so lines
+/// from concurrent trials never interleave, and each line carries the
+/// calling thread's worker tag when one is set.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -1,6 +1,7 @@
 // Measurement methodology helpers: repeat a trial across seeds and report
 // mean ± confidence interval — the discipline RFC 2544 (and reviewers)
-// expect from numbers a tester produces.
+// expect from numbers a tester produces. Repetitions are seed-isolated, so
+// they shard across cores via core::Runner when asked.
 #pragma once
 
 #include <cstddef>
@@ -8,14 +9,17 @@
 #include <functional>
 #include <vector>
 
+#include "osnt/core/runner.hpp"
+#include "osnt/core/trial.hpp"
+
 namespace osnt::core {
 
 struct RepeatedResult {
-  std::vector<double> values;  ///< one scalar per repetition
+  std::vector<double> values;  ///< one scalar per repetition, in seed order
   double mean = 0.0;
   double stddev = 0.0;
   /// Half-width of the two-sided 95% confidence interval on the mean
-  /// (Student t for n ≤ 30, normal beyond).
+  /// (Student t, interpolated for large n).
   double ci95_half = 0.0;
 
   [[nodiscard]] double lo() const noexcept { return mean - ci95_half; }
@@ -26,13 +30,26 @@ struct RepeatedResult {
   }
 };
 
-/// Run `trial(seed)` for seeds 1..repetitions and summarize the scalars.
+/// Run `trial` at seeds 1..repetitions and summarize TrialStats::metric.
+/// `runner.jobs > 1` fans repetitions out across threads; values (and
+/// therefore the summary) are identical for any thread count because
+/// aggregation happens in seed order.
+[[nodiscard]] RepeatedResult run_repeated(const Trial& trial,
+                                          std::size_t repetitions,
+                                          const RunnerConfig& runner = {});
+
+/// Legacy entry point: a bare double(seed) functor, always run serially
+/// (such functors historically captured shared state by reference).
+[[deprecated(
+    "phrase the experiment as a core::Trial (see core/trial.hpp) and use "
+    "the Runner-aware overload")]]
 [[nodiscard]] RepeatedResult run_repeated(
     const std::function<double(std::uint64_t seed)>& trial,
     std::size_t repetitions);
 
-/// 95% two-sided Student-t critical value for n-1 degrees of freedom
-/// (table for n ≤ 30, 1.96 beyond). Exposed for tests.
+/// 95% two-sided Student-t critical value for n-1 degrees of freedom:
+/// exact table for df ≤ 30, interpolated in 1/df through the standard
+/// df = 40/60/120 anchors beyond, converging to 1.96. Exposed for tests.
 [[nodiscard]] double t_critical_95(std::size_t n) noexcept;
 
 }  // namespace osnt::core

@@ -1,37 +1,34 @@
 // RFC 2544-style automated benchmarking built on OSNT: zero-loss
 // throughput search, frame-loss-rate sweep, and back-to-back burst
 // capacity. The suite is generic over a trial runner so each trial can
-// rebuild a pristine simulated testbed.
+// rebuild a pristine simulated testbed; searches and sweeps speak the
+// unified core::Trial vocabulary (core/trial.hpp), and the sweeps shard
+// independent work across cores via core::Runner.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "osnt/common/stats.hpp"
+#include "osnt/core/runner.hpp"
+#include "osnt/core/trial.hpp"
 
 namespace osnt::core {
 
-/// Outcome of offering `load_fraction` of line rate at one frame size.
-struct TrialStats {
-  std::uint64_t tx_frames = 0;
-  std::uint64_t rx_frames = 0;
-  double offered_gbps = 0.0;
-  SampleSet latency_ns;
-
-  [[nodiscard]] double loss_fraction() const noexcept {
-    return tx_frames == 0
-               ? 0.0
-               : 1.0 - static_cast<double>(rx_frames) /
-                           static_cast<double>(tx_frames);
-  }
-};
-
-/// Runs one trial on a fresh testbed. Implemented by the caller (bench or
-/// test) so the DUT and topology stay out of this layer.
+/// Legacy (load, frame_size) trial signature, kept so existing call sites
+/// compile; internally adapted to core::Trial via as_trial().
 using TrialFn =
     std::function<TrialStats(double load_fraction, std::size_t frame_size)>;
+
+/// Adapt a legacy functor to the unified vocabulary.
+[[nodiscard]] inline Trial as_trial(TrialFn legacy) {
+  return [legacy = std::move(legacy)](const TrialPoint& p) {
+    return legacy(p.load_fraction, p.frame_size);
+  };
+}
 
 struct ThroughputSearchConfig {
   double lo = 0.02;          ///< search floor (fraction of line rate)
@@ -50,26 +47,41 @@ struct ThroughputPoint {
 };
 
 /// Binary-search the highest zero-loss (or tolerance) load for one size.
+/// Inherently sequential: each probe depends on the previous verdict.
+[[nodiscard]] ThroughputPoint find_throughput(
+    const Trial& run, std::size_t frame_size,
+    ThroughputSearchConfig cfg = ThroughputSearchConfig());
 [[nodiscard]] ThroughputPoint find_throughput(
     const TrialFn& run, std::size_t frame_size,
     ThroughputSearchConfig cfg = ThroughputSearchConfig());
 
-/// Standard RFC 2544 frame-size sweep.
+/// Standard RFC 2544 frame-size sweep. Each size's binary search stays
+/// sequential, but sizes are independent and shard across `runner.jobs`
+/// workers; the returned points are in `frame_sizes` order for any job
+/// count.
+[[nodiscard]] std::vector<ThroughputPoint> throughput_sweep(
+    const Trial& run, std::span<const std::size_t> frame_sizes,
+    ThroughputSearchConfig cfg = ThroughputSearchConfig(),
+    const RunnerConfig& runner = RunnerConfig());
 [[nodiscard]] std::vector<ThroughputPoint> throughput_sweep(
     const TrialFn& run, std::span<const std::size_t> frame_sizes,
-    ThroughputSearchConfig cfg = ThroughputSearchConfig());
+    ThroughputSearchConfig cfg = ThroughputSearchConfig(),
+    const RunnerConfig& runner = RunnerConfig());
 
 /// Frame loss rate at a ladder of loads (RFC 2544 §26.3): returns
-/// (load_fraction, loss_fraction) pairs from `hi` down in `step`s.
+/// (load_fraction, loss_fraction) pairs from `hi` down in `step`s. Grid
+/// points are independent trials and shard across `runner.jobs`.
 struct LossPoint {
   double load_fraction = 0.0;
   double loss_fraction = 0.0;
   double offered_gbps = 0.0;
 };
-[[nodiscard]] std::vector<LossPoint> loss_rate_sweep(const TrialFn& run,
-                                                     std::size_t frame_size,
-                                                     double hi = 1.0,
-                                                     double step = 0.1);
+[[nodiscard]] std::vector<LossPoint> loss_rate_sweep(
+    const Trial& run, std::size_t frame_size, double hi = 1.0,
+    double step = 0.1, const RunnerConfig& runner = RunnerConfig());
+[[nodiscard]] std::vector<LossPoint> loss_rate_sweep(
+    const TrialFn& run, std::size_t frame_size, double hi = 1.0,
+    double step = 0.1, const RunnerConfig& runner = RunnerConfig());
 
 /// Back-to-back burst capacity (RFC 2544 §26.4): the longest line-rate
 /// burst the DUT forwards without loss. The caller's trial runner offers

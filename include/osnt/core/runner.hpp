@@ -1,0 +1,64 @@
+// Parallel trial runner: shard independent simulations across cores behind
+// one experiment API. Trials are seed-isolated — each builds its own
+// sim::Engine testbed — so a TrialPlan fans out across a worker pool with
+// no shared mutable state, and results are aggregated in descriptor order
+// so output is byte-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "osnt/core/trial.hpp"
+
+namespace osnt::core {
+
+struct RunnerConfig {
+  /// Worker threads. 1 (the default) runs inline on the calling thread;
+  /// 0 means std::thread::hardware_concurrency().
+  std::size_t jobs = 1;
+
+  [[nodiscard]] std::size_t resolved_jobs() const noexcept;
+};
+
+/// A batch of independent trials plus the functor that runs one of them.
+struct TrialPlan {
+  std::vector<TrialPoint> points;
+  Trial run;
+
+  /// Repeat-across-seeds plan: seeds 1..repetitions, one point each.
+  [[nodiscard]] static TrialPlan repeat(std::size_t repetitions);
+  /// One point per load fraction at a fixed frame size (loss-rate ladder).
+  [[nodiscard]] static TrialPlan load_grid(const std::vector<double>& loads,
+                                           std::size_t frame_size);
+};
+
+/// Executes TrialPlans (and generic index ranges) across a worker pool.
+///
+/// Guarantees:
+///  - results come back in plan order, independent of jobs;
+///  - every trial is attempted even if an earlier one throws; the first
+///    exception in plan order is rethrown after the batch completes;
+///  - worker threads are tagged for the logger (common/log) so interleaved
+///    lines from concurrent trials stay attributable.
+class Runner {
+ public:
+  explicit Runner(RunnerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Run every point through `plan.run`; result i corresponds to
+  /// `plan.points[i]` (with `index` filled in) regardless of thread count.
+  [[nodiscard]] std::vector<TrialStats> run(const TrialPlan& plan) const;
+
+  /// Deterministic-order parallel map: invoke `body(i)` for i in [0, n)
+  /// across the pool. The sweeps use this when the unit of parallelism is
+  /// a whole search (one frame size's binary search), not a single trial.
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t)>& body) const;
+
+  [[nodiscard]] const RunnerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  RunnerConfig cfg_;
+};
+
+}  // namespace osnt::core

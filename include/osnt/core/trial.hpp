@@ -1,0 +1,65 @@
+// Unified trial vocabulary for the experiment layer. Every measurement —
+// repeat-across-seeds, RFC 2544 searches, CLI sweeps — is phrased as "run
+// one trial at this TrialPoint on a fresh testbed and report TrialStats",
+// so one functor type (`Trial`) feeds both the serial searches and the
+// parallel `core::Runner`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "osnt/common/stats.hpp"
+
+namespace osnt::core {
+
+/// One trial descriptor. A plan is a list of these; trials are seed-isolated
+/// (each builds its own sim::Engine testbed) so any subset may run
+/// concurrently. `index` is the position in the plan and the key results are
+/// ordered by, whatever thread ran the trial.
+struct TrialPoint {
+  std::size_t index = 0;       ///< position in the plan (set by the runner)
+  std::uint64_t seed = 1;      ///< RNG seed for the trial's testbed
+  double load_fraction = 1.0;  ///< offered load as a fraction of line rate
+  std::size_t frame_size = 64; ///< frame size incl. FCS
+  std::size_t burst_len = 0;   ///< back-to-back burst length (0 = n/a)
+};
+
+/// Outcome of offering `load_fraction` of line rate at one frame size.
+struct TrialStats {
+  std::uint64_t tx_frames = 0;
+  std::uint64_t rx_frames = 0;
+  double offered_gbps = 0.0;
+  SampleSet latency_ns;
+  /// Free-form scalar for repeat-style experiments whose figure of merit
+  /// is not a frame count (e.g. a latency percentile or a fitted rate).
+  double metric = 0.0;
+
+  [[nodiscard]] double loss_fraction() const noexcept {
+    return tx_frames == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(rx_frames) /
+                           static_cast<double>(tx_frames);
+  }
+};
+
+/// Runs one trial on a fresh testbed. Implemented by the caller (bench,
+/// test, or CLI) so the DUT and topology stay out of this layer. Must be
+/// safe to invoke from several threads at once when handed to a Runner
+/// with jobs > 1 — which it is for free when every state it touches lives
+/// inside the trial body.
+using Trial = std::function<TrialStats(const TrialPoint&)>;
+
+/// Lift a scalar-valued experiment into the Trial vocabulary: the returned
+/// Trial stores `fn(point)` in TrialStats::metric.
+[[nodiscard]] inline Trial scalar_trial(
+    std::function<double(const TrialPoint&)> fn) {
+  return [fn = std::move(fn)](const TrialPoint& p) {
+    TrialStats s;
+    s.metric = fn(p);
+    return s;
+  };
+}
+
+}  // namespace osnt::core

@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <mutex>
 
 namespace osnt {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+thread_local int t_worker_id = -1;
 
 constexpr const char* level_name(LogLevel l) noexcept {
   switch (l) {
@@ -29,8 +32,18 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_worker(int id) noexcept { t_worker_id = id; }
+
+int log_worker() noexcept { return t_worker_id; }
+
 void log_message(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[osnt %-5s] %s\n", level_name(level), msg.c_str());
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (t_worker_id >= 0) {
+    std::fprintf(stderr, "[osnt %-5s w%d] %s\n", level_name(level),
+                 t_worker_id, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[osnt %-5s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 namespace detail {

@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "osnt/common/stats.hpp"
 
@@ -15,31 +16,64 @@ double t_critical_95(std::size_t n) noexcept {
       2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
       2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
       2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  // Standard large-df anchor rows; between them (and toward the 1.96
+  // normal limit) the critical value is near-linear in 1/df.
+  static constexpr std::array<std::pair<double, double>, 4> kAnchors = {{
+      {30.0, 2.042}, {40.0, 2.021}, {60.0, 2.000}, {120.0, 1.980}}};
   if (n < 2) return 0.0;
   const std::size_t df = n - 1;
-  return df < kTable.size() ? kTable[df] : 1.96;
+  if (df < kTable.size()) return kTable[df];
+  const double inv = 1.0 / static_cast<double>(df);
+  for (std::size_t a = 0; a + 1 < kAnchors.size(); ++a) {
+    const auto [lo_df, lo_t] = kAnchors[a];
+    const auto [hi_df, hi_t] = kAnchors[a + 1];
+    if (static_cast<double>(df) <= hi_df) {
+      const double w = (inv - 1.0 / hi_df) / (1.0 / lo_df - 1.0 / hi_df);
+      return w * lo_t + (1.0 - w) * hi_t;
+    }
+  }
+  // df > 120: interpolate between the last anchor and the normal limit.
+  const auto [tail_df, tail_t] = kAnchors.back();
+  return 1.96 + (tail_t - 1.96) * inv * tail_df;
+}
+
+namespace {
+
+RepeatedResult summarize(std::vector<double> values) {
+  RepeatedResult r;
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  r.values = std::move(values);
+  r.mean = stats.mean();
+  r.stddev = stats.stddev();
+  if (r.values.size() > 1) {
+    r.ci95_half = t_critical_95(r.values.size()) * r.stddev /
+                  std::sqrt(static_cast<double>(r.values.size()));
+  }
+  return r;
+}
+
+}  // namespace
+
+RepeatedResult run_repeated(const Trial& trial, std::size_t repetitions,
+                            const RunnerConfig& runner) {
+  if (repetitions == 0)
+    throw std::invalid_argument("run_repeated: need at least one repetition");
+  TrialPlan plan = TrialPlan::repeat(repetitions);
+  plan.run = trial;
+  const auto stats = Runner{runner}.run(plan);
+  std::vector<double> values;
+  values.reserve(stats.size());
+  for (const auto& s : stats) values.push_back(s.metric);
+  return summarize(std::move(values));
 }
 
 RepeatedResult run_repeated(
     const std::function<double(std::uint64_t seed)>& trial,
     std::size_t repetitions) {
-  if (repetitions == 0)
-    throw std::invalid_argument("run_repeated: need at least one repetition");
-  RepeatedResult r;
-  RunningStats stats;
-  r.values.reserve(repetitions);
-  for (std::size_t i = 1; i <= repetitions; ++i) {
-    const double v = trial(i);
-    r.values.push_back(v);
-    stats.add(v);
-  }
-  r.mean = stats.mean();
-  r.stddev = stats.stddev();
-  if (repetitions > 1) {
-    r.ci95_half = t_critical_95(repetitions) * r.stddev /
-                  std::sqrt(static_cast<double>(repetitions));
-  }
-  return r;
+  return run_repeated(
+      scalar_trial([&trial](const TrialPoint& p) { return trial(p.seed); }),
+      repetitions, RunnerConfig{.jobs = 1});
 }
 
 }  // namespace osnt::core

@@ -18,13 +18,20 @@ double load_to_gbps(double load_fraction, std::size_t frame_size) {
   return line * load_fraction;  // line == 10.0 by construction
 }
 
+TrialStats probe(const Trial& run, double load, std::size_t frame_size) {
+  TrialPoint p;
+  p.load_fraction = load;
+  p.frame_size = frame_size;
+  return run(p);
+}
+
 }  // namespace
 
 std::span<const std::size_t> rfc2544_frame_sizes() noexcept {
   return {kRfc2544Sizes.data(), kRfc2544Sizes.size()};
 }
 
-ThroughputPoint find_throughput(const TrialFn& run, std::size_t frame_size,
+ThroughputPoint find_throughput(const Trial& run, std::size_t frame_size,
                                 ThroughputSearchConfig cfg) {
   ThroughputPoint pt;
   pt.frame_size = frame_size;
@@ -35,7 +42,7 @@ ThroughputPoint find_throughput(const TrialFn& run, std::size_t frame_size,
   TrialStats best{};
   double best_load = 0.0;
   {
-    TrialStats s = run(hi, frame_size);
+    TrialStats s = probe(run, hi, frame_size);
     ++pt.trials;
     if (s.loss_fraction() <= cfg.loss_tolerance) {
       best = std::move(s);
@@ -45,7 +52,7 @@ ThroughputPoint find_throughput(const TrialFn& run, std::size_t frame_size,
   }
   while (hi - lo > cfg.resolution && best_load != hi) {
     const double mid = (lo + hi) / 2.0;
-    TrialStats s = run(mid, frame_size);
+    TrialStats s = probe(run, mid, frame_size);
     ++pt.trials;
     if (s.loss_fraction() <= cfg.loss_tolerance) {
       best = std::move(s);
@@ -65,14 +72,28 @@ ThroughputPoint find_throughput(const TrialFn& run, std::size_t frame_size,
   return pt;
 }
 
+ThroughputPoint find_throughput(const TrialFn& run, std::size_t frame_size,
+                                ThroughputSearchConfig cfg) {
+  return find_throughput(as_trial(run), frame_size, cfg);
+}
+
+std::vector<ThroughputPoint> throughput_sweep(
+    const Trial& run, std::span<const std::size_t> frame_sizes,
+    ThroughputSearchConfig cfg, const RunnerConfig& runner) {
+  // One task per frame size: the binary search inside a size is
+  // sequential, but sizes share no state. Results land at their size's
+  // index, so the output is identical for any job count.
+  std::vector<ThroughputPoint> out(frame_sizes.size());
+  Runner{runner}.for_each(frame_sizes.size(), [&](std::size_t i) {
+    out[i] = find_throughput(run, frame_sizes[i], cfg);
+  });
+  return out;
+}
+
 std::vector<ThroughputPoint> throughput_sweep(
     const TrialFn& run, std::span<const std::size_t> frame_sizes,
-    ThroughputSearchConfig cfg) {
-  std::vector<ThroughputPoint> out;
-  out.reserve(frame_sizes.size());
-  for (const auto size : frame_sizes)
-    out.push_back(find_throughput(run, size, cfg));
-  return out;
+    ThroughputSearchConfig cfg, const RunnerConfig& runner) {
+  return throughput_sweep(as_trial(run), frame_sizes, cfg, runner);
 }
 
 BackToBackPoint find_back_to_back(const BurstTrialFn& run,
@@ -102,15 +123,27 @@ BackToBackPoint find_back_to_back(const BurstTrialFn& run,
   return pt;
 }
 
+std::vector<LossPoint> loss_rate_sweep(const Trial& run,
+                                       std::size_t frame_size, double hi,
+                                       double step,
+                                       const RunnerConfig& runner) {
+  std::vector<double> loads;
+  for (double load = hi; load > step / 2; load -= step) loads.push_back(load);
+  TrialPlan plan = TrialPlan::load_grid(loads, frame_size);
+  plan.run = run;
+  const auto stats = Runner{runner}.run(plan);
+  std::vector<LossPoint> out;
+  out.reserve(stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i)
+    out.push_back({loads[i], stats[i].loss_fraction(), stats[i].offered_gbps});
+  return out;
+}
+
 std::vector<LossPoint> loss_rate_sweep(const TrialFn& run,
                                        std::size_t frame_size, double hi,
-                                       double step) {
-  std::vector<LossPoint> out;
-  for (double load = hi; load > step / 2; load -= step) {
-    TrialStats s = run(load, frame_size);
-    out.push_back({load, s.loss_fraction(), s.offered_gbps});
-  }
-  return out;
+                                       double step,
+                                       const RunnerConfig& runner) {
+  return loss_rate_sweep(as_trial(run), frame_size, hi, step, runner);
 }
 
 }  // namespace osnt::core

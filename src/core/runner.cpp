@@ -1,0 +1,99 @@
+#include "osnt/core/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "osnt/common/log.hpp"
+
+namespace osnt::core {
+
+std::size_t RunnerConfig::resolved_jobs() const noexcept {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+TrialPlan TrialPlan::repeat(std::size_t repetitions) {
+  TrialPlan plan;
+  plan.points.reserve(repetitions);
+  for (std::size_t i = 0; i < repetitions; ++i) {
+    TrialPoint p;
+    p.index = i;
+    p.seed = i + 1;  // historical run_repeated convention: seeds 1..n
+    plan.points.push_back(p);
+  }
+  return plan;
+}
+
+TrialPlan TrialPlan::load_grid(const std::vector<double>& loads,
+                               std::size_t frame_size) {
+  TrialPlan plan;
+  plan.points.reserve(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    TrialPoint p;
+    p.index = i;
+    p.load_fraction = loads[i];
+    p.frame_size = frame_size;
+    plan.points.push_back(p);
+  }
+  return plan;
+}
+
+void Runner::for_each(std::size_t n,
+                      const std::function<void(std::size_t)>& body) const {
+  if (n == 0) return;
+  const std::size_t jobs = std::min(cfg_.resolved_jobs(), n);
+
+  // Every index is attempted; the first failure in plan order wins. This
+  // keeps the serial and parallel paths observably identical.
+  std::vector<std::exception_ptr> errors(n);
+  const auto attempt = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (jobs <= 1) {
+    // Inline on the calling thread; preserve any enclosing worker tag so
+    // a trial that itself runs a serial sub-plan stays attributable.
+    const int prev = log_worker();
+    if (prev < 0) set_log_worker(0);
+    for (std::size_t i = 0; i < n; ++i) attempt(i);
+    set_log_worker(prev);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+      pool.emplace_back([&, w] {
+        set_log_worker(static_cast<int>(w));
+        for (std::size_t i;
+             (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+          attempt(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::vector<TrialStats> Runner::run(const TrialPlan& plan) const {
+  if (!plan.run)
+    throw std::invalid_argument("Runner::run: plan has no trial functor");
+  std::vector<TrialStats> results(plan.points.size());
+  for_each(plan.points.size(), [&](std::size_t i) {
+    TrialPoint p = plan.points[i];
+    p.index = i;
+    results[i] = plan.run(p);
+  });
+  return results;
+}
+
+}  // namespace osnt::core

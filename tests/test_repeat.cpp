@@ -9,6 +9,11 @@
 #include "osnt/oflops/action_latency.hpp"
 #include "osnt/oflops/context.hpp"
 
+// The double(seed) run_repeated entry point is deprecated in favour of the
+// core::Trial overload; these tests deliberately keep exercising it as the
+// compatibility contract.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace osnt {
 namespace {
 
@@ -47,11 +52,50 @@ TEST(Repeat, CiCoversTrueMeanUsually) {
 }
 
 TEST(Repeat, TTableSane) {
-  EXPECT_NEAR(core::t_critical_95(2), 12.706, 1e-3);   // df=1
-  EXPECT_NEAR(core::t_critical_95(10), 2.262, 1e-3);   // df=9
-  EXPECT_NEAR(core::t_critical_95(31), 2.042, 1e-3);   // df=30
-  EXPECT_NEAR(core::t_critical_95(1000), 1.96, 1e-9);  // normal limit
+  EXPECT_NEAR(core::t_critical_95(2), 12.706, 1e-3);    // df=1
+  EXPECT_NEAR(core::t_critical_95(10), 2.262, 1e-3);    // df=9
+  EXPECT_NEAR(core::t_critical_95(31), 2.042, 1e-3);    // df=30
+  EXPECT_NEAR(core::t_critical_95(1000), 1.96, 3e-3);   // near-normal
   EXPECT_EQ(core::t_critical_95(1), 0.0);
+}
+
+TEST(Repeat, TTableNoJumpPast30) {
+  // The table used to fall off a cliff at df=30 (2.042 → 1.96). The
+  // interpolated tail must leave the boundary smoothly...
+  const double at30 = core::t_critical_95(31);
+  const double at31 = core::t_critical_95(32);
+  EXPECT_NEAR(at30, 2.042, 1e-9);
+  EXPECT_LT(at31, at30);
+  EXPECT_GT(at31, 2.030);  // a step of ~0.003, not 0.08
+  // ...pass through the standard anchor rows...
+  EXPECT_NEAR(core::t_critical_95(41), 2.021, 1e-3);   // df=40
+  EXPECT_NEAR(core::t_critical_95(61), 2.000, 1e-3);   // df=60
+  EXPECT_NEAR(core::t_critical_95(121), 1.980, 1e-3);  // df=120
+  // ...decrease monotonically...
+  for (std::size_t n = 3; n <= 200; ++n)
+    EXPECT_LE(core::t_critical_95(n), core::t_critical_95(n - 1)) << n;
+  // ...and converge to the normal limit from above.
+  EXPECT_GT(core::t_critical_95(500), 1.96);
+  EXPECT_NEAR(core::t_critical_95(100000), 1.96, 1e-4);
+}
+
+TEST(Repeat, TrialOverloadMatchesLegacy) {
+  // Same experiment through both entry points: identical summaries.
+  const auto legacy = core::run_repeated(
+      [](std::uint64_t seed) {
+        Rng rng{seed};
+        return rng.normal(100.0, 10.0);
+      },
+      12);
+  const auto unified = core::run_repeated(
+      core::scalar_trial([](const core::TrialPoint& p) {
+        Rng rng{p.seed};
+        return rng.normal(100.0, 10.0);
+      }),
+      12);
+  EXPECT_EQ(legacy.values, unified.values);
+  EXPECT_EQ(legacy.mean, unified.mean);
+  EXPECT_EQ(legacy.ci95_half, unified.ci95_half);
 }
 
 TEST(Repeat, ZeroRepetitionsThrows) {

@@ -1,25 +1,30 @@
 #!/usr/bin/env bash
-# Snapshot the event-core throughput gate into BENCH_engine.json at the
-# repo root. Run from anywhere on a quiet machine:
+# Snapshot the perf gates into BENCH_engine.json and BENCH_runner.json at
+# the repo root. Run from anywhere on a quiet machine:
 #
 #   tools/bench_engine_snapshot.sh [build-dir]
 #
-# The output is the google-benchmark JSON for bench_engine plus a
+# BENCH_engine.json is the google-benchmark JSON for bench_engine plus a
 # "seed_baseline" block: the same benchmarks measured against the
 # pre-slab shared_ptr<std::function> engine (interleaved A/B medians,
 # 7 repetitions, measured when the slab engine landed). DESIGN.md
-# ("Event core") cites both. Re-run after touching the scheduler hot
-# path and commit the refreshed file alongside the change.
+# ("Event core") cites both. BENCH_runner.json is bench_runner's
+# trials/sec at jobs=1..8 plus a "scaling" block (speedup per job count
+# and the host's hardware_concurrency, without which the ratios are
+# meaningless). Re-run after touching the scheduler hot path or the
+# runner and commit the refreshed files alongside the change.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"$repo_root/build"}"
 bench="$build_dir/bench/bench_engine"
+bench_runner="$build_dir/bench/bench_runner"
 out="$repo_root/BENCH_engine.json"
+out_runner="$repo_root/BENCH_runner.json"
 
-if [[ ! -x "$bench" ]]; then
-  echo "error: $bench not found — build the 'bench_engine' target first:" >&2
-  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target bench_engine -j" >&2
+if [[ ! -x "$bench" || ! -x "$bench_runner" ]]; then
+  echo "error: $bench or $bench_runner not found — build the bench targets first:" >&2
+  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target bench_engine bench_runner -j" >&2
   exit 1
 fi
 
@@ -53,6 +58,52 @@ doc["seed_baseline"] = {
         "BM_ScheduleCancelChurn/1024": 7.39e6,
         "BM_LineRateStorm4Port/4096": 10.39e6,
     },
+}
+json.dump(doc, open(path, "w"), indent=1)
+print(f"wrote {path}")
+PYEOF
+
+"$bench_runner" \
+  --benchmark_min_time=1.0 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$out_runner" \
+  --benchmark_out_format=json
+
+# Derive the scaling curve (trials/sec at jobs=N over jobs=1) so the gate
+# "jobs=8 >= 3x jobs=1 on a machine with >= 8 hardware threads" is
+# checkable from this one file.
+python3 - "$out_runner" <<'PYEOF'
+import json, os, sys
+
+path = sys.argv[1]
+doc = json.load(open(path))
+rates = {}
+for b in doc["benchmarks"]:
+    if b.get("aggregate_name") == "median":
+        rates[b["run_name"]] = b["items_per_second"]
+
+scaling = {}
+for family in ("BM_LossLadder16Trials", "BM_Repeated16Seeds"):
+    base = rates.get(f"{family}/1/real_time")
+    if not base:
+        continue
+    scaling[family] = {
+        f"jobs={j}": round(rates[key] / base, 3)
+        for j in (1, 2, 4, 8)
+        if (key := f"{family}/{j}/real_time") in rates
+    }
+
+doc["scaling"] = {
+    "note": (
+        "trials/sec speedup vs jobs=1 (median of 3 reps, real time). "
+        "Trials are seed-isolated so speedup tracks available cores; on a "
+        "host with fewer hardware threads than jobs, extra workers "
+        "interleave and the ratio stays ~1.0 by construction."
+    ),
+    "hardware_concurrency": os.cpu_count(),
+    "speedup_vs_1job": scaling,
 }
 json.dump(doc, open(path, "w"), indent=1)
 print(f"wrote {path}")

@@ -5,6 +5,7 @@
 //   osnt_run latency    [--rate-gbps N] [--frame-size N] [--duration-ms N]
 //                       [--dut none|legacy|lossy] [--poisson]
 //   osnt_run throughput [--frame-size N] [--resolution F] [--dut ...]
+//                       [--jobs N]
 //   osnt_run capture    [--rate-gbps N] [--snap N] [--flows N]
 //                       [--pcap-out PATH]
 //   osnt_run oflops     [--module M] [--table-size N] [--rounds N]
@@ -17,6 +18,7 @@
 #include "osnt/core/device.hpp"
 #include "osnt/core/measure.hpp"
 #include "osnt/core/rfc2544.hpp"
+#include "osnt/core/runner.hpp"
 #include "osnt/dut/legacy_switch.hpp"
 #include "osnt/net/builder.hpp"
 #include "osnt/mon/flow_stats.hpp"
@@ -102,19 +104,24 @@ int cmd_throughput(int argc, const char* const* argv) {
   std::int64_t frame_size = 0;  // 0 = full RFC 2544 sweep
   double resolution = 0.01;
   std::string dut = "legacy";
+  std::int64_t jobs = 1;
   CliParser cli{"osnt_run throughput — RFC 2544 zero-loss search"};
   cli.add_flag("frame-size", &frame_size, "single size, or 0 for the sweep");
   cli.add_flag("resolution", &resolution, "search resolution (fraction)");
   cli.add_flag("dut", &dut, "device under test: none|legacy|lossy");
+  cli.add_flag("jobs", &jobs,
+               "worker threads for the sweep (0 = all hardware threads)");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
-  const auto trial = [&](double load, std::size_t fs) {
+  // Each trial builds a pristine testbed, so the sweep can shard across
+  // cores; output is identical for any --jobs value.
+  const core::Trial trial = [&dut](const core::TrialPoint& pt) {
     sim::Engine eng;
     core::OsntDevice osnt{eng};
     auto holder = wire(eng, osnt, dut);
     core::TrafficSpec spec;
-    spec.rate = gen::RateSpec::line_rate(load);
-    spec.frame_size = fs;
+    spec.rate = gen::RateSpec::line_rate(pt.load_fraction);
+    spec.frame_size = pt.frame_size;
     const auto r = core::run_capture_test(eng, osnt, 0, 1, spec, kPicosPerMilli);
     core::TrialStats s;
     s.tx_frames = r.tx_frames;
@@ -126,6 +133,8 @@ int cmd_throughput(int argc, const char* const* argv) {
 
   core::ThroughputSearchConfig cfg;
   cfg.resolution = resolution;
+  core::RunnerConfig runner;
+  runner.jobs = static_cast<std::size_t>(jobs < 0 ? 0 : jobs);
   std::printf("%7s %12s %10s %10s\n", "size", "zero-loss", "Gb/s", "Mpps");
   if (frame_size > 0) {
     const auto pt =
@@ -133,8 +142,8 @@ int cmd_throughput(int argc, const char* const* argv) {
     std::printf("%6zuB %11.1f%% %10.3f %10.3f\n", pt.frame_size,
                 pt.max_load_fraction * 100.0, pt.gbps, pt.mpps);
   } else {
-    for (const auto& pt :
-         core::throughput_sweep(trial, core::rfc2544_frame_sizes(), cfg)) {
+    for (const auto& pt : core::throughput_sweep(
+             trial, core::rfc2544_frame_sizes(), cfg, runner)) {
       std::printf("%6zuB %11.1f%% %10.3f %10.3f\n", pt.frame_size,
                   pt.max_load_fraction * 100.0, pt.gbps, pt.mpps);
     }
