@@ -1,0 +1,109 @@
+// Telemetry overhead gate: the registry and histograms are meant to stay
+// compiled in and *enabled*, so the quantity that matters is the delta an
+// instrumented engine pays versus one with telemetry switched off. The
+// snapshot script (tools/bench_engine_snapshot.sh) records the ratio in
+// BENCH_telemetry.json; the budget is <= 5% on the ScheduleFire storm.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "osnt/sim/engine.hpp"
+#include "osnt/telemetry/histogram.hpp"
+#include "osnt/telemetry/registry.hpp"
+
+namespace {
+
+using osnt::Picos;
+using osnt::sim::Engine;
+
+/// Restore the global telemetry switch when a benchmark exits.
+class EnabledGuard {
+ public:
+  explicit EnabledGuard(bool on) : prev_(osnt::telemetry::enabled()) {
+    osnt::telemetry::set_enabled(on);
+  }
+  ~EnabledGuard() { osnt::telemetry::set_enabled(prev_); }
+  EnabledGuard(const EnabledGuard&) = delete;
+  EnabledGuard& operator=(const EnabledGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// The bench_engine ScheduleFire storm, parameterized on the telemetry
+/// switch. The engine outlives the loop, so this isolates the per-event
+/// cost (category byte store, high-water compares, the two predictable
+/// trace/timing branches) from the end-of-life flush.
+void BM_ScheduleFireTelemetry(benchmark::State& state, bool enabled) {
+  const EnabledGuard guard(enabled);
+  const auto batch = static_cast<int>(state.range(0));
+  Engine eng;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      eng.schedule_in((i * 7919) % 4096, [&fired] { ++fired; });
+    }
+    eng.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK_CAPTURE(BM_ScheduleFireTelemetry, on, true)->Arg(256)->Arg(16384);
+BENCHMARK_CAPTURE(BM_ScheduleFireTelemetry, off, false)->Arg(256)->Arg(16384);
+
+/// Engine-per-iteration variant: includes construction and the destructor
+/// flush into the registry, the full lifecycle a trial pays.
+void BM_EngineLifecycleTelemetry(benchmark::State& state, bool enabled) {
+  const EnabledGuard guard(enabled);
+  const auto batch = static_cast<int>(state.range(0));
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    Engine eng;
+    for (int i = 0; i < batch; ++i) {
+      eng.schedule_in((i * 7919) % 4096, [&fired] { ++fired; });
+    }
+    eng.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK_CAPTURE(BM_EngineLifecycleTelemetry, on, true)->Arg(1024);
+BENCHMARK_CAPTURE(BM_EngineLifecycleTelemetry, off, false)->Arg(1024);
+
+/// Raw shard-side histogram record: the branch-free bucket increment hot
+/// layers pay per sample.
+void BM_HistogramRecord(benchmark::State& state) {
+  osnt::telemetry::Log2Histogram h;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 6364136223846793005ull + 1442695040888963407ull;  // LCG walk
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+/// Registry-side costs: a resolved counter add (one relaxed fetch_add) and
+/// a shared histogram record (bucket + count + sum + min/max CAS).
+void BM_RegistryCounterAdd(benchmark::State& state) {
+  auto& c = osnt::telemetry::registry().counter("bench.telemetry.counter");
+  for (auto _ : state) c.add(1);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounterAdd);
+
+void BM_RegistryHistogramRecord(benchmark::State& state) {
+  auto& h = osnt::telemetry::registry().histogram("bench.telemetry.hist");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 6364136223846793005ull + 1442695040888963407ull;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryHistogramRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

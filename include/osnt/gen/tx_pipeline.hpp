@@ -14,6 +14,7 @@
 #include "osnt/gen/source.hpp"
 #include "osnt/hw/mac10g.hpp"
 #include "osnt/sim/engine.hpp"
+#include "osnt/telemetry/histogram.hpp"
 #include "osnt/tstamp/clock.hpp"
 #include "osnt/tstamp/embed.hpp"
 
@@ -32,6 +33,9 @@ class TxPipeline {
   /// The MAC and clock must outlive the pipeline.
   TxPipeline(sim::Engine& eng, hw::TxMac& mac, tstamp::DisciplinedClock& clock,
              TxConfig cfg = TxConfig());
+  /// Merges this pipeline's shard (frame counters, frame-size histogram)
+  /// into the telemetry registry under `gen.tx.*`.
+  ~TxPipeline();
 
   void set_source(std::unique_ptr<PacketSource> source) {
     source_ = std::move(source);
@@ -57,6 +61,13 @@ class TxPipeline {
   /// Achieved L1 rate over the generation window, Gb/s.
   [[nodiscard]] double achieved_gbps() const noexcept;
   [[nodiscard]] std::uint32_t next_seq() const noexcept { return seq_; }
+  /// Frames pulled from the source (sent + rejected by a busy MAC).
+  [[nodiscard]] std::uint64_t frames_scheduled() const noexcept {
+    return scheduled_;
+  }
+  [[nodiscard]] std::uint64_t mac_rejects() const noexcept {
+    return mac_rejects_;
+  }
 
  private:
   void send_one();
@@ -75,8 +86,14 @@ class TxPipeline {
   std::uint32_t seq_ = 0;
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t mac_rejects_ = 0;
   Picos first_dep_ = -1;
   Picos last_dep_ = -1;
+  /// Telemetry shard: wire bytes per sent frame, merged at destruction.
+  telemetry::Log2Histogram frame_bytes_;
+  telemetry::TraceRecorder::TrackId trace_track_ = 0;
+  bool trace_track_set_ = false;
 };
 
 }  // namespace osnt::gen

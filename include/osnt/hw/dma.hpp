@@ -42,6 +42,8 @@ class DmaEngine {
 
   DmaEngine(sim::Engine& eng, Config cfg = Config()) noexcept
       : eng_(&eng), cfg_(cfg) {}
+  /// Merges delivery/drop counters into the telemetry registry (`hw.dma.*`).
+  ~DmaEngine();
 
   void set_handler(Handler h) { handler_ = std::move(h); }
 
@@ -67,6 +69,7 @@ class DmaEngine {
   Handler handler_;
   Picos bus_free_ = 0;    ///< when the bus finishes its current backlog
   std::size_t in_ring_ = 0;
+  std::size_t ring_hw_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t drops_ = 0;

@@ -16,6 +16,7 @@
 #include "osnt/mon/filter.hpp"
 #include "osnt/mon/stats_block.hpp"
 #include "osnt/sim/engine.hpp"
+#include "osnt/telemetry/histogram.hpp"
 #include "osnt/tstamp/clock.hpp"
 
 namespace osnt::mon {
@@ -35,6 +36,9 @@ class RxPipeline {
   /// four ports of a device — that is what makes the path loss-limited.
   RxPipeline(sim::Engine& eng, hw::RxMac& mac, tstamp::DisciplinedClock& clock,
              hw::DmaEngine& dma, Config cfg = Config());
+  /// Merges this pipeline's shard (path counters, the sim-time one-way
+  /// latency histogram) into the telemetry registry under `mon.rx.*`.
+  ~RxPipeline();
 
   [[nodiscard]] FilterTable& filters() noexcept { return filters_; }
   [[nodiscard]] PacketCutter& cutter() noexcept { return cutter_; }
@@ -98,6 +102,11 @@ class RxPipeline {
   std::uint64_t captured_ = 0;
   std::uint64_t filtered_ = 0;
   std::uint64_t dma_drops_ = 0;
+  /// Ground-truth one-way latency (tx_truth → first bit at the monitor),
+  /// in nanoseconds of *sim* time — the shard behind `mon.rx.latency_ns`.
+  telemetry::Log2Histogram latency_ns_;
+  telemetry::TraceRecorder::TrackId trace_track_ = 0;
+  bool trace_track_set_ = false;
 };
 
 }  // namespace osnt::mon

@@ -14,6 +14,7 @@
 // fired event can never cancel the slot's next occupant.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -23,12 +24,34 @@
 
 #include "osnt/common/time.hpp"
 #include "osnt/sim/unique_fn.hpp"
+#include "osnt/telemetry/trace.hpp"
 
 namespace osnt::sim {
 
 /// Move-only: packet-carrying closures are captured by move, not wrapped
 /// in shared_ptr to satisfy a copyability requirement.
 using EventFn = UniqueFn;
+
+/// Coarse attribution of scheduled events to the component that scheduled
+/// them: tags telemetry counters and trace tracks without the engine ever
+/// inspecting a closure. Set via Engine::CategoryScope at the scheduling
+/// call site; rides in a padding byte of the slot metadata.
+enum class EventCategory : std::uint8_t {
+  kGeneric = 0,  ///< uncategorized (timers, test closures)
+  kGen,          ///< generator TX pipeline pacing
+  kLink,         ///< in-flight frames on a link
+  kHw,           ///< MAC/DMA hardware models
+  kDut,          ///< device-under-test internals
+  kMon,          ///< monitor-side bookkeeping
+};
+inline constexpr std::size_t kEventCategoryCount = 6;
+
+[[nodiscard]] constexpr const char* event_category_name(
+    EventCategory c) noexcept {
+  constexpr const char* kNames[kEventCategoryCount] = {
+      "generic", "gen", "link", "hw", "dut", "mon"};
+  return kNames[static_cast<std::size_t>(c)];
+}
 
 /// Handle for cancellation. Default-constructed id is never issued.
 struct EventId {
@@ -42,8 +65,50 @@ class Engine {
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  /// Merges this engine's counters into the process-wide telemetry
+  /// registry (when telemetry is enabled) — one engine is one shard, and
+  /// merging at end of life keeps the event hot path free of atomics.
+  ~Engine();
 
   [[nodiscard]] Picos now() const noexcept { return now_; }
+
+  /// RAII tag: events scheduled while the scope is alive carry `cat`.
+  class CategoryScope {
+   public:
+    CategoryScope(Engine& eng, EventCategory cat) noexcept
+        : eng_(&eng), prev_(eng.cat_) {
+      eng.cat_ = cat;
+    }
+    ~CategoryScope() { eng_->cat_ = prev_; }
+    CategoryScope(const CategoryScope&) = delete;
+    CategoryScope& operator=(const CategoryScope&) = delete;
+
+   private:
+    Engine* eng_;
+    EventCategory prev_;
+  };
+
+  /// Attach a sim-time trace recorder; every fired event becomes a
+  /// zero-width slice on its category's track. The recorder must outlive
+  /// the engine (or be detached with nullptr first). Null disables.
+  void set_trace(telemetry::TraceRecorder* tr) {
+    trace_ = tr;
+    if (tr) {
+      for (std::size_t c = 0; c < kEventCategoryCount; ++c) {
+        trace_tracks_[c] = tr->track(
+            std::string("engine/") +
+            event_category_name(static_cast<EventCategory>(c)));
+      }
+    }
+  }
+  [[nodiscard]] telemetry::TraceRecorder* trace() const noexcept {
+    return trace_;
+  }
+
+  /// Accumulate per-category wall time spent inside handlers (two clock
+  /// reads per event — leave off unless profiling; the totals flush to
+  /// `sim.engine.handler_ns.wall.<category>` counters).
+  void set_handler_timing(bool on) noexcept { timing_ = on; }
 
   /// Schedule `fn` at absolute time `t` (>= now; earlier is clamped to now).
   /// The callable is emplaced straight into its slab slot.
@@ -79,7 +144,7 @@ class Engine {
     if (slot == kNilSlot) return false;
     now_ = t;
     ++processed_;
-    fire_(slot);
+    dispatch_(slot);
     return true;
   }
 
@@ -93,6 +158,21 @@ class Engine {
   [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return processed_;
+  }
+  [[nodiscard]] std::uint64_t events_cancelled() const noexcept {
+    return cancelled_;
+  }
+  /// Deepest the heap has ever been (includes lazily-cancelled entries).
+  [[nodiscard]] std::size_t heap_high_water() const noexcept {
+    return heap_hw_;
+  }
+  /// Most events simultaneously live (scheduled, not yet fired/cancelled).
+  [[nodiscard]] std::size_t live_high_water() const noexcept {
+    return live_hw_;
+  }
+  /// Slab capacity in slots (a multiple of the 256-entry block size).
+  [[nodiscard]] std::size_t slab_slots() const noexcept {
+    return meta_.size();
   }
 
  private:
@@ -118,6 +198,9 @@ class Engine {
     std::uint32_t gen = 1;  ///< bumped on release; stale ids mismatch
     std::uint32_t next_free = kNilSlot;
     State state = State::kFree;
+    /// EventCategory of the pending event; rides in padding, so the
+    /// telemetry tag costs no slot-metadata footprint at all.
+    std::uint8_t category = 0;
   };
 
   /// `seq` is a wrapping 32-bit counter; events pending at the same time
@@ -144,8 +227,10 @@ class Engine {
 
   EventId arm_(Picos t, std::uint32_t slot, SlotMeta& m) {
     m.state = State::kPending;
+    m.category = static_cast<std::uint8_t>(cat_);
     heap_push_(HeapEntry{t > now_ ? t : now_, next_seq_++, slot});
     ++live_;
+    live_hw_ = live_ > live_hw_ ? live_ : live_hw_;
     return id_of_(slot, m.gen);
   }
 
@@ -180,6 +265,28 @@ class Engine {
     release_slot_(slot);
   }
 
+  /// fire_ plus the observability hooks. One predictable branch each for
+  /// tracing and handler timing when both are off — the hot-path cost the
+  /// bench_telemetry gate holds to single digits.
+  void dispatch_(std::uint32_t slot) {
+    const std::uint8_t cat = meta_[slot].category;
+    if (trace_) {
+      trace_->complete(trace_tracks_[cat],
+                       event_category_name(static_cast<EventCategory>(cat)),
+                       now_, 0);
+    }
+    if (timing_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fire_(slot);
+      handler_ns_[cat] += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      fire_(slot);
+    }
+  }
+
   /// Skim cancelled entries off the heap head, then pop the next live event
   /// if its time is <= `limit`. Returns its slot (kRunning, already off the
   /// heap) and fills `time`, or kNilSlot.
@@ -208,6 +315,7 @@ class Engine {
   void heap_push_(const HeapEntry& e) {
     std::size_t i = heap_.size();
     heap_.push_back(e);
+    heap_hw_ = heap_.size() > heap_hw_ ? heap_.size() : heap_hw_;
     while (i > 0) {
       const std::size_t parent = (i - 1) / 4;
       if (!before_(e, heap_[parent])) break;
@@ -251,7 +359,15 @@ class Engine {
   Picos now_ = 0;
   std::uint32_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::size_t live_ = 0;  ///< scheduled and not yet fired/cancelled
+  std::size_t live_hw_ = 0;
+  std::size_t heap_hw_ = 0;
+  EventCategory cat_ = EventCategory::kGeneric;
+  bool timing_ = false;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  telemetry::TraceRecorder::TrackId trace_tracks_[kEventCategoryCount] = {};
+  std::uint64_t handler_ns_[kEventCategoryCount] = {};
   std::vector<HeapEntry> heap_;
   /// Fixed-size blocks: closure addresses are stable across slab growth,
   /// so a closure can run in place while scheduling new events.

@@ -1,0 +1,121 @@
+// Fixed-bucket log2 latency histograms (cf. P4TG's in-pipeline RTT
+// histograms): 65 power-of-two buckets cover the full uint64 range with
+// no configuration, and recording is a branch-free bucket increment —
+// bit_width(v) indexes the bucket directly. Quantiles are recovered by
+// linear interpolation inside a bucket, clamped to the observed min/max,
+// which is exact for single-valued streams and rank-accurate for dense
+// ones (see tests/test_telemetry.cpp for the error characterization).
+//
+// `Log2Histogram` is the plain, single-threaded accumulator hot layers
+// keep locally (one engine/pipeline = one shard); the thread-safe
+// registry-side accumulator that shards merge into lives in registry.hpp.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace osnt::telemetry {
+
+class Log2Histogram {
+ public:
+  /// Bucket b=0 holds only the value 0; bucket b>=1 holds [2^(b-1), 2^b).
+  static constexpr std::size_t kBuckets = 65;
+
+  [[nodiscard]] static constexpr std::size_t bucket_of(
+      std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  [[nodiscard]] static constexpr std::uint64_t bucket_lo(
+      std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Inclusive upper edge.
+  [[nodiscard]] static constexpr std::uint64_t bucket_hi(
+      std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++counts_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    min_ = v < min_ ? v : min_;
+    max_ = v > max_ ? v : max_;
+  }
+
+  void merge(const Log2Histogram& o) noexcept {
+    for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += o.counts_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = o.min_ < min_ ? o.min_ : min_;
+    max_ = o.max_ > max_ ? o.max_ : max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ ? min_ : 0;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return count_ ? max_ : 0;
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const {
+    return counts_.at(b);
+  }
+
+  /// q in [0,1]. Walks the cumulative counts to the bucket holding rank
+  /// q*(count-1) (the same 0-based rank convention as SampleSet), then
+  /// interpolates linearly across the bucket span by rank fraction and
+  /// clamps to [min, max]. 0 on an empty histogram.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(count_ - 1);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t c = counts_[b];
+      if (c == 0) continue;
+      if (rank <= static_cast<double>(cum + c - 1)) {
+        const double lo = static_cast<double>(bucket_lo(b));
+        const double hi = static_cast<double>(bucket_hi(b));
+        const double frac =
+            c == 1 ? 0.0
+                   : (rank - static_cast<double>(cum)) /
+                         static_cast<double>(c - 1);
+        return std::clamp(lo + (hi - lo) * frac, static_cast<double>(min_),
+                          static_cast<double>(max_));
+      }
+      cum += c;
+    }
+    return static_cast<double>(max_);
+  }
+
+  void reset() noexcept { *this = Log2Histogram{}; }
+
+  /// Reassemble from raw accumulators (SharedHistogram::snapshot). `min`
+  /// must be the all-ones sentinel when `count` is 0.
+  [[nodiscard]] static Log2Histogram from_parts(
+      const std::array<std::uint64_t, kBuckets>& counts, std::uint64_t count,
+      std::uint64_t sum, std::uint64_t min, std::uint64_t max) noexcept {
+    Log2Histogram h;
+    h.counts_ = counts;
+    h.count_ = count;
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+    return h;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace osnt::telemetry

@@ -1,6 +1,7 @@
 #include "osnt/common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <mutex>
 
@@ -10,6 +11,16 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_sink_mutex;
 thread_local int t_worker_id = -1;
+
+/// Monotonic epoch for the elapsed-ms line prefix; pinned on first use so
+/// static-init order can't bite.
+std::chrono::steady_clock::time_point log_epoch() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+/// Touch the epoch during static init so the prefix counts from (roughly)
+/// process start rather than from the first log line.
+[[maybe_unused]] const auto g_epoch_pin = log_epoch();
 
 constexpr const char* level_name(LogLevel l) noexcept {
   switch (l) {
@@ -37,13 +48,21 @@ void set_log_worker(int id) noexcept { t_worker_id = id; }
 int log_worker() noexcept { return t_worker_id; }
 
 void log_message(LogLevel level, const std::string& msg) {
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - log_epoch())
+          .count();
   const std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (t_worker_id >= 0) {
-    std::fprintf(stderr, "[osnt %-5s w%d] %s\n", level_name(level),
-                 t_worker_id, msg.c_str());
+    std::fprintf(stderr, "[osnt +%.3fms %-5s w%d] %s\n", elapsed_ms,
+                 level_name(level), t_worker_id, msg.c_str());
   } else {
-    std::fprintf(stderr, "[osnt %-5s] %s\n", level_name(level), msg.c_str());
+    std::fprintf(stderr, "[osnt +%.3fms %-5s] %s\n", elapsed_ms,
+                 level_name(level), msg.c_str());
   }
+  // Errors are often the last thing a crashing process says: push them
+  // past the stdio buffer immediately.
+  if (level >= LogLevel::kError) std::fflush(stderr);
 }
 
 namespace detail {

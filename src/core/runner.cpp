@@ -1,13 +1,35 @@
 #include "osnt/core/runner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
 #include "osnt/common/log.hpp"
+#include "osnt/telemetry/histogram.hpp"
+#include "osnt/telemetry/registry.hpp"
 
 namespace osnt::core {
+namespace {
+
+/// Per-worker telemetry shard: trial wall times stay thread-local during
+/// the batch and merge into the registry only after the join (the plan
+/// barrier). Everything here is wall-clock-derived, so it publishes under
+/// "wall"-marked names that the sim-determinism snapshot excludes.
+struct WorkerShard {
+  std::uint64_t busy_ns = 0;
+  telemetry::Log2Histogram trial_us;
+};
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
 
 std::size_t RunnerConfig::resolved_jobs() const noexcept {
   if (jobs != 0) return jobs;
@@ -45,15 +67,24 @@ void Runner::for_each(std::size_t n,
                       const std::function<void(std::size_t)>& body) const {
   if (n == 0) return;
   const std::size_t jobs = std::min(cfg_.resolved_jobs(), n);
+  const bool telem = telemetry::enabled();
+  std::vector<WorkerShard> shards(jobs);
+  const auto plan_t0 = std::chrono::steady_clock::now();
 
   // Every index is attempted; the first failure in plan order wins. This
   // keeps the serial and parallel paths observably identical.
   std::vector<std::exception_ptr> errors(n);
-  const auto attempt = [&](std::size_t i) {
+  const auto attempt = [&](std::size_t i, WorkerShard& shard) {
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       body(i);
     } catch (...) {
       errors[i] = std::current_exception();
+    }
+    if (telem) {
+      const std::uint64_t ns = elapsed_ns(t0);
+      shard.busy_ns += ns;
+      shard.trial_us.record(ns / 1000);
     }
   };
 
@@ -62,7 +93,7 @@ void Runner::for_each(std::size_t n,
     // a trial that itself runs a serial sub-plan stays attributable.
     const int prev = log_worker();
     if (prev < 0) set_log_worker(0);
-    for (std::size_t i = 0; i < n; ++i) attempt(i);
+    for (std::size_t i = 0; i < n; ++i) attempt(i, shards[0]);
     set_log_worker(prev);
   } else {
     std::atomic<std::size_t> next{0};
@@ -73,11 +104,39 @@ void Runner::for_each(std::size_t n,
         set_log_worker(static_cast<int>(w));
         for (std::size_t i;
              (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
-          attempt(i);
+          attempt(i, shards[w]);
         }
       });
     }
     for (auto& t : pool) t.join();
+  }
+
+  if (telem) {
+    // Plan barrier: the join above made every shard visible; merge them
+    // into the registry in one place. Trial/plan counts are deterministic;
+    // the execution-shape metrics (worker pool, wall times, utilization)
+    // describe the host, not the simulated universe, and carry the "wall"
+    // marker that excludes them from determinism snapshots.
+    auto& reg = telemetry::registry();
+    reg.counter("core.runner.plans").inc();
+    reg.counter("core.runner.trials").add(n);
+    std::uint64_t busy_total = 0;
+    auto& trial_hist = reg.histogram("core.runner.trial_us.wall");
+    for (const WorkerShard& s : shards) {
+      busy_total += s.busy_ns;
+      trial_hist.merge(s.trial_us);
+    }
+    const std::uint64_t span = elapsed_ns(plan_t0);
+    const std::uint64_t pool_ns = span * jobs;
+    reg.gauge("core.runner.jobs.wall").set(static_cast<std::int64_t>(jobs));
+    reg.counter("core.runner.busy_ns.wall").add(busy_total);
+    reg.counter("core.runner.span_ns.wall").add(span);
+    reg.counter("core.runner.queue_wait_ns.wall")
+        .add(pool_ns > busy_total ? pool_ns - busy_total : 0);
+    if (pool_ns > 0) {
+      reg.gauge("core.runner.utilization_pct.wall")
+          .set(static_cast<std::int64_t>(busy_total * 100 / pool_ns));
+    }
   }
 
   for (auto& e : errors)

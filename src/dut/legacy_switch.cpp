@@ -105,6 +105,7 @@ void LegacySwitch::on_frame(std::size_t in_port, net::Packet pkt,
 
 void LegacySwitch::emit(std::size_t out_port, net::Packet pkt,
                         Picos not_before) {
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kDut);
   eng_->schedule_at(not_before, [this, out_port, pkt = std::move(pkt)]() mutable {
     ports_[out_port]->tx().transmit(std::move(pkt));
   });

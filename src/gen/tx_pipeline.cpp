@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "osnt/common/log.hpp"
+#include "osnt/telemetry/registry.hpp"
 
 namespace osnt::gen {
 
@@ -12,10 +13,21 @@ TxPipeline::TxPipeline(sim::Engine& eng, hw::TxMac& mac,
       rate_(cfg.rate), gap_model_(std::make_unique<ConstantGap>()),
       rng_(cfg.seed) {}
 
+TxPipeline::~TxPipeline() {
+  if (!telemetry::enabled() || scheduled_ == 0) return;
+  auto& reg = telemetry::registry();
+  reg.counter("gen.tx.frames_scheduled").add(scheduled_);
+  reg.counter("gen.tx.frames_sent").add(frames_);
+  reg.counter("gen.tx.mac_rejects").add(mac_rejects_);
+  reg.counter("gen.tx.wire_bytes").add(bytes_);
+  reg.histogram("gen.tx.frame_bytes").merge(frame_bytes_);
+}
+
 void TxPipeline::start() {
   if (!source_) throw std::logic_error("TxPipeline: no source set");
   if (running_) return;
   running_ = true;
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kGen);
   pending_ = eng_->schedule_in(cfg_.start_delay, [this] { send_one(); });
 }
 
@@ -50,18 +62,30 @@ void TxPipeline::send_one() {
   ++seq_;
 
   pkt.tx_truth = eng_->now();
+  ++scheduled_;
   const auto start = mac_->transmit(std::move(pkt));
+  const Picos air = net::serialization_time(line_len, rate_.link_gbps());
   if (start) {
     ++frames_;
     bytes_ += line_len;  // line occupancy incl. framing overhead
     if (first_dep_ < 0) first_dep_ = *start;
     last_dep_ = *start;
+    // Frame incl. FCS, without preamble/IFG: matches TrafficSpec::frame_size.
+    frame_bytes_.record(line_len - net::kEthPerFrameOverhead);
+    if (auto* tr = eng_->trace()) {
+      if (!trace_track_set_) {
+        trace_track_ = tr->track("gen.tx");
+        trace_track_set_ = true;
+      }
+      tr->complete(trace_track_, "frame", *start, air);
+    }
+  } else {
+    ++mac_rejects_;
   }
 
   // Pace the next departure start-to-start from the *scheduled* slot, not
   // from the (possibly pushed-back) MAC grant, so requested inter-departure
   // statistics stay exact when the MAC is keeping up.
-  const Picos air = net::serialization_time(line_len, rate_.link_gbps());
   Picos interval;
   if (tp->gap_hint) {
     interval = std::max(*tp->gap_hint, air);
@@ -69,6 +93,7 @@ void TxPipeline::send_one() {
     const Picos mean = rate_.departure_interval(line_len);
     interval = gap_model_->sample(rng_, mean, air);
   }
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kGen);
   pending_ = eng_->schedule_in(interval, [this] { send_one(); });
 }
 

@@ -4,8 +4,19 @@
 #include <memory>
 
 #include "osnt/net/packet.hpp"
+#include "osnt/telemetry/registry.hpp"
 
 namespace osnt::hw {
+
+DmaEngine::~DmaEngine() {
+  if (!telemetry::enabled() || (delivered_ == 0 && drops_ == 0)) return;
+  auto& reg = telemetry::registry();
+  reg.counter("hw.dma.records_delivered").add(delivered_);
+  reg.counter("hw.dma.bytes_delivered").add(bytes_delivered_);
+  reg.counter("hw.dma.drops_ring_full").add(drops_);
+  reg.gauge("hw.dma.ring_high_water")
+      .update_max(static_cast<std::int64_t>(ring_hw_));
+}
 
 bool DmaEngine::enqueue(DmaRecord rec) {
   if (in_ring_ >= cfg_.ring_entries) {
@@ -13,6 +24,7 @@ bool DmaEngine::enqueue(DmaRecord rec) {
     return false;
   }
   ++in_ring_;
+  ring_hw_ = in_ring_ > ring_hw_ ? in_ring_ : ring_hw_;
   const std::size_t bus_bytes =
       rec.payload.size() + cfg_.per_record_overhead_bytes;
   const Picos now = eng_->now();
@@ -20,6 +32,7 @@ bool DmaEngine::enqueue(DmaRecord rec) {
   const Picos xfer =
       net::serialization_time(bus_bytes, cfg_.gbps);
   bus_free_ = start + xfer;
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kHw);
   eng_->schedule_at(bus_free_, [this, rec = std::move(rec)]() mutable {
     --in_ring_;
     ++delivered_;

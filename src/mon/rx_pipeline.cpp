@@ -1,8 +1,20 @@
 #include "osnt/mon/rx_pipeline.hpp"
 
 #include "osnt/mon/capture.hpp"
+#include "osnt/telemetry/registry.hpp"
 
 namespace osnt::mon {
+
+RxPipeline::~RxPipeline() {
+  if (!telemetry::enabled() || seen_ == 0) return;
+  auto& reg = telemetry::registry();
+  reg.counter("mon.rx.frames_seen").add(seen_);
+  reg.counter("mon.rx.captured").add(captured_);
+  reg.counter("mon.rx.filter_drops").add(filtered_);
+  reg.counter("mon.rx.dma_drops").add(dma_drops_);
+  reg.counter("mon.rx.probe_hits").add(probe_seen_);
+  reg.histogram("mon.rx.latency_ns").merge(latency_ns_);
+}
 
 void RxPipeline::arm_trigger(FilterRule rule, std::uint64_t window) {
   trigger_rule_ = rule;
@@ -19,11 +31,26 @@ RxPipeline::RxPipeline(sim::Engine& eng, hw::RxMac& mac,
   });
 }
 
-void RxPipeline::on_frame(net::Packet pkt, Picos first_bit, Picos /*last_bit*/) {
+void RxPipeline::on_frame(net::Packet pkt, Picos first_bit, Picos last_bit) {
   ++seen_;
   // Timestamp on MAC receipt (first bit) — before any queueing, which is
   // what keeps timestamp noise out of OSNT measurements.
   const tstamp::Timestamp ts = clock_->now(first_bit);
+
+  // Ground-truth one-way latency in sim time (frames whose tx_truth was
+  // never stamped by a generator carry the 0 default and are skipped).
+  if (pkt.tx_truth > 0 && first_bit >= pkt.tx_truth) {
+    latency_ns_.record(
+        static_cast<std::uint64_t>((first_bit - pkt.tx_truth) / kPicosPerNano));
+  }
+  if (auto* tr = eng_->trace()) {
+    if (!trace_track_set_) {
+      trace_track_ = tr->track("mon.rx");
+      trace_track_set_ = true;
+    }
+    tr->complete(trace_track_, "frame", first_bit,
+                 last_bit > first_bit ? last_bit - first_bit : 0);
+  }
 
   auto parsed = net::parse_packet(pkt.bytes());
   if (!parsed) return;  // runt below L2 header; MAC counters caught it

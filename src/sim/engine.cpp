@@ -2,8 +2,36 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "osnt/telemetry/registry.hpp"
 
 namespace osnt::sim {
+
+Engine::~Engine() {
+  // One engine is one telemetry shard: merge its plain local counters into
+  // the process-wide registry exactly once. Every merge op commutes
+  // (counter adds, gauge maxes), so concurrent trials on any number of
+  // runner workers produce identical registry totals.
+  if (!telemetry::enabled()) return;
+  if (processed_ == 0 && cancelled_ == 0 && meta_.empty()) return;
+  auto& reg = telemetry::registry();
+  reg.counter("sim.engine.engines").inc();
+  reg.counter("sim.engine.events_fired").add(processed_);
+  reg.counter("sim.engine.events_cancelled").add(cancelled_);
+  reg.gauge("sim.engine.heap_high_water")
+      .update_max(static_cast<std::int64_t>(heap_hw_));
+  reg.gauge("sim.engine.live_high_water")
+      .update_max(static_cast<std::int64_t>(live_hw_));
+  reg.gauge("sim.engine.slab_slots")
+      .update_max(static_cast<std::int64_t>(meta_.size()));
+  for (std::size_t c = 0; c < kEventCategoryCount; ++c) {
+    if (handler_ns_[c] == 0) continue;
+    reg.counter(std::string("sim.engine.handler_ns.wall.") +
+                event_category_name(static_cast<EventCategory>(c)))
+        .add(handler_ns_[c]);
+  }
+}
 
 void Engine::add_block_() {
   assert(blocks_.size() < (std::size_t{1} << (32 - kSlotBlockShift)) &&
@@ -33,6 +61,7 @@ bool Engine::cancel(EventId id) {
   m.state = State::kCancelled;
   fn_(slot).reset();
   --live_;
+  ++cancelled_;
   return true;
 }
 
@@ -46,7 +75,7 @@ void Engine::run_until(Picos t) {
   for (std::uint32_t slot; (slot = pop_next_live_(t, when)) != kNilSlot;) {
     now_ = when;
     ++processed_;
-    fire_(slot);
+    dispatch_(slot);
   }
   now_ = std::max(now_, t);
 }

@@ -37,6 +37,7 @@ void Link::carry(net::Packet pkt, Picos tx_start, Picos tx_end) {
   const Picos last_bit = tx_end + propagation_;
   // Deliver at last-bit arrival: sinks are store-and-forward MACs. The
   // first-bit time rides along for MAC-receipt timestamping semantics.
+  const Engine::CategoryScope cat(*eng_, EventCategory::kLink);
   eng_->schedule_at(last_bit,
                     [this, pkt = std::move(pkt), first_bit, last_bit]() mutable {
                       sink_->on_frame(std::move(pkt), first_bit, last_bit);

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Snapshot the perf gates into BENCH_engine.json and BENCH_runner.json at
-# the repo root. Run from anywhere on a quiet machine:
+# Snapshot the perf gates into BENCH_engine.json, BENCH_runner.json, and
+# BENCH_telemetry.json at the repo root. Run from anywhere on a quiet
+# machine:
 #
 #   tools/bench_engine_snapshot.sh [build-dir]
 #
@@ -11,20 +12,25 @@
 # ("Event core") cites both. BENCH_runner.json is bench_runner's
 # trials/sec at jobs=1..8 plus a "scaling" block (speedup per job count
 # and the host's hardware_concurrency, without which the ratios are
-# meaningless). Re-run after touching the scheduler hot path or the
-# runner and commit the refreshed files alongside the change.
+# meaningless). BENCH_telemetry.json is bench_telemetry's enabled-vs-
+# disabled A/B plus an "overhead" block with the per-benchmark ratio; the
+# gate is <= 5% on the ScheduleFire storm. Re-run after touching the
+# scheduler hot path, the runner, or the telemetry layer and commit the
+# refreshed files alongside the change.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"$repo_root/build"}"
 bench="$build_dir/bench/bench_engine"
 bench_runner="$build_dir/bench/bench_runner"
+bench_telemetry="$build_dir/bench/bench_telemetry"
 out="$repo_root/BENCH_engine.json"
 out_runner="$repo_root/BENCH_runner.json"
+out_telemetry="$repo_root/BENCH_telemetry.json"
 
-if [[ ! -x "$bench" || ! -x "$bench_runner" ]]; then
-  echo "error: $bench or $bench_runner not found — build the bench targets first:" >&2
-  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target bench_engine bench_runner -j" >&2
+if [[ ! -x "$bench" || ! -x "$bench_runner" || ! -x "$bench_telemetry" ]]; then
+  echo "error: $bench, $bench_runner, or $bench_telemetry not found — build the bench targets first:" >&2
+  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target bench_engine bench_runner bench_telemetry -j" >&2
   exit 1
 fi
 
@@ -104,6 +110,56 @@ doc["scaling"] = {
     ),
     "hardware_concurrency": os.cpu_count(),
     "speedup_vs_1job": scaling,
+}
+json.dump(doc, open(path, "w"), indent=1)
+print(f"wrote {path}")
+PYEOF
+
+# Random interleaving matters here: the A/B pairs are compared against
+# each other, and a sequential on…on/off…off ordering turns thermal drift
+# into a systematic bias bigger than the effect being measured.
+"$bench_telemetry" \
+  --benchmark_min_time=0.5 \
+  --benchmark_repetitions=5 \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$out_telemetry" \
+  --benchmark_out_format=json
+
+# Derive the enabled-vs-disabled overhead per A/B pair so the gate
+# (telemetry-on within 5% of telemetry-off on the ScheduleFire storm) is
+# checkable from this one file.
+python3 - "$out_telemetry" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+doc = json.load(open(path))
+rates = {}
+for b in doc["benchmarks"]:
+    if b.get("aggregate_name") == "median":
+        rates[b["run_name"]] = b["items_per_second"]
+
+overhead = {}
+for off_name, off_rate in rates.items():
+    if "/off/" not in off_name and not off_name.endswith("/off"):
+        continue
+    on_name = off_name.replace("/off", "/on", 1)
+    if on_name in rates and rates[on_name] > 0:
+        overhead[off_name.replace("/off", "", 1)] = round(
+            (off_rate / rates[on_name] - 1.0) * 100.0, 2
+        )
+
+doc["overhead"] = {
+    "note": (
+        "events/sec cost of leaving telemetry enabled, as "
+        "(off_rate / on_rate - 1) * 100 per A/B pair (median of 5 "
+        "randomly interleaved reps). Gate: <= 5.0 on the "
+        "BM_ScheduleFireTelemetry storm. Negative values are measurement "
+        "noise around zero."
+    ),
+    "gate_pct": 5.0,
+    "enabled_overhead_pct": overhead,
 }
 json.dump(doc, open(path, "w"), indent=1)
 print(f"wrote {path}")

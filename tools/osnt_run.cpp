@@ -4,17 +4,25 @@
 //
 //   osnt_run latency    [--rate-gbps N] [--frame-size N] [--duration-ms N]
 //                       [--dut none|legacy|lossy] [--poisson]
+//                       [--trace PATH] [--metrics-out PATH]
 //   osnt_run throughput [--frame-size N] [--resolution F] [--dut ...]
-//                       [--jobs N]
+//                       [--jobs N] [--metrics-out PATH]
 //   osnt_run capture    [--rate-gbps N] [--snap N] [--flows N]
 //                       [--pcap-out PATH]
 //   osnt_run oflops     [--module M] [--table-size N] [--rounds N]
+//
+// Global flags (any subcommand): --log-level debug|info|warn|error|off.
+// --trace writes a Chrome trace_event JSON of the run in *sim* time
+// (open in Perfetto / chrome://tracing); --metrics-out snapshots the
+// process-wide telemetry registry as JSON at end of run.
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "osnt/common/cli.hpp"
+#include "osnt/common/log.hpp"
 #include "osnt/core/device.hpp"
 #include "osnt/core/measure.hpp"
 #include "osnt/core/rfc2544.hpp"
@@ -30,6 +38,8 @@
 #include "osnt/oflops/interaction.hpp"
 #include "osnt/oflops/queue_delay.hpp"
 #include "osnt/oflops/stats_poll.hpp"
+#include "osnt/telemetry/registry.hpp"
+#include "osnt/telemetry/trace.hpp"
 #include "osnt/topo/fabric.hpp"
 
 using namespace osnt;
@@ -70,24 +80,48 @@ int cmd_latency(int argc, const char* const* argv) {
   std::int64_t frame_size = 256;
   std::string dut = "legacy";
   bool poisson = false;
+  std::string trace_path, metrics_path;
   CliParser cli{"osnt_run latency — one-way latency/jitter through a DUT"};
   cli.add_flag("rate-gbps", &rate_gbps, "offered L1 rate");
   cli.add_flag("frame-size", &frame_size, "frame size incl. FCS");
   cli.add_flag("duration-ms", &duration_ms, "simulated test duration");
   cli.add_flag("dut", &dut, "device under test: none|legacy|lossy");
   cli.add_flag("poisson", &poisson, "Poisson arrivals instead of CBR");
+  cli.add_flag("trace", &trace_path, "write Chrome trace_event JSON here");
+  cli.add_flag("metrics-out", &metrics_path,
+               "write a telemetry registry JSON snapshot here");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
-  sim::Engine eng;
-  core::OsntDevice osnt{eng};
-  auto holder = wire(eng, osnt, dut);
+  telemetry::TraceRecorder rec;
+  core::RunResult r;
 
-  core::TrafficSpec spec;
-  spec.rate = gen::RateSpec::gbps(rate_gbps);
-  spec.frame_size = static_cast<std::size_t>(frame_size);
-  if (poisson) spec.arrivals = core::TrafficSpec::Arrivals::kPoisson;
-  const auto r = core::run_capture_test(eng, osnt, 0, 1, spec,
-                                        from_micros(duration_ms * 1000.0));
+  // Phrased as a one-point trial plan: the testbed lives inside the trial
+  // (so telemetry shards flush before the snapshot below) and the runner
+  // contributes its own metric family to --metrics-out.
+  core::TrialPlan plan;
+  plan.points.resize(1);
+  plan.run = [&](const core::TrialPoint& pt) {
+    sim::Engine eng;
+    if (!trace_path.empty()) eng.set_trace(&rec);
+    if (!metrics_path.empty()) eng.set_handler_timing(true);
+    core::OsntDevice osnt{eng};
+    auto holder = wire(eng, osnt, dut);
+
+    core::TrafficSpec spec;
+    spec.rate = gen::RateSpec::gbps(rate_gbps);
+    spec.frame_size = static_cast<std::size_t>(frame_size);
+    spec.seed = pt.seed;
+    if (poisson) spec.arrivals = core::TrafficSpec::Arrivals::kPoisson;
+    r = core::run_capture_test(eng, osnt, 0, 1, spec,
+                               from_micros(duration_ms * 1000.0));
+    core::TrialStats s;
+    s.tx_frames = r.tx_frames;
+    s.rx_frames = r.rx_frames;
+    s.offered_gbps = r.offered_gbps;
+    return s;
+  };
+  (void)core::Runner{}.run(plan);
+
   std::printf("tx %llu  rx %llu  loss %.4f%%  offered %.3f Gb/s\n",
               static_cast<unsigned long long>(r.tx_frames),
               static_cast<unsigned long long>(r.rx_frames),
@@ -97,6 +131,23 @@ int cmd_latency(int argc, const char* const* argv) {
               r.latency_ns.quantile(0.99), r.latency_ns.max());
   std::printf("jitter ns:  p50 %.2f p99 %.2f\n", r.jitter_ns.quantile(0.5),
               r.jitter_ns.quantile(0.99));
+  if (!trace_path.empty()) {
+    if (!rec.write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events (%llu dropped) to %s\n", rec.size(),
+                static_cast<unsigned long long>(rec.dropped()),
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (!telemetry::registry().write_json(metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -105,12 +156,15 @@ int cmd_throughput(int argc, const char* const* argv) {
   double resolution = 0.01;
   std::string dut = "legacy";
   std::int64_t jobs = 1;
+  std::string metrics_path;
   CliParser cli{"osnt_run throughput — RFC 2544 zero-loss search"};
   cli.add_flag("frame-size", &frame_size, "single size, or 0 for the sweep");
   cli.add_flag("resolution", &resolution, "search resolution (fraction)");
   cli.add_flag("dut", &dut, "device under test: none|legacy|lossy");
   cli.add_flag("jobs", &jobs,
                "worker threads for the sweep (0 = all hardware threads)");
+  cli.add_flag("metrics-out", &metrics_path,
+               "write a telemetry registry JSON snapshot here");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   // Each trial builds a pristine testbed, so the sweep can shard across
@@ -147,6 +201,14 @@ int cmd_throughput(int argc, const char* const* argv) {
       std::printf("%6zuB %11.1f%% %10.3f %10.3f\n", pt.frame_size,
                   pt.max_load_fraction * 100.0, pt.gbps, pt.mpps);
     }
+  }
+  if (!metrics_path.empty()) {
+    if (!telemetry::registry().write_json(metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
   }
   return 0;
 }
@@ -278,18 +340,53 @@ int cmd_fleet(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Global --log-level handling: accepted anywhere on the command line,
+/// stripped before subcommand parsing. Returns false on a bad level name.
+bool apply_log_level(const std::string& name) {
+  if (name == "debug") set_log_level(LogLevel::kDebug);
+  else if (name == "info") set_log_level(LogLevel::kInfo);
+  else if (name == "warn") set_log_level(LogLevel::kWarn);
+  else if (name == "error") set_log_level(LogLevel::kError);
+  else if (name == "off") set_log_level(LogLevel::kOff);
+  else {
+    std::fprintf(stderr,
+                 "bad --log-level '%s' (debug|info|warn|error|off)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::vector<const char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  args.push_back(argc > 0 ? argv[0] : "osnt_run");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-level") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--log-level needs a value\n");
+        return 1;
+      }
+      if (!apply_log_level(argv[++i])) return 1;
+    } else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+      if (!apply_log_level(argv[i] + 12)) return 1;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  if (args.size() < 2) {
     std::fprintf(stderr,
                  "usage: osnt_run <latency|throughput|capture|oflops|fleet> "
-                 "[flags]\n       osnt_run <cmd> --help\n");
+                 "[flags] [--log-level debug|info|warn|error|off]\n"
+                 "       osnt_run <cmd> --help\n");
     return 1;
   }
-  const std::string cmd = argv[1];
-  const int sub_argc = argc - 1;
-  const char* const* sub_argv = argv + 1;
+  const std::string cmd = args[1];
+  const int sub_argc = static_cast<int>(args.size()) - 1;
+  const char* const* sub_argv = args.data() + 1;
   if (cmd == "latency") return cmd_latency(sub_argc, sub_argv);
   if (cmd == "throughput") return cmd_throughput(sub_argc, sub_argv);
   if (cmd == "capture") return cmd_capture(sub_argc, sub_argv);
