@@ -36,6 +36,10 @@ class CliParser {
 
   [[nodiscard]] std::string usage() const;
 
+  /// Closest registered flag to a (misspelled) name, or "" when nothing
+  /// is close enough to be a plausible typo. Exposed for tests.
+  [[nodiscard]] std::string nearest_flag(const std::string& name) const;
+
  private:
   enum class Kind : std::uint8_t { kString, kDouble, kInt, kBool };
   struct Flag {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -44,6 +45,10 @@ struct ThroughputPoint {
   double mpps = 0.0;
   std::uint32_t trials = 0;
   SampleSet latency_at_max_ns;     ///< latency at the passing load
+  /// Quality flag: kOk numbers are trustworthy; a timed-out/failed size
+  /// carries zeroed numbers plus the error, and the sweep still returns.
+  TrialOutcome outcome = TrialOutcome::kOk;
+  std::string error;  ///< what() of the search-killing exception
 };
 
 /// Binary-search the highest zero-loss (or tolerance) load for one size.
@@ -75,6 +80,9 @@ struct LossPoint {
   double load_fraction = 0.0;
   double loss_fraction = 0.0;
   double offered_gbps = 0.0;
+  /// Quality flag: numbers are zeroed (not trustworthy) unless the
+  /// outcome is kOk/kRetried. The ladder completes either way.
+  TrialOutcome outcome = TrialOutcome::kOk;
 };
 [[nodiscard]] std::vector<LossPoint> loss_rate_sweep(
     const Trial& run, std::size_t frame_size, double hi = 1.0,

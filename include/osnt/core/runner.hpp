@@ -18,6 +18,21 @@ struct RunnerConfig {
   /// 0 means std::thread::hardware_concurrency().
   std::size_t jobs = 1;
 
+  /// Attempt cap per trial (min 1). Above 1, a failed attempt a is retried
+  /// at seed rederive_seed(point.seed, a) — bounded, deterministic, and
+  /// independent of which worker runs it.
+  std::uint32_t max_attempts = 1;
+
+  /// Per-attempt sim-event budget adopted by every Engine the trial
+  /// constructs (0 = off). The deterministic watchdog: a livelocked trial
+  /// dies on the same event number everywhere.
+  std::uint64_t event_budget = 0;
+
+  /// Per-attempt wall-clock deadline in ms (0 = off). A safety net for
+  /// stalls the event budget cannot see (a blocking handler); inherently
+  /// nondeterministic — see DESIGN.md §10.
+  std::uint64_t wall_deadline_ms = 0;
+
   [[nodiscard]] std::size_t resolved_jobs() const noexcept;
 };
 
@@ -47,7 +62,19 @@ class Runner {
 
   /// Run every point through `plan.run`; result i corresponds to
   /// `plan.points[i]` (with `index` filled in) regardless of thread count.
+  /// Retries/watchdogs from the config still apply; a slot whose attempts
+  /// are exhausted surfaces as the historical throw (every point is still
+  /// attempted, first exception in plan order rethrown after the batch).
   [[nodiscard]] std::vector<TrialStats> run(const TrialPlan& plan) const;
+
+  /// Hardened execution: never throws for trial failures. Every slot gets
+  /// up to `max_attempts` watchdogged attempts with per-attempt seed
+  /// rederivation; the plan always completes, and each TrialResult says
+  /// whether its stats are first-try (ok), salvaged (retried), or absent
+  /// (timed_out / failed, with the last error attached). Outcome counts
+  /// land in telemetry under `core.runner.outcome.*`.
+  [[nodiscard]] std::vector<TrialResult> run_resilient(
+      const TrialPlan& plan) const;
 
   /// Deterministic-order parallel map: invoke `body(i)` for i in [0, n)
   /// across the pool. The sweeps use this when the unit of parallelism is

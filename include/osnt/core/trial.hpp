@@ -7,7 +7,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <string>
 #include <utility>
 
 #include "osnt/common/stats.hpp"
@@ -24,7 +26,38 @@ struct TrialPoint {
   double load_fraction = 1.0;  ///< offered load as a fraction of line rate
   std::size_t frame_size = 64; ///< frame size incl. FCS
   std::size_t burst_len = 0;   ///< back-to-back burst length (0 = n/a)
+  /// Retry ordinal (set by the runner): 0 on the first attempt. The seed
+  /// above is already rederived for the attempt — a trial that only uses
+  /// `seed` replays bit-identically when re-invoked at the same point.
+  std::uint32_t attempt = 0;
 };
+
+/// Deterministic per-attempt seed rederivation (splitmix64 finalizer over
+/// seed ⊕ attempt·golden-ratio). Identity at attempt 0, so retry-capable
+/// runs reproduce retry-free runs exactly; distinct, well-mixed streams
+/// for every later attempt, independent of thread or schedule.
+[[nodiscard]] constexpr std::uint64_t rederive_seed(
+    std::uint64_t seed, std::uint32_t attempt) noexcept {
+  if (attempt == 0) return seed;
+  std::uint64_t z = seed ^ (0x9E3779B97F4A7C15ull * attempt);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// How a trial's slot in the plan ended up (see DESIGN.md §10).
+enum class TrialOutcome : std::uint8_t {
+  kOk = 0,    ///< first attempt succeeded
+  kRetried,   ///< an attempt failed; a later rederived-seed attempt passed
+  kTimedOut,  ///< last attempt killed by a watchdog (sim::WatchdogError)
+  kFailed,    ///< last attempt threw something else
+};
+
+[[nodiscard]] constexpr const char* trial_outcome_name(
+    TrialOutcome o) noexcept {
+  constexpr const char* kNames[] = {"ok", "retried", "timed_out", "failed"};
+  return kNames[static_cast<std::size_t>(o)];
+}
 
 /// Outcome of offering `load_fraction` of line rate at one frame size.
 struct TrialStats {
@@ -41,6 +74,23 @@ struct TrialStats {
                ? 0.0
                : 1.0 - static_cast<double>(rx_frames) /
                            static_cast<double>(tx_frames);
+  }
+};
+
+/// One plan slot's result under the hardened runner: stats when any
+/// attempt succeeded, plus how it got there. Failed/timed-out slots carry
+/// the last attempt's error so a sweep can report partial results with
+/// quality flags instead of aborting.
+struct TrialResult {
+  TrialStats stats;  ///< valid iff ok(); value-initialized otherwise
+  TrialOutcome outcome = TrialOutcome::kOk;
+  std::uint32_t attempts = 0;      ///< attempts actually made
+  std::uint64_t seed_used = 0;     ///< rederived seed of the last attempt
+  std::string error;               ///< last attempt's what() when !ok()
+  std::exception_ptr exception;    ///< last attempt's exception when !ok()
+
+  [[nodiscard]] bool ok() const noexcept {
+    return outcome == TrialOutcome::kOk || outcome == TrialOutcome::kRetried;
   }
 };
 

@@ -51,6 +51,16 @@ class DmaEngine {
   /// counts the drop) when the ring is full.
   bool enqueue(DmaRecord rec);
 
+  /// Fault seam: freeze the bus for `duration` (host-ring stall, PCIe
+  /// backpressure burst). Transfers already on the bus complete on
+  /// schedule; everything enqueued afterwards queues behind the stall, so
+  /// a busy capture path fills the ring and drops — exactly the paper's
+  /// loss-limited behaviour under host pressure.
+  void inject_stall(Picos duration);
+  [[nodiscard]] std::uint64_t stalls_injected() const noexcept {
+    return stalls_;
+  }
+
   [[nodiscard]] std::size_t ring_occupancy() const noexcept { return in_ring_; }
   [[nodiscard]] std::uint64_t records_delivered() const noexcept {
     return delivered_;
@@ -73,6 +83,7 @@ class DmaEngine {
   std::uint64_t delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t stalls_ = 0;
 };
 
 }  // namespace osnt::hw

@@ -22,31 +22,52 @@ struct PcapRecord {
   Bytes data;                  ///< captured bytes (<= orig_len when snapped)
 };
 
+struct PcapReaderOptions {
+  /// Throw on a truncated final record instead of treating it as
+  /// EOF-with-warning. Lenient is the default: a capture cut off by a
+  /// crashed or killed writer loses its tail record, not the whole file.
+  /// An implausible length or a truncated global header throws either way.
+  bool strict = false;
+};
+
 /// Streaming PCAP reader. Throws std::runtime_error on open/parse failure.
 class PcapReader {
  public:
-  explicit PcapReader(const std::string& path);
+  explicit PcapReader(const std::string& path,
+                      PcapReaderOptions options = {});
   ~PcapReader();
   PcapReader(const PcapReader&) = delete;
   PcapReader& operator=(const PcapReader&) = delete;
   PcapReader(PcapReader&&) noexcept;
   PcapReader& operator=(PcapReader&&) noexcept;
 
-  /// Next record, or nullopt at EOF. Throws on a truncated/corrupt record.
+  /// Next record, or nullopt at EOF. A record cut off by end-of-file is
+  /// counted in truncated_tail() and reported as EOF (lenient mode, the
+  /// default) or thrown (options.strict).
   [[nodiscard]] std::optional<PcapRecord> next();
 
   [[nodiscard]] bool nanosecond_format() const noexcept { return nanos_; }
   [[nodiscard]] std::uint32_t link_type() const noexcept { return link_type_; }
+  /// 1 when the file ended mid-record and lenient mode swallowed it.
+  [[nodiscard]] std::uint64_t truncated_tail() const noexcept {
+    return truncated_tail_;
+  }
 
   /// Read every record of a file into memory.
-  [[nodiscard]] static std::vector<PcapRecord> read_all(const std::string& path);
+  [[nodiscard]] static std::vector<PcapRecord> read_all(
+      const std::string& path, PcapReaderOptions options = {});
 
  private:
+  std::optional<PcapRecord> truncated_eof_();
+
   std::FILE* f_ = nullptr;
+  PcapReaderOptions opt_;
   bool nanos_ = false;
   bool swapped_ = false;
+  bool done_ = false;
   std::uint32_t link_type_ = 1;
   std::uint32_t snaplen_ = 0;
+  std::uint64_t truncated_tail_ = 0;
 };
 
 /// Streaming PCAP writer (Ethernet link type). Throws on I/O failure.

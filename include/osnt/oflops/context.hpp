@@ -25,6 +25,9 @@ class OflopsContext {
 
   // --- control plane ---
   std::uint32_t send(const openflow::OfMessage& msg) { return ctrl_->send(msg); }
+  /// Whether the control-channel session is currently up. Sends while it
+  /// is down are dropped (and counted by the channel).
+  [[nodiscard]] bool channel_up() const noexcept { return ctrl_->session_up(); }
 
   // --- data plane ---
   [[nodiscard]] core::OsntDevice& osnt() noexcept { return *osnt_; }

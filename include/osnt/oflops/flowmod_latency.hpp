@@ -38,6 +38,7 @@ class FlowModLatencyModule final : public MeasurementModule {
                      const openflow::Decoded& msg) override;
   void on_capture(OflopsContext& ctx, const mon::CaptureRecord& rec) override;
   void on_timer(OflopsContext& ctx, std::uint64_t timer_id) override;
+  void on_channel_status(OflopsContext& ctx, bool up) override;
   [[nodiscard]] bool finished() const override { return done_; }
   [[nodiscard]] Report report() const override;
 
@@ -47,6 +48,7 @@ class FlowModLatencyModule final : public MeasurementModule {
 
   void send_redirect(OflopsContext& ctx);
   void maybe_finish_round(OflopsContext& ctx);
+  void install_table(OflopsContext& ctx);
   [[nodiscard]] openflow::FlowMod probe_rule(std::uint16_t out_port) const;
 
   Config cfg_;
@@ -59,6 +61,13 @@ class FlowModLatencyModule final : public MeasurementModule {
   std::uint32_t barrier_xid_ = 0;
   bool awaiting_barrier_ = false;
   bool awaiting_data_ = false;
+
+  // Degradation bookkeeping: control-channel outages survived mid-run.
+  // Rounds whose redirect was re-driven after a reconnect stay in the
+  // distributions (their control sample includes the outage) but are
+  // counted so the report is explicit about being degraded-but-complete.
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t degraded_rounds_ = 0;
 
   SampleSet ctrl_ms_;
   SampleSet data_ms_;

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -43,15 +45,59 @@ enum class EventCategory : std::uint8_t {
   kHw,           ///< MAC/DMA hardware models
   kDut,          ///< device-under-test internals
   kMon,          ///< monitor-side bookkeeping
+  kFault,        ///< fault-injection schedule (osnt::fault::Injector)
 };
-inline constexpr std::size_t kEventCategoryCount = 6;
+inline constexpr std::size_t kEventCategoryCount = 7;
 
 [[nodiscard]] constexpr const char* event_category_name(
     EventCategory c) noexcept {
   constexpr const char* kNames[kEventCategoryCount] = {
-      "generic", "gen", "link", "hw", "dut", "mon"};
+      "generic", "gen", "link", "hw", "dut", "mon", "fault"};
   return kNames[static_cast<std::size_t>(c)];
 }
+
+/// Which watchdog tripped.
+enum class WatchdogKind : std::uint8_t {
+  kEventBudget,  ///< deterministic: the Nth dispatched event
+  kWallClock,    ///< host-time safety net; inherently nondeterministic
+};
+
+/// Thrown out of step()/run()/run_until() when a watchdog trips. The
+/// engine stays destructible (pending closures are freed by the slab),
+/// but the simulation it was driving is dead — catch at trial scope.
+class WatchdogError : public std::runtime_error {
+ public:
+  WatchdogError(WatchdogKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  [[nodiscard]] WatchdogKind kind() const noexcept { return kind_; }
+
+ private:
+  WatchdogKind kind_;
+};
+
+/// Watchdog limits a new Engine adopts at construction. Zero = off.
+struct WatchdogConfig {
+  std::uint64_t event_budget = 0;    ///< max dispatched events per engine
+  std::uint64_t wall_budget_ms = 0;  ///< wall-clock ms from construction
+};
+
+/// The trial runner cannot reach into engines a trial constructs for
+/// itself, so watchdog limits travel ambiently: a WatchdogScope sets a
+/// thread-local config and every Engine built on that thread while the
+/// scope is alive adopts it. Scopes nest (inner wins, restored on exit).
+class WatchdogScope {
+ public:
+  explicit WatchdogScope(WatchdogConfig cfg) noexcept;
+  ~WatchdogScope();
+  WatchdogScope(const WatchdogScope&) = delete;
+  WatchdogScope& operator=(const WatchdogScope&) = delete;
+
+ private:
+  WatchdogConfig prev_;
+};
+
+/// The thread's current ambient watchdog config (all-zero when none).
+[[nodiscard]] WatchdogConfig ambient_watchdog() noexcept;
 
 /// Handle for cancellation. Default-constructed id is never issued.
 struct EventId {
@@ -62,7 +108,8 @@ struct EventId {
 
 class Engine {
  public:
-  Engine() = default;
+  /// Adopts the thread's ambient WatchdogConfig (see WatchdogScope).
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   /// Merges this engine's counters into the process-wide telemetry
@@ -136,8 +183,33 @@ class Engine {
   /// Cancel a pending event. Returns false if already fired/cancelled.
   bool cancel(EventId id);
 
+  /// Override/disable the event-budget watchdog (0 = unlimited). The
+  /// budget counts dispatched events over the engine's whole life, so it
+  /// is exactly reproducible: the same simulation dies on the same event.
+  void set_event_budget(std::uint64_t budget) noexcept {
+    budget_ = budget;
+    watchdog_on_ = budget_ != 0 || wall_armed_;
+  }
+  [[nodiscard]] std::uint64_t event_budget() const noexcept { return budget_; }
+
+  /// Arm (or disarm with 0) a wall-clock deadline `ms` from now. Checked
+  /// every 1024 events — a safety net for handlers that block, not a
+  /// precise timer, and nondeterministic by nature (see DESIGN.md §10).
+  void set_wall_deadline_in(std::uint64_t ms) noexcept {
+    wall_armed_ = ms != 0;
+    if (wall_armed_) {
+      wall_deadline_ = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+    }
+    watchdog_on_ = budget_ != 0 || wall_armed_;
+  }
+
   /// Run a single event. Returns false when the queue is empty.
+  /// Throws WatchdogError once a trip point is reached.
   bool step() {
+    // Check only while work remains: a budget that exactly covers the
+    // run must drain the queue, not trip on the way out.
+    if (watchdog_on_ && live_ != 0) check_watchdog_();
     Picos t;
     const std::uint32_t slot =
         pop_next_live_(std::numeric_limits<Picos>::max(), t);
@@ -355,6 +427,8 @@ class Engine {
   }
 
   void add_block_();
+  /// Out of line: the throw paths stay off the step() fast path.
+  void check_watchdog_() const;
 
   Picos now_ = 0;
   std::uint32_t next_seq_ = 0;
@@ -364,6 +438,10 @@ class Engine {
   std::size_t live_hw_ = 0;
   std::size_t heap_hw_ = 0;
   EventCategory cat_ = EventCategory::kGeneric;
+  std::uint64_t budget_ = 0;  ///< 0 = unlimited
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  bool wall_armed_ = false;
+  bool watchdog_on_ = false;  ///< budget_ != 0 || wall_armed_
   bool timing_ = false;
   telemetry::TraceRecorder* trace_ = nullptr;
   telemetry::TraceRecorder::TrackId trace_tracks_[kEventCategoryCount] = {};

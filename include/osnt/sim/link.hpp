@@ -53,6 +53,14 @@ class Link {
     return lost_down_;
   }
 
+  /// Fault seam: additional one-way delay applied on top of propagation
+  /// (a latency-jitter spike — rerouted path, PAUSE storm). Negative
+  /// clamps to zero; frames already in flight keep their old delay.
+  void set_extra_delay(Picos extra) noexcept {
+    extra_delay_ = extra > 0 ? extra : 0;
+  }
+  [[nodiscard]] Picos extra_delay() const noexcept { return extra_delay_; }
+
   /// Carry a frame whose first bit enters the wire at `tx_start` and whose
   /// last bit enters at `tx_end`. Frames on an unconnected link are
   /// counted and discarded (a dark fiber).
@@ -65,6 +73,7 @@ class Link {
   Engine* eng_;
   FrameSink* sink_ = nullptr;
   Picos propagation_;
+  Picos extra_delay_ = 0;
   double ber_ = 0.0;
   std::unique_ptr<Rng> rng_;
   bool up_ = true;

@@ -1,9 +1,29 @@
 #include "osnt/common/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 namespace osnt {
+namespace {
+
+/// Levenshtein distance with two rolling rows — flag names are short, so
+/// the quadratic DP is microscopic.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -88,7 +108,15 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     Flag* flag = find(name);
     if (!flag) {
-      std::fprintf(stderr, "unknown flag --%s (try --help)\n", name.c_str());
+      // Hard error (callers exit nonzero on false): a typoed flag that
+      // silently fell through would run the wrong experiment.
+      const std::string hint = nearest_flag(name);
+      if (!hint.empty()) {
+        std::fprintf(stderr, "unknown flag --%s (did you mean --%s?)\n",
+                     name.c_str(), hint.c_str());
+      } else {
+        std::fprintf(stderr, "unknown flag --%s (try --help)\n", name.c_str());
+      }
       return false;
     }
     if (!value) {
@@ -108,6 +136,25 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
   }
   return true;
+}
+
+std::string CliParser::nearest_flag(const std::string& name) const {
+  std::size_t best = std::string::npos;
+  const std::string* winner = nullptr;
+  const auto consider = [&](const std::string& candidate) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best) {
+      best = d;
+      winner = &candidate;
+    }
+  };
+  for (const auto& f : flags_) consider(f.name);
+  static const std::string kHelp = "help";
+  consider(kHelp);
+  // Suggest only plausible typos: at most 1 edit for short names, scaling
+  // to roughly a third of the name's length for long ones.
+  const std::size_t limit = std::max<std::size_t>(1, name.size() / 3);
+  return winner && best <= limit ? *winner : std::string();
 }
 
 std::string CliParser::usage() const {

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "osnt/net/packet.hpp"
+#include "osnt/sim/engine.hpp"
 
 namespace osnt::core {
 namespace {
@@ -83,9 +84,24 @@ std::vector<ThroughputPoint> throughput_sweep(
   // One task per frame size: the binary search inside a size is
   // sequential, but sizes share no state. Results land at their size's
   // index, so the output is identical for any job count.
+  // A size whose search dies (watchdog kill, trial failure) yields a
+  // flagged zero point instead of aborting its siblings: a sweep under
+  // fault injection completes with partial results.
   std::vector<ThroughputPoint> out(frame_sizes.size());
   Runner{runner}.for_each(frame_sizes.size(), [&](std::size_t i) {
-    out[i] = find_throughput(run, frame_sizes[i], cfg);
+    try {
+      out[i] = find_throughput(run, frame_sizes[i], cfg);
+    } catch (const sim::WatchdogError& e) {
+      out[i] = ThroughputPoint{};
+      out[i].frame_size = frame_sizes[i];
+      out[i].outcome = TrialOutcome::kTimedOut;
+      out[i].error = e.what();
+    } catch (const std::exception& e) {
+      out[i] = ThroughputPoint{};
+      out[i].frame_size = frame_sizes[i];
+      out[i].outcome = TrialOutcome::kFailed;
+      out[i].error = e.what();
+    }
   });
   return out;
 }
@@ -131,11 +147,15 @@ std::vector<LossPoint> loss_rate_sweep(const Trial& run,
   for (double load = hi; load > step / 2; load -= step) loads.push_back(load);
   TrialPlan plan = TrialPlan::load_grid(loads, frame_size);
   plan.run = run;
-  const auto stats = Runner{runner}.run(plan);
+  // Resilient: a failed rung is flagged and zeroed, the ladder completes.
+  const auto results = Runner{runner}.run_resilient(plan);
   std::vector<LossPoint> out;
-  out.reserve(stats.size());
-  for (std::size_t i = 0; i < stats.size(); ++i)
-    out.push_back({loads[i], stats[i].loss_fraction(), stats[i].offered_gbps});
+  out.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TrialStats& s = results[i].stats;
+    out.push_back({loads[i], s.loss_fraction(), s.offered_gbps,
+                   results[i].outcome});
+  }
   return out;
 }
 

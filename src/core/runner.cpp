@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "osnt/common/log.hpp"
+#include "osnt/sim/engine.hpp"
 #include "osnt/telemetry/histogram.hpp"
 #include "osnt/telemetry/registry.hpp"
 
@@ -75,6 +76,11 @@ void Runner::for_each(std::size_t n,
   // keeps the serial and parallel paths observably identical.
   std::vector<std::exception_ptr> errors(n);
   const auto attempt = [&](std::size_t i, WorkerShard& shard) {
+    // Watchdog limits travel ambiently: every Engine the body constructs
+    // on this thread adopts them (see sim::WatchdogScope). All-zero when
+    // the config has no watchdogs — a no-op scope.
+    const sim::WatchdogScope wd(
+        sim::WatchdogConfig{cfg_.event_budget, cfg_.wall_deadline_ms});
     const auto t0 = std::chrono::steady_clock::now();
     try {
       body(i);
@@ -143,15 +149,78 @@ void Runner::for_each(std::size_t n,
     if (e) std::rethrow_exception(e);
 }
 
-std::vector<TrialStats> Runner::run(const TrialPlan& plan) const {
+std::vector<TrialResult> Runner::run_resilient(const TrialPlan& plan) const {
   if (!plan.run)
     throw std::invalid_argument("Runner::run: plan has no trial functor");
-  std::vector<TrialStats> results(plan.points.size());
-  for_each(plan.points.size(), [&](std::size_t i) {
-    TrialPoint p = plan.points[i];
-    p.index = i;
-    results[i] = plan.run(p);
+  const std::size_t n = plan.points.size();
+  const std::uint32_t cap = cfg_.max_attempts > 0 ? cfg_.max_attempts : 1;
+  std::vector<TrialResult> results(n);
+  for_each(n, [&](std::size_t i) {
+    TrialResult& r = results[i];
+    for (std::uint32_t a = 0; a < cap; ++a) {
+      TrialPoint p = plan.points[i];
+      p.index = i;
+      p.attempt = a;
+      p.seed = rederive_seed(p.seed, a);
+      r.attempts = a + 1;
+      r.seed_used = p.seed;
+      try {
+        r.stats = plan.run(p);
+        r.outcome = a == 0 ? TrialOutcome::kOk : TrialOutcome::kRetried;
+        r.error.clear();
+        r.exception = nullptr;
+        return;
+      } catch (const sim::WatchdogError& e) {
+        r.outcome = TrialOutcome::kTimedOut;
+        r.error = e.what();
+        r.exception = std::current_exception();
+      } catch (const std::exception& e) {
+        r.outcome = TrialOutcome::kFailed;
+        r.error = e.what();
+        r.exception = std::current_exception();
+      } catch (...) {
+        r.outcome = TrialOutcome::kFailed;
+        r.error = "unknown exception";
+        r.exception = std::current_exception();
+      }
+      r.stats = TrialStats{};  // a failed attempt's partial stats are void
+      OSNT_WARN("trial %zu attempt %u/%u %s: %s", i, a + 1, cap,
+                trial_outcome_name(r.outcome), r.error.c_str());
+    }
   });
+
+  if (telemetry::enabled()) {
+    // Outcome counts derive from sim-deterministic events (event-budget
+    // kills, trial exceptions), so they publish unmarked and must match
+    // for any jobs count. Wall-deadline kills are the documented
+    // exception — nondeterministic by nature (DESIGN.md §10).
+    std::uint64_t by_outcome[4] = {};
+    std::uint64_t extra_attempts = 0;
+    for (const TrialResult& r : results) {
+      ++by_outcome[static_cast<std::size_t>(r.outcome)];
+      extra_attempts += r.attempts > 0 ? r.attempts - 1 : 0;
+    }
+    auto& reg = telemetry::registry();
+    for (std::size_t o = 0; o < 4; ++o) {
+      reg.counter(std::string("core.runner.outcome.") +
+                  trial_outcome_name(static_cast<TrialOutcome>(o)))
+          .add(by_outcome[o]);
+    }
+    reg.counter("core.runner.retries").add(extra_attempts);
+  }
+  return results;
+}
+
+std::vector<TrialStats> Runner::run(const TrialPlan& plan) const {
+  auto resilient = run_resilient(plan);
+  // Historical contract: every point attempted, then the first failure in
+  // plan order is rethrown. Retry/watchdog configs still apply first.
+  for (auto& r : resilient) {
+    if (!r.ok() && r.exception) std::rethrow_exception(r.exception);
+  }
+  std::vector<TrialStats> results;
+  results.reserve(resilient.size());
+  for (auto& r : resilient) results.push_back(std::move(r.stats));
   return results;
 }
 

@@ -1,0 +1,215 @@
+#include "osnt/fault/injector.hpp"
+
+#include <string>
+
+#include "osnt/common/log.hpp"
+#include "osnt/core/device.hpp"
+#include "osnt/hw/dma.hpp"
+#include "osnt/hw/port.hpp"
+#include "osnt/openflow/channel.hpp"
+#include "osnt/sim/link.hpp"
+#include "osnt/telemetry/registry.hpp"
+#include "osnt/tstamp/gps.hpp"
+
+namespace osnt::fault {
+namespace {
+
+/// Per-event BER stream seed: a splitmix64 finalizer over the plan seed
+/// and the event's ordinal, so every BER window draws from its own
+/// reproducible stream no matter how the plan is edited around it.
+std::uint64_t event_seed(std::uint64_t plan_seed, std::size_t ordinal) {
+  std::uint64_t z = plan_seed ^ (0x9E3779B97F4A7C15ull * (ordinal + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// BER ramps are quantized to a handful of steps: enough to exercise
+/// "error rate grows" behaviour without scheduling thousands of events.
+constexpr int kRampSteps = 8;
+
+}  // namespace
+
+Injector::Injector(sim::Engine& eng, FaultPlan plan)
+    : eng_(&eng), plan_(std::move(plan)) {
+  plan_.normalize();
+}
+
+Injector::~Injector() {
+  if (!telemetry::enabled()) return;
+  if (injected_total() == 0 && skipped_ == 0) return;
+  auto& reg = telemetry::registry();
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (injected_[k] == 0) continue;
+    reg.counter(std::string("fault.injected.") +
+                fault_kind_name(static_cast<FaultKind>(k)))
+        .add(injected_[k]);
+  }
+  reg.counter("fault.skipped").add(skipped_);
+}
+
+Injector& Injector::attach_link(sim::Link& link) {
+  links_.push_back(&link);
+  return *this;
+}
+
+Injector& Injector::attach_dma(hw::DmaEngine& dma) {
+  dma_ = &dma;
+  return *this;
+}
+
+Injector& Injector::attach_channel(openflow::ControlChannel& chan) {
+  chan_ = &chan;
+  return *this;
+}
+
+Injector& Injector::attach_gps(tstamp::GpsModel& gps) {
+  gps_ = &gps;
+  return *this;
+}
+
+Injector& Injector::attach_device(core::OsntDevice& dev) {
+  for (std::size_t i = 0; i < dev.num_ports(); ++i) {
+    attach_link(dev.port(i).out_link());
+  }
+  attach_dma(dev.dma());
+  attach_gps(dev.gps());
+  return *this;
+}
+
+std::uint64_t Injector::injected_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t v : injected_) total += v;
+  return total;
+}
+
+std::vector<sim::Link*> Injector::targets_(int link,
+                                           std::size_t ordinal) const {
+  if (link < 0) return links_;
+  if (static_cast<std::size_t>(link) < links_.size()) {
+    return {links_[static_cast<std::size_t>(link)]};
+  }
+  OSNT_WARN("fault: event %zu targets link %d but only %zu attached", ordinal,
+            link, links_.size());
+  return {};
+}
+
+void Injector::mark_(FaultKind kind, Picos at, Picos duration) {
+  ++injected_[static_cast<std::size_t>(kind)];
+  if (tracing_ && eng_->trace()) {
+    eng_->trace()->complete(trace_tracks_[static_cast<std::size_t>(kind)],
+                            fault_kind_name(kind), at, duration);
+  }
+}
+
+void Injector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  tracing_ = eng_->trace() != nullptr;
+  if (tracing_) {
+    for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+      trace_tracks_[k] = eng_->trace()->track(
+          std::string("fault/") + fault_kind_name(static_cast<FaultKind>(k)));
+    }
+  }
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kFault);
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    arm_event_(plan_.events[i], i);
+  }
+}
+
+void Injector::arm_event_(const FaultEvent& ev, std::size_t ordinal) {
+  const auto skip = [&](const char* needs) {
+    ++skipped_;
+    OSNT_WARN("fault: skipping %s event %zu — no %s attached",
+              fault_kind_name(ev.kind), ordinal, needs);
+  };
+
+  switch (ev.kind) {
+    case FaultKind::kLinkFlap: {
+      const auto targets = targets_(ev.link, ordinal);
+      if (targets.empty()) return skip("matching link");
+      eng_->schedule_at(ev.at, [this, targets, ev] {
+        mark_(FaultKind::kLinkFlap, ev.at, ev.duration);
+        for (sim::Link* l : targets) l->set_up(false);
+      });
+      eng_->schedule_at(ev.at + ev.duration, [targets] {
+        for (sim::Link* l : targets) l->set_up(true);
+      });
+      return;
+    }
+
+    case FaultKind::kBerWindow: {
+      const auto targets = targets_(ev.link, ordinal);
+      if (targets.empty()) return skip("matching link");
+      const std::uint64_t seed = event_seed(plan_.seed, ordinal);
+      if (ev.ramp > 0) {
+        // Linear ramp-in: step the rate up so early-window frames see a
+        // gentler channel than the plateau — a link going marginal.
+        for (int s = 0; s < kRampSteps; ++s) {
+          const Picos t = ev.at + ev.ramp * s / kRampSteps;
+          const double ber = ev.ber * (s + 1) / kRampSteps;
+          eng_->schedule_at(t, [this, targets, ev, ber, seed, s] {
+            if (s == 0) mark_(FaultKind::kBerWindow, ev.at, ev.duration);
+            for (sim::Link* l : targets) l->set_bit_error_rate(ber, seed);
+          });
+        }
+      } else {
+        eng_->schedule_at(ev.at, [this, targets, ev, seed] {
+          mark_(FaultKind::kBerWindow, ev.at, ev.duration);
+          for (sim::Link* l : targets) l->set_bit_error_rate(ev.ber, seed);
+        });
+      }
+      eng_->schedule_at(ev.at + ev.duration, [targets] {
+        for (sim::Link* l : targets) l->set_bit_error_rate(0.0);
+      });
+      return;
+    }
+
+    case FaultKind::kLatencySpike: {
+      const auto targets = targets_(ev.link, ordinal);
+      if (targets.empty()) return skip("matching link");
+      eng_->schedule_at(ev.at, [this, targets, ev] {
+        mark_(FaultKind::kLatencySpike, ev.at, ev.duration);
+        for (sim::Link* l : targets) l->set_extra_delay(ev.extra_delay);
+      });
+      eng_->schedule_at(ev.at + ev.duration, [targets] {
+        for (sim::Link* l : targets) l->set_extra_delay(0);
+      });
+      return;
+    }
+
+    case FaultKind::kDmaStall: {
+      if (!dma_) return skip("DMA engine");
+      eng_->schedule_at(ev.at, [this, ev] {
+        mark_(FaultKind::kDmaStall, ev.at, ev.duration);
+        dma_->inject_stall(ev.duration);
+      });
+      return;
+    }
+
+    case FaultKind::kCtrlDisconnect: {
+      if (!chan_) return skip("control channel");
+      eng_->schedule_at(ev.at, [this, ev] {
+        mark_(FaultKind::kCtrlDisconnect, ev.at, ev.duration);
+        chan_->set_link_available(false);
+      });
+      eng_->schedule_at(ev.at + ev.duration,
+                        [this] { chan_->set_link_available(true); });
+      return;
+    }
+
+    case FaultKind::kGpsLoss: {
+      if (!gps_) return skip("GPS model");
+      eng_->schedule_at(ev.at, [this, ev] {
+        mark_(FaultKind::kGpsLoss, ev.at, ev.duration);
+        gps_->set_connected(false);
+      });
+      eng_->schedule_at(ev.at + ev.duration,
+                        [this] { gps_->set_connected(true); });
+      return;
+    }
+  }
+}
+
+}  // namespace osnt::fault

@@ -1,0 +1,489 @@
+#include "osnt/fault/plan.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <utility>
+
+namespace osnt::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — plans are small hand-written files, so this is a
+// strict recursive-descent parser over a value tree, not a streaming one.
+// No external dependency: the toolchain image is all we may assume.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;  // preserves order
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()), begin_(text.data()) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (p_ != end_) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw PlanError("fault plan JSON: " + why + " (offset " +
+                    std::to_string(p_ - begin_) + ")");
+  }
+
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  Json value() {
+    skip_ws();
+    if (p_ == end_) fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        Json v;
+        v.type = Json::Type::kString;
+        v.string = string();
+        return v;
+      }
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        literal("null");
+        return Json{};
+      default:
+        return number();
+    }
+  }
+
+  void literal(const char* lit) {
+    for (const char* c = lit; *c; ++c) {
+      if (p_ == end_ || *p_ != *c) fail(std::string("bad literal, expected ") + lit);
+      ++p_;
+    }
+  }
+
+  Json boolean() {
+    Json v;
+    v.type = Json::Type::kBool;
+    if (*p_ == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  Json number() {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                          *p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    if (p_ == start) fail("expected a value");
+    char* parsed_end = nullptr;
+    const std::string token(start, p_);
+    const double d = std::strtod(token.c_str(), &parsed_end);
+    if (parsed_end != token.c_str() + token.size() || !std::isfinite(d)) {
+      fail("malformed number '" + token + "'");
+    }
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p_ == end_) fail("unterminated escape");
+      switch (*p_++) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (end_ - p_ < 4) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported in plans");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.type = Json::Type::kObject;
+    skip_ws();
+    if (eat('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (eat(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.type = Json::Type::kArray;
+    skip_ws();
+    if (eat(']')) return v;
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (eat(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* begin_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema mapping
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void bad_event(std::size_t i, const std::string& why) {
+  throw PlanError("fault plan event " + std::to_string(i) + ": " + why);
+}
+
+double number_field(const Json& ev, const std::string& key, std::size_t i) {
+  const Json* v = ev.find(key);
+  if (!v || v->type != Json::Type::kNumber) {
+    bad_event(i, "'" + key + "' must be a number");
+  }
+  return v->number;
+}
+
+/// Reads `<base>_ns` / `<base>_us` / `<base>_ms` (at most one may appear)
+/// into picoseconds. Returns `fallback` when absent and not required.
+Picos time_field(const Json& ev, const std::string& base, std::size_t i,
+                 bool required, Picos fallback = 0) {
+  static constexpr struct {
+    const char* suffix;
+    double to_ps;
+  } kUnits[] = {{"_ns", 1e3}, {"_us", 1e6}, {"_ms", 1e9}};
+  const Json* found = nullptr;
+  double scale = 0.0;
+  for (const auto& u : kUnits) {
+    if (const Json* v = ev.find(base + u.suffix)) {
+      if (found) bad_event(i, "'" + base + "' given in more than one unit");
+      found = v;
+      scale = u.to_ps;
+    }
+  }
+  if (!found) {
+    if (required) bad_event(i, "missing required field '" + base + "_us'");
+    return fallback;
+  }
+  if (found->type != Json::Type::kNumber) {
+    bad_event(i, "'" + base + "' must be a number");
+  }
+  const double ps = found->number * scale;
+  if (ps < 0 || ps > 9.2e18) bad_event(i, "'" + base + "' out of range");
+  return static_cast<Picos>(ps);
+}
+
+FaultKind kind_of(const std::string& type, std::size_t i) {
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (type == fault_kind_name(static_cast<FaultKind>(k))) {
+      return static_cast<FaultKind>(k);
+    }
+  }
+  std::string known;
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    known += std::string(k ? ", " : "") +
+             fault_kind_name(static_cast<FaultKind>(k));
+  }
+  bad_event(i, "unknown type '" + type + "' (known: " + known + ")");
+}
+
+/// The keys each fault kind understands beyond "type"; anything else in
+/// the event object is a hard error (typos must not silently no-op).
+void check_keys(const Json& ev, FaultKind kind, std::size_t i) {
+  const auto allowed = [&](const std::string& k) {
+    if (k == "type") return true;
+    if (k == "at_ns" || k == "at_us" || k == "at_ms") return true;
+    if (k == "duration_ns" || k == "duration_us" || k == "duration_ms") {
+      return true;
+    }
+    switch (kind) {
+      case FaultKind::kLinkFlap:
+        return k == "link";
+      case FaultKind::kBerWindow:
+        return k == "link" || k == "ber" || k == "ramp_ns" || k == "ramp_us" ||
+               k == "ramp_ms";
+      case FaultKind::kLatencySpike:
+        return k == "link" || k == "extra_ns" || k == "extra_us" ||
+               k == "extra_ms";
+      case FaultKind::kDmaStall:
+      case FaultKind::kCtrlDisconnect:
+      case FaultKind::kGpsLoss:
+        return false;
+    }
+    return false;
+  };
+  for (const auto& [k, v] : ev.object) {
+    (void)v;
+    if (!allowed(k)) {
+      bad_event(i, "unknown key '" + k + "' for type '" +
+                       fault_kind_name(kind) + "'");
+    }
+  }
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::link_flap(Picos at, Picos duration, int link) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkFlap;
+  e.at = at;
+  e.duration = duration;
+  e.link = link;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ber_window(Picos at, Picos duration, double ber,
+                                 Picos ramp, int link) {
+  FaultEvent e;
+  e.kind = FaultKind::kBerWindow;
+  e.at = at;
+  e.duration = duration;
+  e.ber = ber;
+  e.ramp = ramp;
+  e.link = link;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::latency_spike(Picos at, Picos duration, Picos extra,
+                                    int link) {
+  FaultEvent e;
+  e.kind = FaultKind::kLatencySpike;
+  e.at = at;
+  e.duration = duration;
+  e.extra_delay = extra;
+  e.link = link;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::dma_stall(Picos at, Picos duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kDmaStall;
+  e.at = at;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ctrl_disconnect(Picos at, Picos duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kCtrlDisconnect;
+  e.at = at;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::gps_loss(Picos at, Picos duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kGpsLoss;
+  e.at = at;
+  e.duration = duration;
+  events.push_back(e);
+  return *this;
+}
+
+void FaultPlan::normalize() {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    FaultEvent& e = events[i];
+    if (e.at < 0) bad_event(i, "start time must be >= 0");
+    if (e.duration < 0) bad_event(i, "duration must be >= 0");
+    if (e.kind == FaultKind::kBerWindow) {
+      if (!(e.ber >= 0.0 && e.ber <= 1.0)) {
+        bad_event(i, "ber must be in [0, 1]");
+      }
+      if (e.ramp < 0 || e.ramp > e.duration) {
+        bad_event(i, "ramp must be in [0, duration]");
+      }
+    }
+    if (e.kind == FaultKind::kLatencySpike && e.extra_delay < 0) {
+      bad_event(i, "extra delay must be >= 0");
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+FaultPlan FaultPlan::from_json(const std::string& text) {
+  const Json root = JsonParser(text).parse();
+  if (root.type != Json::Type::kObject) {
+    throw PlanError("fault plan JSON: root must be an object");
+  }
+  for (const auto& [k, v] : root.object) {
+    (void)v;
+    if (k != "seed" && k != "events") {
+      throw PlanError("fault plan JSON: unknown top-level key '" + k + "'");
+    }
+  }
+  FaultPlan plan;
+  if (const Json* seed = root.find("seed")) {
+    if (seed->type != Json::Type::kNumber || seed->number < 0) {
+      throw PlanError("fault plan JSON: 'seed' must be a non-negative number");
+    }
+    plan.seed = static_cast<std::uint64_t>(seed->number);
+  }
+  const Json* events = root.find("events");
+  if (!events || events->type != Json::Type::kArray) {
+    throw PlanError("fault plan JSON: 'events' array is required");
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const Json& ev = events->array[i];
+    if (ev.type != Json::Type::kObject) bad_event(i, "must be an object");
+    const Json* type = ev.find("type");
+    if (!type || type->type != Json::Type::kString) {
+      bad_event(i, "'type' string is required");
+    }
+    FaultEvent e;
+    e.kind = kind_of(type->string, i);
+    check_keys(ev, e.kind, i);
+    e.at = time_field(ev, "at", i, /*required=*/true);
+    e.duration = time_field(ev, "duration", i, /*required=*/false);
+    if (const Json* link = ev.find("link")) {
+      if (link->type != Json::Type::kNumber || link->number < 0 ||
+          link->number != std::floor(link->number)) {
+        bad_event(i, "'link' must be a non-negative integer");
+      }
+      e.link = static_cast<int>(link->number);
+    }
+    if (e.kind == FaultKind::kBerWindow) {
+      e.ber = number_field(ev, "ber", i);
+      e.ramp = time_field(ev, "ramp", i, /*required=*/false);
+    }
+    if (e.kind == FaultKind::kLatencySpike) {
+      e.extra_delay = time_field(ev, "extra", i, /*required=*/true);
+    }
+    plan.events.push_back(e);
+  }
+  plan.normalize();
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw PlanError("fault plan: cannot open '" + path + "'");
+  std::string text;
+  char buf[4096];
+  for (std::size_t got; (got = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    text.append(buf, got);
+  }
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) throw PlanError("fault plan: read error on '" + path + "'");
+  return from_json(text);
+}
+
+std::string FaultPlan::summary() const {
+  std::size_t by_kind[kFaultKindCount] = {};
+  Picos span = 0;
+  for (const FaultEvent& e : events) {
+    ++by_kind[static_cast<std::size_t>(e.kind)];
+    span = std::max(span, e.at + e.duration);
+  }
+  char head[64];
+  std::snprintf(head, sizeof head, "%zu events over %.3f ms:", events.size(),
+                static_cast<double>(span) / static_cast<double>(kPicosPerMilli));
+  std::string out = head;
+  bool any = false;
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (by_kind[k] == 0) continue;
+    out += std::string(any ? ", " : " ") + std::to_string(by_kind[k]) + " " +
+           fault_kind_name(static_cast<FaultKind>(k));
+    any = true;
+  }
+  if (!any) out += " none";
+  return out;
+}
+
+}  // namespace osnt::fault

@@ -9,13 +9,21 @@
 namespace osnt::hw {
 
 DmaEngine::~DmaEngine() {
-  if (!telemetry::enabled() || (delivered_ == 0 && drops_ == 0)) return;
+  if (!telemetry::enabled() || (delivered_ == 0 && drops_ == 0 && stalls_ == 0))
+    return;
   auto& reg = telemetry::registry();
   reg.counter("hw.dma.records_delivered").add(delivered_);
   reg.counter("hw.dma.bytes_delivered").add(bytes_delivered_);
   reg.counter("hw.dma.drops_ring_full").add(drops_);
   reg.gauge("hw.dma.ring_high_water")
       .update_max(static_cast<std::int64_t>(ring_hw_));
+  reg.counter("hw.dma.stalls_injected").add(stalls_);
+}
+
+void DmaEngine::inject_stall(Picos duration) {
+  if (duration <= 0) return;
+  bus_free_ = std::max(bus_free_, eng_->now()) + duration;
+  ++stalls_;
 }
 
 bool DmaEngine::enqueue(DmaRecord rec) {

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "osnt/common/log.hpp"
+#include "osnt/telemetry/registry.hpp"
+
 namespace osnt::net {
 namespace {
 
@@ -44,7 +47,8 @@ void write_u16(std::FILE* f, std::uint16_t v) {
 
 }  // namespace
 
-PcapReader::PcapReader(const std::string& path) {
+PcapReader::PcapReader(const std::string& path, PcapReaderOptions options)
+    : opt_(options) {
   f_ = std::fopen(path.c_str(), "rb");
   if (!f_) throw std::runtime_error("pcap: cannot open " + path);
   bool eof = false;
@@ -76,8 +80,10 @@ PcapReader::~PcapReader() {
 }
 
 PcapReader::PcapReader(PcapReader&& other) noexcept
-    : f_(other.f_), nanos_(other.nanos_), swapped_(other.swapped_),
-      link_type_(other.link_type_), snaplen_(other.snaplen_) {
+    : f_(other.f_), opt_(other.opt_), nanos_(other.nanos_),
+      swapped_(other.swapped_), done_(other.done_),
+      link_type_(other.link_type_), snaplen_(other.snaplen_),
+      truncated_tail_(other.truncated_tail_) {
   other.f_ = nullptr;
 }
 
@@ -85,23 +91,45 @@ PcapReader& PcapReader::operator=(PcapReader&& other) noexcept {
   if (this != &other) {
     if (f_) std::fclose(f_);
     f_ = other.f_;
+    opt_ = other.opt_;
     nanos_ = other.nanos_;
     swapped_ = other.swapped_;
+    done_ = other.done_;
     link_type_ = other.link_type_;
     snaplen_ = other.snaplen_;
+    truncated_tail_ = other.truncated_tail_;
     other.f_ = nullptr;
   }
   return *this;
 }
 
+std::optional<PcapRecord> PcapReader::truncated_eof_() {
+  if (opt_.strict) throw std::runtime_error("pcap: truncated record");
+  // Reads are sequential, so a mid-record EOF is by definition the final
+  // record — the usual fate of a capture whose writer died. Count it,
+  // warn, and report clean EOF so the records before it stay usable.
+  ++truncated_tail_;
+  done_ = true;
+  OSNT_WARN("pcap: final record truncated, dropping it (%llu so far)",
+            static_cast<unsigned long long>(truncated_tail_));
+  if (telemetry::enabled()) {
+    telemetry::registry().counter("net.pcap.truncated_tail").inc();
+  }
+  return std::nullopt;
+}
+
 std::optional<PcapRecord> PcapReader::next() {
-  if (!f_) return std::nullopt;
+  if (!f_ || done_) return std::nullopt;
   bool eof = false;
   const std::uint32_t ts_sec = read_u32(f_, swapped_, &eof);
   if (eof) return std::nullopt;
-  const std::uint32_t ts_frac = read_u32(f_, swapped_);
-  const std::uint32_t incl_len = read_u32(f_, swapped_);
-  const std::uint32_t orig_len = read_u32(f_, swapped_);
+  // Past this point an EOF is a record cut off mid-way.
+  bool cut = false;
+  bool* tail = opt_.strict ? nullptr : &cut;
+  const std::uint32_t ts_frac = read_u32(f_, swapped_, tail);
+  const std::uint32_t incl_len = read_u32(f_, swapped_, tail);
+  const std::uint32_t orig_len = read_u32(f_, swapped_, tail);
+  if (cut) return truncated_eof_();
   if (incl_len > 256 * 1024 * 1024)
     throw std::runtime_error("pcap: implausible record length");
   PcapRecord rec;
@@ -110,13 +138,15 @@ std::optional<PcapRecord> PcapReader::next() {
   rec.orig_len = orig_len;
   rec.data.resize(incl_len);
   if (incl_len &&
-      std::fread(rec.data.data(), 1, incl_len, f_) != incl_len)
-    throw std::runtime_error("pcap: truncated record");
+      std::fread(rec.data.data(), 1, incl_len, f_) != incl_len) {
+    return truncated_eof_();  // throws in strict mode
+  }
   return rec;
 }
 
-std::vector<PcapRecord> PcapReader::read_all(const std::string& path) {
-  PcapReader reader{path};
+std::vector<PcapRecord> PcapReader::read_all(const std::string& path,
+                                             PcapReaderOptions options) {
+  PcapReader reader{path, options};
   std::vector<PcapRecord> out;
   while (auto rec = reader.next()) out.push_back(std::move(*rec));
   return out;

@@ -42,10 +42,15 @@ int ConsistencyModule::flow_of_record(const mon::CaptureRecord& rec) const {
   return static_cast<int>(off);
 }
 
+void ConsistencyModule::send_generation(OflopsContext& ctx,
+                                        std::uint16_t out_port) {
+  for (std::size_t i = 0; i < cfg_.rule_count; ++i)
+    ctx.send(rule_for(i, out_port));
+}
+
 void ConsistencyModule::start(OflopsContext& ctx) {
   // Install the initial generation: all flows → switch port 2 (OSNT 1).
-  for (std::size_t i = 0; i < cfg_.rule_count; ++i)
-    ctx.send(rule_for(i, 2));
+  send_generation(ctx, 2);
   install_barrier_ = ctx.send(BarrierRequest{});
 
   // Aggregate probe traffic across all flows.
@@ -74,8 +79,7 @@ void ConsistencyModule::on_timer(OflopsContext& ctx, std::uint64_t timer_id) {
     // The update burst: redirect every flow → switch port 3 (OSNT 2).
     phase_ = Phase::kUpdating;
     t_burst_ = ctx.now();
-    for (std::size_t i = 0; i < cfg_.rule_count; ++i)
-      ctx.send(rule_for(i, 3));
+    send_generation(ctx, 3);
     ctx.send(BarrierRequest{});
     return;
   }
@@ -84,6 +88,33 @@ void ConsistencyModule::on_timer(OflopsContext& ctx, std::uint64_t timer_id) {
     phase_ = Phase::kDone;
     done_ = true;
   }
+}
+
+void ConsistencyModule::on_channel_status(OflopsContext& ctx, bool up) {
+  if (done_) return;
+  if (!up) {
+    ++disconnects_;
+    return;
+  }
+  // Session restored. Any flow_mods or barriers in flight on the old
+  // session were lost, so re-drive the generation the current phase
+  // depends on. Re-sending is safe: each flow_mod replaces the entry
+  // with the same match, so rules that did land are simply rewritten.
+  if (phase_ == Phase::kInstall) {
+    send_generation(ctx, 2);
+    install_barrier_ = ctx.send(BarrierRequest{});
+    rules_resent_ += cfg_.rule_count;
+    return;
+  }
+  if (phase_ == Phase::kUpdating) {
+    // Some update flow_mods may have died with the session; without this
+    // re-drive, flows never switch and the module hangs to timeout. The
+    // measured update window then genuinely includes the outage.
+    send_generation(ctx, 3);
+    ctx.send(BarrierRequest{});
+    rules_resent_ += cfg_.rule_count;
+  }
+  // kWarmup and kDrain are timer-driven with nothing in flight.
 }
 
 void ConsistencyModule::on_capture(OflopsContext& ctx,
@@ -124,6 +155,8 @@ Report ConsistencyModule::report() const {
   r.add("flows_switched", static_cast<double>(flows_switched_));
   r.add("stale_packets_after_burst", static_cast<double>(stale_packets_));
   r.add("packets_on_new_path", static_cast<double>(new_packets_));
+  r.add("channel_disconnects", static_cast<double>(disconnects_));
+  r.add("rules_resent", static_cast<double>(rules_resent_));
   if (install_time_ms_.count() >= 2) {
     r.add("update_window_ms",
           install_time_ms_.max() - install_time_ms_.min(), "ms");

@@ -31,6 +31,9 @@ Report OflopsContext::run(MeasurementModule& module, Picos timeout) {
   ctrl_->set_handler([this](openflow::Decoded d) {
     if (active_) active_->on_of_message(*this, d);
   });
+  ctrl_->set_status_handler([this](bool up) {
+    if (active_) active_->on_channel_status(*this, up);
+  });
   osnt_->capture().set_on_record([this](const mon::CaptureRecord& rec) {
     if (active_) active_->on_capture(*this, rec);
   });
@@ -47,6 +50,7 @@ Report OflopsContext::run(MeasurementModule& module, Picos timeout) {
   }
 
   active_ = nullptr;
+  ctrl_->set_status_handler(nullptr);
   osnt_->capture().set_on_record(nullptr);
   return module.report();
 }

@@ -25,8 +25,10 @@ FlowMod FlowModLatencyModule::probe_rule(std::uint16_t out_port) const {
   return fm;
 }
 
-void FlowModLatencyModule::start(OflopsContext& ctx) {
+void FlowModLatencyModule::install_table(OflopsContext& ctx) {
   // Pre-populate the table with filler rules (distinct flows, low prio).
+  // Flow_mods replace same-match entries, so a reconnect re-drive of this
+  // whole block is idempotent on the switch.
   for (std::size_t i = 0; i < cfg_.table_size; ++i) {
     FlowMod fm;
     fm.match = OfMatch::exact_5tuple(
@@ -36,12 +38,16 @@ void FlowModLatencyModule::start(OflopsContext& ctx) {
     fm.actions = {ActionOutput{2}};
     ctx.send(fm);
   }
-  // Initial probe rule → switch port 2 (OSNT port 1).
-  ctx.send(probe_rule(2));
-  target_osnt_port_ = 1;
-  phase_ = Phase::kFill;
+  // Probe rule → the switch port in front of the current target.
+  ctx.send(probe_rule(static_cast<std::uint16_t>(target_osnt_port_ + 1)));
   barrier_xid_ = ctx.send(BarrierRequest{});
   awaiting_barrier_ = true;
+}
+
+void FlowModLatencyModule::start(OflopsContext& ctx) {
+  target_osnt_port_ = 1;  // initial probe rule → switch port 2 (OSNT 1)
+  phase_ = Phase::kFill;
+  install_table(ctx);
 
   // Continuous probe flow from OSNT port 0 — started only once the fill
   // commits have drained (see kTimerStartProbe).
@@ -110,6 +116,30 @@ void FlowModLatencyModule::maybe_finish_round(OflopsContext& ctx) {
   ctx.timer_in(cfg_.settle, kTimerNextRound);
 }
 
+void FlowModLatencyModule::on_channel_status(OflopsContext& ctx, bool up) {
+  if (done_) return;
+  if (!up) {
+    ++disconnects_;
+    return;
+  }
+  // Session restored. Anything unacknowledged on the old session —
+  // flow_mods, the barrier we were waiting on — died with it, so re-drive
+  // the current phase's control-plane state. Measurements taken across
+  // the outage stay in the distributions (they genuinely include it);
+  // the report flags how many rounds were affected.
+  if (phase_ == Phase::kFill) {
+    install_table(ctx);
+    return;
+  }
+  if (phase_ == Phase::kMeasure && awaiting_barrier_) {
+    ++degraded_rounds_;
+    ctx.send(probe_rule(static_cast<std::uint16_t>(target_osnt_port_ + 1)));
+    barrier_xid_ = ctx.send(BarrierRequest{});
+  }
+  // kWarmup (timer pending) and a measure round whose barrier was already
+  // acknowledged have nothing in flight to recover.
+}
+
 void FlowModLatencyModule::on_timer(OflopsContext& ctx,
                                     std::uint64_t timer_id) {
   if (done_) return;
@@ -126,6 +156,8 @@ Report FlowModLatencyModule::report() const {
   r.module = name();
   r.add("table_size", static_cast<double>(cfg_.table_size), "rules");
   r.add("rounds_completed", static_cast<double>(round_));
+  r.add("channel_disconnects", static_cast<double>(disconnects_));
+  r.add("degraded_rounds", static_cast<double>(degraded_rounds_));
   r.add_distribution("control_plane_ms", ctrl_ms_);
   r.add_distribution("data_plane_ms", data_ms_);
   // The headline gap: data-plane install time vs barrier acknowledgement.

@@ -8,6 +8,46 @@
 
 namespace osnt::sim {
 
+namespace {
+// One ambient config per thread: runner workers set it for the trial they
+// execute; engines on unrelated threads are unaffected.
+thread_local WatchdogConfig g_ambient_watchdog{};
+}  // namespace
+
+WatchdogScope::WatchdogScope(WatchdogConfig cfg) noexcept
+    : prev_(g_ambient_watchdog) {
+  g_ambient_watchdog = cfg;
+}
+
+WatchdogScope::~WatchdogScope() { g_ambient_watchdog = prev_; }
+
+WatchdogConfig ambient_watchdog() noexcept { return g_ambient_watchdog; }
+
+Engine::Engine() {
+  const WatchdogConfig wd = g_ambient_watchdog;
+  budget_ = wd.event_budget;
+  set_wall_deadline_in(wd.wall_budget_ms);
+}
+
+void Engine::check_watchdog_() const {
+  if (budget_ != 0 && processed_ >= budget_) {
+    throw WatchdogError(
+        WatchdogKind::kEventBudget,
+        "sim: event budget exhausted after " + std::to_string(processed_) +
+            " events at t=" + std::to_string(now_) + " ps (livelock watchdog)");
+  }
+  // Amortize the clock read: a stuck simulation still dispatches events,
+  // so sampling every 1024 keeps the deadline responsive and cheap.
+  if (wall_armed_ && (processed_ & 0x3ffu) == 0 &&
+      std::chrono::steady_clock::now() >= wall_deadline_) {
+    throw WatchdogError(
+        WatchdogKind::kWallClock,
+        "sim: wall-clock deadline exceeded after " +
+            std::to_string(processed_) + " events at t=" +
+            std::to_string(now_) + " ps (stall watchdog)");
+  }
+}
+
 Engine::~Engine() {
   // One engine is one telemetry shard: merge its plain local counters into
   // the process-wide registry exactly once. Every merge op commutes
@@ -72,7 +112,10 @@ void Engine::run() {
 
 void Engine::run_until(Picos t) {
   Picos when;
-  for (std::uint32_t slot; (slot = pop_next_live_(t, when)) != kNilSlot;) {
+  for (;;) {
+    if (watchdog_on_ && live_ != 0) check_watchdog_();
+    const std::uint32_t slot = pop_next_live_(t, when);
+    if (slot == kNilSlot) break;
     now_ = when;
     ++processed_;
     dispatch_(slot);

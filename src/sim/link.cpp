@@ -33,8 +33,8 @@ void Link::carry(net::Packet pkt, Picos tx_start, Picos tx_end) {
       ++corrupted_;
     }
   }
-  const Picos first_bit = tx_start + propagation_;
-  const Picos last_bit = tx_end + propagation_;
+  const Picos first_bit = tx_start + propagation_ + extra_delay_;
+  const Picos last_bit = tx_end + propagation_ + extra_delay_;
   // Deliver at last-bit arrival: sinks are store-and-forward MACs. The
   // first-bit time rides along for MAC-receipt timestamping semantics.
   const Engine::CategoryScope cat(*eng_, EventCategory::kLink);

@@ -1,6 +1,7 @@
 // Control channel: delivery, ordering, latency and bandwidth modelling.
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 #include "osnt/openflow/channel.hpp"
@@ -110,6 +111,95 @@ TEST(Channel, FlowModSurvivesWireFormat) {
   EXPECT_EQ(got.priority, 777);
   EXPECT_EQ(got.match, fm.match);
   ASSERT_EQ(got.actions.size(), 1u);
+}
+
+TEST(Channel, DisconnectLosesInFlightAndDropsSends) {
+  sim::Engine eng;
+  ChannelConfig cfg;
+  cfg.latency = 100 * kPicosPerMicro;
+  ControlChannel chan{eng, cfg};
+  std::size_t delivered = 0;
+  chan.switch_end().set_handler([&](Decoded) { ++delivered; });
+  chan.controller().send(Hello{});  // on the wire when the session dies
+  eng.schedule_at(10 * kPicosPerMicro, [&] { chan.set_link_available(false); });
+  eng.schedule_at(20 * kPicosPerMicro, [&] {
+    chan.controller().send(Hello{});  // session down → dropped at source
+  });
+  eng.run();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(chan.messages_lost_in_flight(), 1u);
+  EXPECT_EQ(chan.controller().messages_dropped(), 1u);
+  EXPECT_EQ(chan.disconnects(), 1u);
+}
+
+TEST(Channel, ReconnectsWithBackoffWhenLinkReturns) {
+  sim::Engine eng;
+  ControlChannel chan{eng};
+  std::vector<bool> transitions;
+  Picos reconnected_at = -1;
+  chan.controller().set_status_handler([&](bool up) {
+    transitions.push_back(up);
+    if (up) reconnected_at = eng.now();
+  });
+  eng.schedule_at(0, [&] { chan.set_link_available(false); });
+  // Link heals 7 ms later; probes at +2, +6, +14 ms... → session back at
+  // the first probe after 7 ms.
+  eng.schedule_at(7 * kPicosPerMilli, [&] { chan.set_link_available(true); });
+  eng.run();
+  EXPECT_TRUE(chan.connected());
+  EXPECT_EQ(chan.disconnects(), 1u);
+  EXPECT_EQ(chan.reconnects(), 1u);
+  EXPECT_EQ(transitions, (std::vector<bool>{false, true}));
+  EXPECT_EQ(reconnected_at, 14 * kPicosPerMilli);
+  EXPECT_EQ(chan.reconnect_probes(), 3u);
+}
+
+TEST(Channel, SessionUsableAfterReconnect) {
+  sim::Engine eng;
+  ControlChannel chan{eng};
+  std::size_t delivered = 0;
+  chan.switch_end().set_handler([&](Decoded) { ++delivered; });
+  eng.schedule_at(0, [&] { chan.set_link_available(false); });
+  eng.schedule_at(kPicosPerMilli, [&] { chan.set_link_available(true); });
+  eng.schedule_at(50 * kPicosPerMilli, [&] { chan.controller().send(Hello{}); });
+  eng.run();
+  EXPECT_TRUE(chan.connected());
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(Channel, GivesUpAfterMaxProbesThenDirectKickRestores) {
+  sim::Engine eng;
+  ChannelConfig cfg;
+  cfg.reconnect_max_attempts = 3;
+  ControlChannel chan{eng, cfg};
+  chan.set_link_available(false);
+  eng.run();  // all probes fail; FSM gives up, queue drains
+  EXPECT_FALSE(chan.connected());
+  EXPECT_EQ(chan.reconnect_probes(), 3u);
+  chan.set_link_available(true);  // direct kick after give-up
+  eng.run();
+  EXPECT_TRUE(chan.connected());
+  EXPECT_EQ(chan.reconnects(), 1u);
+}
+
+TEST(Channel, FlapStormIsDeterministic) {
+  auto run_once = [] {
+    sim::Engine eng;
+    ControlChannel chan{eng};
+    std::size_t delivered = 0;
+    chan.switch_end().set_handler([&](Decoded) { ++delivered; });
+    for (int i = 0; i < 20; ++i) {
+      eng.schedule_at(i * 3 * kPicosPerMilli,
+                      [&chan, i] { chan.set_link_available(i % 2 != 0); });
+      eng.schedule_at(i * 3 * kPicosPerMilli + kPicosPerMicro,
+                      [&chan] { chan.controller().send(Hello{}); });
+    }
+    eng.run();
+    return std::tuple{delivered, chan.disconnects(), chan.reconnects(),
+                      chan.messages_lost_in_flight(),
+                      chan.controller().messages_dropped()};
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 }  // namespace

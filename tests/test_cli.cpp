@@ -41,6 +41,24 @@ TEST(Cli, UnknownFlagFails) {
   EXPECT_FALSE(cli.help_requested());
 }
 
+TEST(Cli, UnknownFlagSuggestsNearest) {
+  double rate = 0;
+  std::int64_t frames = 0;
+  CliParser cli{"test"};
+  cli.add_flag("rate-gbps", &rate, "rate");
+  cli.add_flag("frame-size", &frames, "size");
+  // One edit away → suggested.
+  EXPECT_EQ(cli.nearest_flag("rate-gbp"), "rate-gbps");
+  EXPECT_EQ(cli.nearest_flag("frame-sise"), "frame-size");
+  // --help is always a candidate.
+  EXPECT_EQ(cli.nearest_flag("helpp"), "help");
+  // Gibberish is too far from anything: no suggestion.
+  EXPECT_EQ(cli.nearest_flag("zzzzzzzz"), "");
+  // A typo'd flag is still a hard parse error.
+  const char* argv[] = {"prog", "--rate-gbp", "4"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
 TEST(Cli, MissingValueFails) {
   double d = 0;
   CliParser cli{"test"};

@@ -1,0 +1,149 @@
+// FaultPlan: JSON parsing (strict schema), builders, validation, summary.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "osnt/fault/plan.hpp"
+
+namespace osnt::fault {
+namespace {
+
+TEST(FaultPlan, ParsesEveryKindFromJson) {
+  const auto plan = FaultPlan::from_json(R"({
+    "seed": 42,
+    "events": [
+      {"type": "link_flap", "at_us": 100, "duration_us": 50, "link": 0},
+      {"type": "ber_window", "at_us": 0, "duration_us": 200, "ber": 1e-6,
+       "ramp_us": 40},
+      {"type": "latency_spike", "at_us": 10, "duration_us": 5,
+       "extra_ns": 800},
+      {"type": "dma_stall", "at_us": 120, "duration_us": 30},
+      {"type": "ctrl_disconnect", "at_ms": 1, "duration_ms": 4},
+      {"type": "gps_loss", "at_ms": 0, "duration_ms": 900}
+    ]})");
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.events.size(), 6u);
+  // normalize() sorted by start time: ber_window and gps_loss start at 0.
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kBerWindow);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kGpsLoss);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kLatencySpike);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kLinkFlap);
+  EXPECT_EQ(plan.events[3].at, 100 * kPicosPerMicro);
+  EXPECT_EQ(plan.events[3].duration, 50 * kPicosPerMicro);
+  EXPECT_EQ(plan.events[3].link, 0);
+  EXPECT_EQ(plan.events[4].kind, FaultKind::kDmaStall);
+  EXPECT_EQ(plan.events[5].kind, FaultKind::kCtrlDisconnect);
+  EXPECT_EQ(plan.events[5].at, kPicosPerMilli);
+  EXPECT_DOUBLE_EQ(plan.events[0].ber, 1e-6);
+  EXPECT_EQ(plan.events[0].ramp, 40 * kPicosPerMicro);
+  EXPECT_EQ(plan.events[2].extra_delay, 800 * kPicosPerNano);
+}
+
+TEST(FaultPlan, DefaultsAndOmittedFields) {
+  const auto plan = FaultPlan::from_json(
+      R"({"events": [{"type": "link_flap", "at_us": 5}]})");
+  EXPECT_EQ(plan.seed, 1u);  // default
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].duration, 0);  // instantaneous
+  EXPECT_EQ(plan.events[0].link, -1);     // all links
+}
+
+TEST(FaultPlan, UnknownTypeIsHardError) {
+  EXPECT_THROW((void)FaultPlan::from_json(
+                   R"({"events": [{"type": "cosmic_ray", "at_us": 1}]})"),
+               PlanError);
+}
+
+TEST(FaultPlan, UnknownKeyIsHardError) {
+  // A typoed field must not silently never fire.
+  EXPECT_THROW(
+      (void)FaultPlan::from_json(
+          R"({"events": [{"type": "link_flap", "at_us": 1, "durration_us": 5}]})"),
+      PlanError);
+  EXPECT_THROW((void)FaultPlan::from_json(R"({"sed": 3, "events": []})"),
+               PlanError);
+}
+
+TEST(FaultPlan, WrongTypesAndMalformedJsonAreHardErrors) {
+  EXPECT_THROW((void)FaultPlan::from_json("not json"), PlanError);
+  EXPECT_THROW((void)FaultPlan::from_json(R"({"events": 3})"), PlanError);
+  EXPECT_THROW((void)FaultPlan::from_json(R"({"events": [)"), PlanError);
+  EXPECT_THROW((void)FaultPlan::from_json(
+                   R"({"events": [{"type": "link_flap", "at_us": "soon"}]})"),
+               PlanError);
+  // Missing required start time.
+  EXPECT_THROW(
+      (void)FaultPlan::from_json(R"({"events": [{"type": "link_flap"}]})"),
+      PlanError);
+  // Two units for one field.
+  EXPECT_THROW((void)FaultPlan::from_json(
+                   R"({"events": [{"type": "link_flap", "at_us": 1, "at_ms": 1}]})"),
+               PlanError);
+}
+
+TEST(FaultPlan, ValidationRejectsBadValues) {
+  FaultPlan bad_ber;
+  bad_ber.ber_window(0, kPicosPerMicro, /*ber=*/1.5);
+  EXPECT_THROW(bad_ber.normalize(), PlanError);
+
+  FaultPlan bad_ramp;
+  bad_ramp.ber_window(0, kPicosPerMicro, 1e-6, /*ramp=*/2 * kPicosPerMicro);
+  EXPECT_THROW(bad_ramp.normalize(), PlanError);
+
+  FaultPlan negative_at;
+  negative_at.link_flap(-5, kPicosPerMicro);
+  EXPECT_THROW(negative_at.normalize(), PlanError);
+}
+
+TEST(FaultPlan, BuildersMatchJson) {
+  FaultPlan built;
+  built.seed = 42;
+  built.ber_window(0, 200 * kPicosPerMicro, 1e-6, 40 * kPicosPerMicro)
+      .link_flap(100 * kPicosPerMicro, 50 * kPicosPerMicro, 0)
+      .dma_stall(120 * kPicosPerMicro, 30 * kPicosPerMicro);
+  built.normalize();
+  const auto parsed = FaultPlan::from_json(R"({
+    "seed": 42,
+    "events": [
+      {"type": "ber_window", "at_us": 0, "duration_us": 200, "ber": 1e-6,
+       "ramp_us": 40},
+      {"type": "link_flap", "at_us": 100, "duration_us": 50, "link": 0},
+      {"type": "dma_stall", "at_us": 120, "duration_us": 30}
+    ]})");
+  ASSERT_EQ(built.events.size(), parsed.events.size());
+  for (std::size_t i = 0; i < built.events.size(); ++i) {
+    EXPECT_EQ(built.events[i].kind, parsed.events[i].kind);
+    EXPECT_EQ(built.events[i].at, parsed.events[i].at);
+    EXPECT_EQ(built.events[i].duration, parsed.events[i].duration);
+    EXPECT_EQ(built.events[i].link, parsed.events[i].link);
+    EXPECT_DOUBLE_EQ(built.events[i].ber, parsed.events[i].ber);
+    EXPECT_EQ(built.events[i].ramp, parsed.events[i].ramp);
+  }
+}
+
+TEST(FaultPlan, NormalizeIsStableOnTies) {
+  FaultPlan p;
+  p.link_flap(kPicosPerMicro, 1).dma_stall(kPicosPerMicro, 1);
+  p.normalize();
+  ASSERT_EQ(p.events.size(), 2u);
+  EXPECT_EQ(p.events[0].kind, FaultKind::kLinkFlap);  // insertion order kept
+  EXPECT_EQ(p.events[1].kind, FaultKind::kDmaStall);
+}
+
+TEST(FaultPlan, SummaryCountsKinds) {
+  FaultPlan p;
+  p.link_flap(0, kPicosPerMicro).link_flap(kPicosPerMilli, kPicosPerMicro);
+  p.gps_loss(2 * kPicosPerMilli, kPicosPerMilli);
+  p.normalize();
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("3 events"), std::string::npos) << s;
+  EXPECT_NE(s.find("2 link_flap"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 gps_loss"), std::string::npos) << s;
+}
+
+TEST(FaultPlan, LoadMissingFileThrows) {
+  EXPECT_THROW((void)FaultPlan::load("/nonexistent/plan.json"), PlanError);
+}
+
+}  // namespace
+}  // namespace osnt::fault

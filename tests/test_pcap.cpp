@@ -109,14 +109,42 @@ TEST_F(PcapTest, BadMagicThrows) {
   EXPECT_THROW(PcapReader{path_}, std::runtime_error);
 }
 
-TEST_F(PcapTest, TruncatedRecordThrows) {
+TEST_F(PcapTest, TruncatedFinalRecordIsLenientEof) {
+  {
+    PcapWriter w{path_};
+    w.write(1, frame(256, 1).bytes());
+    w.write(2, frame(256, 2).bytes());
+  }
+  // Chop the file mid-record: the capture died while writing the tail.
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 50);
+  PcapReader r{path_};
+  EXPECT_TRUE(r.next());  // intact first record still delivered
+  EXPECT_FALSE(r.next());  // truncated tail → EOF, not an exception
+  EXPECT_EQ(r.truncated_tail(), 1u);
+  EXPECT_FALSE(r.next());  // stays at EOF on repeated reads
+  EXPECT_EQ(r.truncated_tail(), 1u);
+}
+
+TEST_F(PcapTest, TruncatedHeaderTailIsLenientEof) {
   {
     PcapWriter w{path_};
     w.write(1, frame(256, 1).bytes());
   }
-  // Chop the file mid-record.
-  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 50);
+  // Chop inside the 16-byte record header itself: 24-byte global header
+  // plus the first 6 bytes of the record header survive.
+  std::filesystem::resize_file(path_, 24 + 6);
   PcapReader r{path_};
+  EXPECT_FALSE(r.next());
+  EXPECT_EQ(r.truncated_tail(), 1u);
+}
+
+TEST_F(PcapTest, TruncatedRecordThrowsInStrictMode) {
+  {
+    PcapWriter w{path_};
+    w.write(1, frame(256, 1).bytes());
+  }
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 50);
+  PcapReader r{path_, PcapReaderOptions{.strict = true}};
   EXPECT_THROW((void)r.next(), std::runtime_error);
 }
 

@@ -1,6 +1,7 @@
 // Discrete-event engine invariants: ordering, determinism, cancellation.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "osnt/sim/engine.hpp"
@@ -188,6 +189,63 @@ TEST(Engine, FifoOrderSurvivesSlabGrowth) {
   e.run();
   ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
   for (int i = 0; i < kEvents; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventBudgetKillsLivelock) {
+  Engine e;
+  e.set_event_budget(1000);
+  // A self-rescheduling event at a fixed time: sim time never advances,
+  // so only the event budget can stop this.
+  std::uint64_t fired = 0;
+  std::function<void()> self = [&] {
+    ++fired;
+    e.schedule_at(e.now(), [&] { self(); });
+  };
+  e.schedule_at(0, [&] { self(); });
+  try {
+    e.run();
+    FAIL() << "livelock was not killed";
+  } catch (const WatchdogError& err) {
+    EXPECT_EQ(err.kind(), WatchdogKind::kEventBudget);
+  }
+  EXPECT_EQ(e.events_processed(), 1000u);
+  EXPECT_EQ(fired, 1000u);
+}
+
+TEST(Engine, BudgetExactlySufficientDoesNotTrip) {
+  Engine e;
+  e.set_event_budget(10);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) e.schedule_at(i, [&] { ++fired; });
+  EXPECT_NO_THROW(e.run());
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, WatchdogScopeIsAdoptedByNewEngines) {
+  {
+    const WatchdogScope wd{WatchdogConfig{.event_budget = 5}};
+    Engine e;  // constructed inside the scope → inherits the budget
+    EXPECT_EQ(e.event_budget(), 5u);
+    for (int i = 0; i < 20; ++i) e.schedule_at(i, [] {});
+    EXPECT_THROW(e.run(), WatchdogError);
+  }
+  Engine outside;  // scope restored → unlimited again
+  EXPECT_EQ(outside.event_budget(), 0u);
+  for (int i = 0; i < 20; ++i) outside.schedule_at(i, [] {});
+  EXPECT_NO_THROW(outside.run());
+}
+
+TEST(Engine, WallClockDeadlineKillsRunawayRun) {
+  Engine e;
+  e.set_wall_deadline_in(50);  // ms
+  std::function<void()> self = [&] { e.schedule_at(e.now(), [&] { self(); }); };
+  e.schedule_at(0, [&] { self(); });
+  try {
+    e.run();
+    FAIL() << "wall deadline did not fire";
+  } catch (const WatchdogError& err) {
+    EXPECT_EQ(err.kind(), WatchdogKind::kWallClock);
+  }
 }
 
 TEST(Engine, DeterministicInterleaving) {

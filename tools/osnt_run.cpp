@@ -4,17 +4,23 @@
 //
 //   osnt_run latency    [--rate-gbps N] [--frame-size N] [--duration-ms N]
 //                       [--dut none|legacy|lossy] [--poisson]
+//                       [--faults PLAN.json] [--retries N]
+//                       [--event-budget N] [--wall-deadline-ms N]
 //                       [--trace PATH] [--metrics-out PATH]
 //   osnt_run throughput [--frame-size N] [--resolution F] [--dut ...]
 //                       [--jobs N] [--metrics-out PATH]
 //   osnt_run capture    [--rate-gbps N] [--snap N] [--flows N]
 //                       [--pcap-out PATH]
 //   osnt_run oflops     [--module M] [--table-size N] [--rounds N]
+//                       [--faults PLAN.json]
 //
 // Global flags (any subcommand): --log-level debug|info|warn|error|off.
 // --trace writes a Chrome trace_event JSON of the run in *sim* time
 // (open in Perfetto / chrome://tracing); --metrics-out snapshots the
-// process-wide telemetry registry as JSON at end of run.
+// process-wide telemetry registry as JSON at end of run. --faults loads
+// a deterministic fault plan (see examples/faults/) and injects it into
+// the testbed; fault activations show up as a "fault/*" trace track and
+// in the fault.* metric family.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -28,6 +34,8 @@
 #include "osnt/core/rfc2544.hpp"
 #include "osnt/core/runner.hpp"
 #include "osnt/dut/legacy_switch.hpp"
+#include "osnt/fault/injector.hpp"
+#include "osnt/fault/plan.hpp"
 #include "osnt/net/builder.hpp"
 #include "osnt/mon/flow_stats.hpp"
 #include "osnt/oflops/consistency.hpp"
@@ -80,17 +88,37 @@ int cmd_latency(int argc, const char* const* argv) {
   std::int64_t frame_size = 256;
   std::string dut = "legacy";
   bool poisson = false;
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, faults_path;
+  std::int64_t retries = 0, event_budget = 0, wall_deadline_ms = 0;
   CliParser cli{"osnt_run latency — one-way latency/jitter through a DUT"};
   cli.add_flag("rate-gbps", &rate_gbps, "offered L1 rate");
   cli.add_flag("frame-size", &frame_size, "frame size incl. FCS");
   cli.add_flag("duration-ms", &duration_ms, "simulated test duration");
   cli.add_flag("dut", &dut, "device under test: none|legacy|lossy");
   cli.add_flag("poisson", &poisson, "Poisson arrivals instead of CBR");
+  cli.add_flag("faults", &faults_path, "JSON fault plan to inject");
+  cli.add_flag("retries", &retries,
+               "deterministic retries after a failed trial");
+  cli.add_flag("event-budget", &event_budget,
+               "abort a trial after this many sim events (0 = unlimited)");
+  cli.add_flag("wall-deadline-ms", &wall_deadline_ms,
+               "abort a trial after this much wall time (0 = unlimited)");
   cli.add_flag("trace", &trace_path, "write Chrome trace_event JSON here");
   cli.add_flag("metrics-out", &metrics_path,
                "write a telemetry registry JSON snapshot here");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+
+  fault::FaultPlan fplan;
+  if (!faults_path.empty()) {
+    try {
+      fplan = fault::FaultPlan::load(faults_path);
+    } catch (const fault::PlanError& e) {
+      std::fprintf(stderr, "bad fault plan %s: %s\n", faults_path.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("fault plan: %s\n", fplan.summary().c_str());
+  }
 
   telemetry::TraceRecorder rec;
   core::RunResult r;
@@ -107,6 +135,13 @@ int cmd_latency(int argc, const char* const* argv) {
     core::OsntDevice osnt{eng};
     auto holder = wire(eng, osnt, dut);
 
+    std::unique_ptr<fault::Injector> inj;
+    if (!fplan.events.empty()) {
+      inj = std::make_unique<fault::Injector>(eng, fplan);
+      inj->attach_device(osnt);
+      inj->arm();
+    }
+
     core::TrafficSpec spec;
     spec.rate = gen::RateSpec::gbps(rate_gbps);
     spec.frame_size = static_cast<std::size_t>(frame_size);
@@ -120,7 +155,27 @@ int cmd_latency(int argc, const char* const* argv) {
     s.offered_gbps = r.offered_gbps;
     return s;
   };
-  (void)core::Runner{}.run(plan);
+
+  core::RunnerConfig rcfg;
+  rcfg.max_attempts =
+      static_cast<std::uint32_t>(retries < 0 ? 0 : retries) + 1;
+  rcfg.event_budget =
+      static_cast<std::uint64_t>(event_budget < 0 ? 0 : event_budget);
+  rcfg.wall_deadline_ms =
+      static_cast<std::uint64_t>(wall_deadline_ms < 0 ? 0 : wall_deadline_ms);
+  const auto outcomes = core::Runner{rcfg}.run_resilient(plan);
+  const auto& tr = outcomes.front();
+  if (!tr.ok()) {
+    std::fprintf(stderr, "trial %s after %u attempt(s): %s\n",
+                 core::trial_outcome_name(tr.outcome), tr.attempts,
+                 tr.error.c_str());
+    return 1;
+  }
+  if (tr.outcome == core::TrialOutcome::kRetried) {
+    std::printf("degraded: ok on attempt %u (rederived seed %llu)\n",
+                tr.attempts,
+                static_cast<unsigned long long>(tr.seed_used));
+  }
 
   std::printf("tx %llu  rx %llu  loss %.4f%%  offered %.3f Gb/s\n",
               static_cast<unsigned long long>(r.tx_frames),
@@ -261,18 +316,36 @@ int cmd_capture(int argc, const char* const* argv) {
 int cmd_oflops(int argc, const char* const* argv) {
   std::string module = "flowmod";
   std::int64_t table_size = 128, rounds = 10;
+  std::string faults_path;
   CliParser cli{
       "osnt_run oflops — OFLOPS-turbo module against an OpenFlow switch"};
   cli.add_flag("module", &module,
                "echo|packet_in|flowmod|consistency|stats_poll|queue_delay|interaction");
   cli.add_flag("table-size", &table_size, "flow table occupancy");
   cli.add_flag("rounds", &rounds, "measurement rounds (flowmod)");
+  cli.add_flag("faults", &faults_path,
+               "JSON fault plan (ctrl_disconnect targets the control channel)");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   dut::OpenFlowSwitchConfig sw_cfg;
   sw_cfg.commit_base = 2 * kPicosPerMilli;
   sw_cfg.table.max_entries = 16384;
   oflops::Testbed tb{sw_cfg};
+
+  std::unique_ptr<fault::Injector> inj;
+  if (!faults_path.empty()) {
+    try {
+      fault::FaultPlan fplan = fault::FaultPlan::load(faults_path);
+      std::printf("fault plan: %s\n", fplan.summary().c_str());
+      inj = std::make_unique<fault::Injector>(tb.eng, std::move(fplan));
+      inj->attach_device(tb.osnt).attach_channel(tb.chan);
+      inj->arm();
+    } catch (const fault::PlanError& e) {
+      std::fprintf(stderr, "bad fault plan %s: %s\n", faults_path.c_str(),
+                   e.what());
+      return 1;
+    }
+  }
 
   std::unique_ptr<oflops::MeasurementModule> mod;
   if (module == "echo") {
