@@ -1,0 +1,97 @@
+// Closed-loop transport cost + fidelity gate: (a) how many
+// congestion-controlled flows the simulator can turn per wall second
+// (each "item" is one flow simulated for the trial duration — the unit a
+// sweep over CC variants actually spends), and (b) the goodput-vs-BER
+// curve, the headline experiment of the tcp subsystem. BENCH_tcp.json
+// (tools/bench_engine_snapshot.sh) snapshots both; the gate is that the
+// clean-link BBR point stays within 10% of the bottleneck's payload
+// share and that goodput degrades monotonically as the BER window gets
+// harsher.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+
+#include "osnt/fault/plan.hpp"
+#include "osnt/tcp/workload.hpp"
+
+namespace {
+
+using namespace osnt;
+
+tcp::WorkloadConfig bench_cfg(const char* cc, std::size_t flows) {
+  tcp::WorkloadConfig cfg;
+  cfg.cc = cc;
+  cfg.flows = flows;
+  cfg.bottleneck_gbps = 5.0;
+  cfg.queue_segments = 256;
+  cfg.seed = 1;
+  return cfg;
+}
+
+/// Flow-simulation throughput: one 2 ms closed-loop trial per iteration,
+/// items/sec = flows simulated per wall second. The per-flow cost is
+/// dominated by segment builds + the ACK tap, so this tracks the whole
+/// tx→link→rx→ack path, not just the scheduler.
+void BM_ClosedLoopFlows(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  const auto cfg = bench_cfg("newreno", flows);
+  std::uint64_t segs = 0;
+  for (auto _ : state) {
+    const auto r = tcp::run_closed_loop_trial(cfg, 2 * kPicosPerMilli);
+    segs += r.segs_sent;
+    benchmark::DoNotOptimize(r.bytes_acked);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flows));
+  state.counters["segs_per_sec"] = benchmark::Counter(
+      static_cast<double>(segs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClosedLoopFlows)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// Same trial, one point per congestion controller — the relative cost
+/// of the three models (BBR pays for pacing timers).
+void BM_ClosedLoopPerCc(benchmark::State& state) {
+  static const char* kCc[] = {"newreno", "cubic", "bbr"};
+  const char* cc = kCc[state.range(0)];
+  const auto cfg = bench_cfg(cc, 4);
+  for (auto _ : state) {
+    const auto r = tcp::run_closed_loop_trial(cfg, 2 * kPicosPerMilli);
+    benchmark::DoNotOptimize(r.bytes_acked);
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+  state.SetLabel(cc);
+}
+BENCHMARK(BM_ClosedLoopPerCc)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+/// Goodput vs bit-error rate: a 6 ms BER window inside a 20 ms BBR run.
+/// Arg indexes the BER ladder; the achieved goodput lands in the
+/// "goodput_gbps" counter, from which the snapshot script derives the
+/// curve. Index 0 is the clean link (the 10%-of-bottleneck gate point).
+void BM_GoodputVsBer(benchmark::State& state) {
+  static constexpr double kBer[] = {0.0, 1e-7, 1e-6, 5e-6, 2e-5};
+  const double ber = kBer[state.range(0)];
+  const auto cfg = bench_cfg("bbr", 4);
+  fault::FaultPlan plan;
+  if (ber > 0.0) {
+    plan = fault::FaultPlan::from_json(
+        std::string("{\"seed\": 5, \"events\": [{\"type\": \"ber_window\", "
+                    "\"at_ms\": 2, \"duration_ms\": 6, \"ramp_us\": 500, "
+                    "\"ber\": ") +
+        std::to_string(ber) + "}]}");
+  }
+  double goodput = 0.0;
+  for (auto _ : state) {
+    const auto r = tcp::run_closed_loop_trial(
+        cfg, 20 * kPicosPerMilli, ber > 0.0 ? &plan : nullptr);
+    goodput = r.goodput_bps;
+    benchmark::DoNotOptimize(r.retransmits);
+  }
+  state.counters["ber"] = ber;
+  state.counters["goodput_gbps"] = goodput / 1e9;
+}
+BENCHMARK(BM_GoodputVsBer)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,6 +9,26 @@
 
 namespace osnt {
 
+/// splitmix64 finalizer: one full avalanche round, every input bit affects
+/// every output bit. The single mixing primitive behind all seed
+/// derivation in the codebase (Rng state init, retry-seed rederivation,
+/// fault-event streams, per-flow ISN streams).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Derive the `stream`-th decorrelated seed from `base`: splitmix64 over
+/// base ⊕ stream·golden-ratio. Different streams give independent,
+/// well-mixed seeds even when `base` values are small and sequential.
+/// Note stream 0 is NOT the identity — callers that need "stream 0 means
+/// the base seed itself" (e.g. core::rederive_seed) must special-case it.
+[[nodiscard]] constexpr std::uint64_t derive_seed(
+    std::uint64_t base, std::uint64_t stream) noexcept {
+  return splitmix64(base ^ (0x9E3779B97F4A7C15ull * stream));
+}
+
 /// xoshiro256** PRNG. Deterministic and seedable; satisfies
 /// UniformRandomBitGenerator.
 class Rng {

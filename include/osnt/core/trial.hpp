@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "osnt/common/random.hpp"
 #include "osnt/common/stats.hpp"
 
 namespace osnt::core {
@@ -32,17 +33,14 @@ struct TrialPoint {
   std::uint32_t attempt = 0;
 };
 
-/// Deterministic per-attempt seed rederivation (splitmix64 finalizer over
-/// seed ⊕ attempt·golden-ratio). Identity at attempt 0, so retry-capable
-/// runs reproduce retry-free runs exactly; distinct, well-mixed streams
-/// for every later attempt, independent of thread or schedule.
+/// Deterministic per-attempt seed rederivation (osnt::derive_seed, i.e. a
+/// splitmix64 finalizer over seed ⊕ attempt·golden-ratio). Identity at
+/// attempt 0, so retry-capable runs reproduce retry-free runs exactly;
+/// distinct, well-mixed streams for every later attempt, independent of
+/// thread or schedule.
 [[nodiscard]] constexpr std::uint64_t rederive_seed(
     std::uint64_t seed, std::uint32_t attempt) noexcept {
-  if (attempt == 0) return seed;
-  std::uint64_t z = seed ^ (0x9E3779B97F4A7C15ull * attempt);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return attempt == 0 ? seed : derive_seed(seed, attempt);
 }
 
 /// How a trial's slot in the plan ended up (see DESIGN.md §10).

@@ -26,6 +26,12 @@ class PacketSource {
   [[nodiscard]] virtual std::optional<TimedPacket> next() = 0;
   /// Restart from the beginning (for looped generation); default no-op.
   virtual void rewind() {}
+  /// After next() returned nullopt: true means "dry, not done" — the
+  /// pipeline parks instead of stopping, and resumes on TxPipeline::kick()
+  /// once the source has frames again. Open-loop sources are never
+  /// blocked; closed-loop sources (gen::ClosedLoopSource) are blocked
+  /// until closed.
+  [[nodiscard]] virtual bool blocked() const { return false; }
 };
 
 /// Adapter: fragments every IPv4 frame of an inner source at `mtu`

@@ -47,9 +47,16 @@ class TxPipeline {
 
   /// Begin generation `cfg.start_delay` after the current sim time.
   /// Requires a source. Generation ends when the source is exhausted or
-  /// stop() is called.
+  /// stop() is called. A source that reports blocked() parks the pipeline
+  /// instead of ending it; kick() resumes.
   void start();
   void stop();
+
+  /// Wake a parked pipeline (source was dry-but-blocked and now has
+  /// frames). No-op while a pull is already pending or the pipeline is
+  /// stopped. Safe to call from any event handler; the pull happens in
+  /// its own immediately-scheduled event, never re-entrantly.
+  void kick();
 
   [[nodiscard]] bool running() const noexcept { return running_; }
 

@@ -19,7 +19,20 @@ struct FlowRecord {
   std::uint64_t bytes = 0;  ///< sum of original (pre-cut) lengths
   tstamp::Timestamp first_seen;
   tstamp::Timestamp last_seen;
+  /// TCP sequence progression. Needs the full fixed TCP header (54-byte
+  /// snap); the strict parser refuses shorter TCP snaps entirely, so
+  /// hard-snapped TCP frames count as unclassified and never reach these
+  /// fields. A regression is a segment whose wrap-aware sequence is below
+  /// the highest already seen — on a passive monitor that is the
+  /// signature of reordering or of a retransmission, either of which
+  /// means the path disturbed the flow.
+  std::uint64_t tcp_segments = 0;
+  std::uint64_t seq_regressions = 0;
+  std::uint32_t highest_seq = 0;  ///< valid once tcp_segments > 0
 
+  [[nodiscard]] bool reordering_seen() const noexcept {
+    return seq_regressions > 0;
+  }
   [[nodiscard]] double duration_seconds() const noexcept {
     return tstamp::delta_nanos(last_seen, first_seen) * 1e-9;
   }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "osnt/hw/dma.hpp"
@@ -46,6 +47,17 @@ class RxPipeline {
   [[nodiscard]] const StatsBlock& stats() const noexcept { return stats_; }
 
   void set_capture_enabled(bool on) noexcept { cfg_.capture_enabled = on; }
+
+  /// In-sim frame tap: invoked for every parseable frame after the stats
+  /// block, before the capture path (so trigger/filter/DMA state cannot
+  /// hide traffic from it). This is the seam protocol endpoints build on —
+  /// osnt::tcp hangs its senders/receivers here so ACK generation rides
+  /// the same monitor datapath as measurement. The parse is shared with
+  /// the stats block; `first_bit` is MAC-receipt (pre-queueing) sim time.
+  using FrameTap =
+      std::function<void(const net::ParsedPacket&, const net::Packet&,
+                         Picos first_bit)>;
+  void set_tap(FrameTap tap) { tap_ = std::move(tap); }
 
   /// Probe counter: counts frames matching `rule` before the capture
   /// filter and DMA (like a dedicated hardware match counter). Used by
@@ -92,6 +104,7 @@ class RxPipeline {
   StatsBlock stats_;
   std::optional<FilterRule> probe_;
   std::uint64_t probe_seen_ = 0;
+  FrameTap tap_;
 
   enum class TriggerState : std::uint8_t { kOff, kArmed, kFired, kDone };
   TriggerState trigger_state_ = TriggerState::kOff;

@@ -46,13 +46,14 @@ enum class EventCategory : std::uint8_t {
   kDut,          ///< device-under-test internals
   kMon,          ///< monitor-side bookkeeping
   kFault,        ///< fault-injection schedule (osnt::fault::Injector)
+  kTcp,          ///< transport-layer timers (osnt::tcp pacing, RTO, ACKs)
 };
-inline constexpr std::size_t kEventCategoryCount = 7;
+inline constexpr std::size_t kEventCategoryCount = 8;
 
 [[nodiscard]] constexpr const char* event_category_name(
     EventCategory c) noexcept {
   constexpr const char* kNames[kEventCategoryCount] = {
-      "generic", "gen", "link", "hw", "dut", "mon", "fault"};
+      "generic", "gen", "link", "hw", "dut", "mon", "fault", "tcp"};
   return kNames[static_cast<std::size_t>(c)];
 }
 

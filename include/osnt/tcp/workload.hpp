@@ -1,0 +1,145 @@
+// ClosedLoopWorkload: N congestion-controlled flows over one cabled pair
+// of OSNT ports. The sender side lives on `tx_port`: per-flow tcp::Flow
+// state machines emit TCP/IPv4 frames into one shared
+// gen::ClosedLoopSource, which the port's TX pipeline drains at the
+// configured bottleneck rate (the queue bound is the bottleneck buffer).
+// The receiver side hangs off `rx_port`'s monitor pipeline tap: per-flow
+// delayed-ACK reassembly state that transmits cumulative/duplicate ACKs
+// back through the reverse sim link — so loss injected anywhere on the
+// path (osnt::fault BER windows, flaps) closes the control loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osnt/core/device.hpp"
+#include "osnt/fault/plan.hpp"
+#include "osnt/gen/closed_loop.hpp"
+#include "osnt/sim/engine.hpp"
+#include "osnt/tcp/flow.hpp"
+
+namespace osnt::tcp {
+
+struct WorkloadConfig {
+  std::size_t flows = 1;
+  std::string cc = "newreno";
+  std::uint32_t mss = 1448;          ///< 1448 ⇒ 1518 B frames with options
+  std::uint64_t seed = 1;            ///< trial seed; flows derive substreams
+  double bottleneck_gbps = 0.0;      ///< TX drain rate; 0 = port line rate
+  std::size_t queue_segments = 256;  ///< bottleneck buffer, in frames
+  std::uint64_t rwnd_bytes = std::uint64_t{1} << 20;
+  std::uint64_t bytes_per_flow = 0;  ///< 0 = unbounded (duration-limited)
+  std::size_t tx_port = 0;
+  std::size_t rx_port = 1;
+  Picos min_rto = kPicosPerMilli;    ///< sim-scaled; see DESIGN.md §11
+  Picos max_rto = 250 * kPicosPerMilli;
+  Picos delayed_ack_timeout = 200 * kPicosPerMicro;
+  bool capture = false;              ///< keep the DMA capture path off
+};
+
+/// Receiver-side per-flow state: cumulative reassembly point, a small
+/// out-of-order interval set (data is go-back-N so it stays small), and
+/// RFC 1122 delayed ACKs (every 2nd segment or a timeout).
+struct ReceiverState {
+  std::uint64_t rcv_nxt = 0;  ///< absolute stream offset (wire seq − ISN)
+  std::uint32_t isn = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo;  ///< [start, end) intervals
+  std::uint32_t pending_ack_segs = 0;
+  std::uint32_t last_tsval = 0;  ///< tsval of last in-order arrival
+  sim::EventId delack_timer{};
+  std::uint64_t bytes_in_order = 0;
+  std::uint64_t ooo_segs = 0;
+  std::uint64_t below_window_segs = 0;  ///< spurious-retransmit arrivals
+  std::uint64_t acks_sent = 0;
+};
+
+class ClosedLoopWorkload {
+ public:
+  /// Reconfigures `tx_port`'s generator pipeline and installs monitor
+  /// taps on both ports. The engine and device must outlive the workload;
+  /// the workload must be destroyed before either (it cancels its timers
+  /// and detaches its taps in the destructor).
+  ClosedLoopWorkload(sim::Engine& eng, core::OsntDevice& dev,
+                     WorkloadConfig cfg);
+  ~ClosedLoopWorkload();
+
+  ClosedLoopWorkload(const ClosedLoopWorkload&) = delete;
+  ClosedLoopWorkload& operator=(const ClosedLoopWorkload&) = delete;
+
+  /// Start the TX pipeline and open every flow's window.
+  void start();
+
+  [[nodiscard]] std::size_t num_flows() const { return flows_.size(); }
+  [[nodiscard]] Flow& flow(std::size_t i) { return *flows_.at(i); }
+  [[nodiscard]] const Flow& flow(std::size_t i) const {
+    return *flows_.at(i);
+  }
+  [[nodiscard]] const ReceiverState& receiver(std::size_t i) const {
+    return recv_.at(i);
+  }
+  [[nodiscard]] const gen::ClosedLoopSource& source() const {
+    return *source_;
+  }
+
+  // --- aggregates across flows ---
+  [[nodiscard]] std::uint64_t total_bytes_acked() const;
+  [[nodiscard]] std::uint64_t total_retransmits() const;
+  [[nodiscard]] std::uint64_t total_rto_fires() const;
+  [[nodiscard]] std::uint64_t total_fast_retx() const;
+  [[nodiscard]] std::uint64_t total_cwnd_reductions() const;
+  [[nodiscard]] std::uint64_t total_acks_sent() const;
+  [[nodiscard]] std::uint64_t total_ooo_segs() const;
+  /// Application goodput (cum-acked bytes) over `window`, in bits/s.
+  [[nodiscard]] double goodput_bps(Picos window) const;
+
+ private:
+  void on_data_frame(const net::ParsedPacket& p, const net::Packet& pkt,
+                     Picos first_bit);
+  void on_ack_frame(const net::ParsedPacket& p, const net::Packet& pkt,
+                    Picos first_bit);
+  void send_ack(std::size_t idx, Picos now);
+  void schedule_delack(std::size_t idx);
+
+  sim::Engine* eng_;
+  core::OsntDevice* dev_;
+  WorkloadConfig cfg_;
+  gen::ClosedLoopSource* source_ = nullptr;  ///< owned by the TX pipeline
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::vector<ReceiverState> recv_;
+  std::map<std::uint16_t, std::size_t> data_port_to_flow_;
+  std::map<std::uint16_t, std::size_t> ack_port_to_flow_;
+};
+
+/// Aggregate result of one closed-loop trial (the unit osnt_run tcp,
+/// tests, and the bench all shard through core::Runner).
+struct TcpTrialReport {
+  std::uint64_t bytes_acked = 0;
+  std::uint64_t segs_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rto_fires = 0;
+  std::uint64_t fast_retx = 0;
+  std::uint64_t cwnd_reductions = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t emit_rejects = 0;
+  double goodput_bps = 0.0;
+  double min_flow_rate_bps = 0.0;  ///< slowest flow's delivery-rate sample
+  double max_flow_rate_bps = 0.0;
+};
+
+/// Build a fresh testbed (engine + device + cabled ports), run `cfg` for
+/// `duration` of sim time with an optional fault plan armed on the
+/// device, and report aggregates. One deterministic code path shared by
+/// the CLI, the tests, and the benchmark — byte-identical reruns for a
+/// fixed (cfg.seed, plan) pair. `trace` attaches a recorder to the
+/// trial's engine (single-trial runs only; the recorder is not
+/// thread-safe across sharded trials).
+[[nodiscard]] TcpTrialReport run_closed_loop_trial(
+    const WorkloadConfig& cfg, Picos duration,
+    const fault::FaultPlan* plan = nullptr,
+    telemetry::TraceRecorder* trace = nullptr);
+
+}  // namespace osnt::tcp

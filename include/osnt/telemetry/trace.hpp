@@ -52,6 +52,18 @@ class TraceRecorder {
     events_.push_back(Event{name, at, 0, t, 'i'});
   }
 
+  /// Counter sample at `at`: renders as a stepped value-over-time track
+  /// in Perfetto (one series per `name` within the track). This is how
+  /// cwnd sawtooths and rate estimates become visible next to the frame
+  /// slices they explain.
+  void counter(TrackId t, const char* name, Picos at, std::uint64_t value) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(Event{name, at, static_cast<Picos>(value), t, 'C'});
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
   [[nodiscard]] std::size_t track_count() const noexcept {
@@ -74,7 +86,7 @@ class TraceRecorder {
   struct Event {
     const char* name;
     Picos start;
-    Picos dur;
+    Picos dur;  ///< slice duration for 'X'; raw counter value for 'C'
     TrackId track;
     char ph;
   };

@@ -12,15 +12,14 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) noexcept {
-  // Seed the state with splitmix64 so any seed (including 0) yields a
-  // well-mixed, non-degenerate state.
+  // Seed the state with the classic splitmix64 generator stepped four
+  // times (additive golden-ratio counter, unlike derive_seed's ⊕ stream
+  // tag — kept as-is so existing seeds replay bit-identically) so any
+  // seed (including 0) yields a well-mixed, non-degenerate state.
   std::uint64_t x = seed;
   for (auto& s : s_) {
     x += 0x9E3779B97F4A7C15ull;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    s = z ^ (z >> 31);
+    s = splitmix64(x);
   }
 }
 

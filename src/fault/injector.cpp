@@ -3,6 +3,7 @@
 #include <string>
 
 #include "osnt/common/log.hpp"
+#include "osnt/common/random.hpp"
 #include "osnt/core/device.hpp"
 #include "osnt/hw/dma.hpp"
 #include "osnt/hw/port.hpp"
@@ -14,14 +15,13 @@
 namespace osnt::fault {
 namespace {
 
-/// Per-event BER stream seed: a splitmix64 finalizer over the plan seed
-/// and the event's ordinal, so every BER window draws from its own
-/// reproducible stream no matter how the plan is edited around it.
+/// Per-event BER stream seed: osnt::derive_seed over the plan seed and the
+/// event's ordinal (stream ordinal+1 — stream 0 is not the identity but
+/// skipping it keeps historical plans replaying bit-identically), so every
+/// BER window draws from its own reproducible stream no matter how the
+/// plan is edited around it.
 std::uint64_t event_seed(std::uint64_t plan_seed, std::size_t ordinal) {
-  std::uint64_t z = plan_seed ^ (0x9E3779B97F4A7C15ull * (ordinal + 1));
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return derive_seed(plan_seed, ordinal + 1);
 }
 
 /// BER ramps are quantized to a handful of steps: enough to exercise

@@ -39,11 +39,22 @@ void TxPipeline::stop() {
   }
 }
 
+void TxPipeline::kick() {
+  if (!running_ || pending_) return;
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kGen);
+  pending_ = eng_->schedule_in(0, [this] { send_one(); });
+}
+
 void TxPipeline::send_one() {
   pending_ = {};
   if (!running_) return;
   auto tp = source_->next();
   if (!tp) {
+    // A blocked source is dry, not done: park with no pull pending and
+    // wait for kick(). The pacing gap of the previous frame has already
+    // elapsed (this pull ran at the paced slot), so an immediate resume
+    // cannot compress inter-departure times below the configured rate.
+    if (source_->blocked()) return;
     running_ = false;
     return;
   }

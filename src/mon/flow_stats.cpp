@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "osnt/net/parser.hpp"
+
 namespace osnt::mon {
 
 void FlowStatsCollector::add(const CaptureRecord& rec) {
-  const auto key =
-      net::extract_flow(ByteSpan{rec.data.data(), rec.data.size()});
+  const ByteSpan bytes{rec.data.data(), rec.data.size()};
+  const auto key = net::extract_flow(bytes);
   if (!key) {
     ++unclassified_;
     return;
@@ -20,6 +22,21 @@ void FlowStatsCollector::add(const CaptureRecord& rec) {
   ++f.packets;
   f.bytes += rec.orig_len;
   f.last_seen = rec.ts;
+
+  if (key->protocol == net::ipproto::kTcp) {
+    const auto parsed = net::parse_packet(bytes);
+    if (parsed && parsed->l4 == net::L4Kind::kTcp) {
+      const std::uint32_t seq = parsed->tcp.seq;
+      if (f.tcp_segments == 0) {
+        f.highest_seq = seq;
+      } else if (static_cast<std::int32_t>(seq - f.highest_seq) > 0) {
+        f.highest_seq = seq;
+      } else if (static_cast<std::int32_t>(seq - f.highest_seq) < 0) {
+        ++f.seq_regressions;
+      }
+      ++f.tcp_segments;
+    }
+  }
 }
 
 void FlowStatsCollector::add_all(const HostCapture& capture) {

@@ -56,6 +56,7 @@ void RxPipeline::on_frame(net::Packet pkt, Picos first_bit, Picos last_bit) {
   if (!parsed) return;  // runt below L2 header; MAC counters caught it
   stats_.record(*parsed, pkt.wire_len(), eng_->now());
   if (probe_ && probe_->matches(*parsed)) ++probe_seen_;
+  if (tap_) tap_(*parsed, pkt, first_bit);
 
   if (!cfg_.capture_enabled) return;
 

@@ -1,0 +1,316 @@
+#include "osnt/tcp/flow.hpp"
+
+#include <string>
+
+#include "osnt/common/random.hpp"
+#include "osnt/net/builder.hpp"
+#include "osnt/net/tcp_options.hpp"
+#include "osnt/telemetry/registry.hpp"
+
+namespace osnt::tcp {
+namespace {
+
+std::uint32_t tsval_now(Picos now) {
+  // Timestamps tick in nanoseconds of sim time: coarse enough to fit the
+  // 32-bit option field for seconds-long sims (wrap-aware subtraction
+  // handles longer), fine enough to resolve the microsecond RTTs a
+  // back-to-back 10G testbed produces.
+  return static_cast<std::uint32_t>(now / kPicosPerNano);
+}
+
+}  // namespace
+
+Flow::Flow(sim::Engine& eng, FlowConfig cfg, SegmentEmitter emit)
+    : eng_(&eng),
+      cfg_(std::move(cfg)),
+      emit_(std::move(emit)),
+      cc_(make_congestion_control(
+          cfg_.cc, CcConfig{.mss = cfg_.mss})),
+      rto_(cfg_.min_rto, cfg_.max_rto),
+      isn_(static_cast<std::uint32_t>(derive_seed(cfg_.seed, 1))) {}
+
+Flow::~Flow() {
+  if (pace_timer_) eng_->cancel(pace_timer_);
+  if (rto_timer_) eng_->cancel(rto_timer_);
+  if (!telemetry::enabled() || stats_.segs_sent == 0) return;
+  auto& reg = telemetry::registry();
+  reg.counter("tcp.segs_sent").add(stats_.segs_sent);
+  reg.counter("tcp.bytes_sent").add(stats_.bytes_sent);
+  reg.counter("tcp.bytes_acked").add(stats_.bytes_acked);
+  reg.counter("tcp.acks_received").add(stats_.acks_received);
+  reg.counter("tcp.dup_acks").add(stats_.dup_acks);
+  reg.counter("tcp.retransmits").add(stats_.retransmits);
+  reg.counter("tcp.rto_fires").add(stats_.rto_fires);
+  reg.counter("tcp.fast_retx").add(stats_.fast_retx);
+  reg.counter("tcp.cwnd_reductions").add(stats_.cwnd_reductions);
+  reg.counter("tcp.emit_rejects").add(stats_.emit_rejects);
+  reg.histogram("tcp.cwnd_bytes").merge(cwnd_hist_);
+  reg.histogram("tcp.srtt_ns").merge(srtt_hist_);
+  reg.histogram("tcp.delivery_rate_bps").merge(rate_hist_);
+}
+
+void Flow::start() {
+  delivered_time_ = eng_->now();
+  note_cwnd(eng_->now());
+  try_send();
+}
+
+std::int64_t Flow::unwrap_ack(std::uint32_t ack32) const {
+  // The cumulative ACK is within ±2^31 of snd_una on any sane path, so a
+  // signed 32-bit difference against snd_una's wire sequence unwraps it.
+  const std::int32_t diff =
+      static_cast<std::int32_t>(ack32 - seq32_of(snd_una_));
+  return static_cast<std::int64_t>(snd_una_) + diff;
+}
+
+void Flow::on_ack(const net::TcpHeader& hdr, std::uint32_t peer_tsval,
+                  std::uint32_t tsecr, Picos now) {
+  ++stats_.acks_received;
+  if (peer_tsval != 0) last_tsecr_seen_ = peer_tsval;
+  const std::int64_t ack_abs = unwrap_ack(hdr.ack);
+
+  if (ack_abs > static_cast<std::int64_t>(snd_una_)) {
+    const auto ack_off = static_cast<std::uint64_t>(ack_abs);
+    const std::uint64_t newly = ack_off - snd_una_;
+    snd_una_ = ack_off;
+    delivered_ += newly;
+    delivered_time_ = now;
+    stats_.bytes_acked += newly;
+    dup_acks_ = 0;
+
+    Picos rtt = 0;
+    if (tsecr != 0) {
+      rtt = static_cast<Picos>(
+                static_cast<std::uint32_t>(tsval_now(now) - tsecr)) *
+            kPicosPerNano;
+      if (rtt > 0) rto_.sample(rtt);
+    }
+
+    // Delivery-rate sample, anchored at the send of the newest segment
+    // this ACK covers (BBR-style delivered-delta over elapsed time).
+    bool round_start = false;
+    double rate = 0.0;
+    bool have_anchor = false;
+    SegRec anchor{};
+    while (!inflight_.empty() &&
+           inflight_.front().offset + inflight_.front().len <= ack_off) {
+      anchor = inflight_.front();
+      have_anchor = true;
+      inflight_.pop_front();
+    }
+    if (have_anchor) {
+      if (anchor.delivered_at_send >= round_mark_) {
+        round_start = true;  // a full packet-timed round elapsed
+        round_mark_ = delivered_;
+        ++round_count_;
+      }
+      if (now > anchor.delivered_time_at_send) {
+        rate = static_cast<double>(delivered_ - anchor.delivered_at_send) *
+               8.0 * static_cast<double>(kPicosPerSec) /
+               static_cast<double>(now - anchor.delivered_time_at_send);
+        last_rate_bps_ = rate;
+        // Windowed max over the last 10 rounds (monotone deque).
+        while (!rate_window_.empty() && rate_window_.back().second <= rate) {
+          rate_window_.pop_back();
+        }
+        rate_window_.emplace_back(round_count_, rate);
+        while (!rate_window_.empty() &&
+               rate_window_.front().first + 10 < round_count_) {
+          rate_window_.pop_front();
+        }
+      }
+    }
+
+    if (in_recovery_) {
+      if (ack_off >= recover_point_) {
+        in_recovery_ = false;
+      } else if (snd_nxt_ > snd_una_) {
+        // NewReno-style partial ACK: the next hole is at snd_una — resend
+        // one segment per partial ACK (go-back-N, one step at a time).
+        const auto len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(cfg_.mss, snd_nxt_ - snd_una_));
+        emit_segment(snd_una_, len, /*in_place=*/true);
+      }
+    }
+
+    cc_->on_ack(AckEvent{.now = now,
+                         .bytes_acked = newly,
+                         .bytes_in_flight = snd_nxt_ - snd_una_,
+                         .rtt = rtt,
+                         .delivery_rate_bps = rate,
+                         .round_start = round_start});
+    note_cwnd(now);
+
+    // RFC 6298 (5.3): restart the retransmission timer on new data acked.
+    if (rto_timer_) {
+      eng_->cancel(rto_timer_);
+      rto_timer_ = {};
+    }
+    try_send();
+    return;
+  }
+
+  if (ack_abs == static_cast<std::int64_t>(snd_una_) &&
+      snd_nxt_ > snd_una_) {
+    ++stats_.dup_acks;
+    ++dup_acks_;
+    if (dup_acks_ == 3 && !in_recovery_) {
+      // Fast retransmit: resend the first unacked segment once and let
+      // the controller halve (or conserve) the window.
+      in_recovery_ = true;
+      recover_point_ = snd_nxt_;
+      ++stats_.fast_retx;
+      const std::uint64_t before = cc_->cwnd_bytes();
+      cc_->on_loss(now, snd_nxt_ - snd_una_);
+      if (cc_->cwnd_bytes() < before) ++stats_.cwnd_reductions;
+      const auto len = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(cfg_.mss, snd_nxt_ - snd_una_));
+      emit_segment(snd_una_, len, /*in_place=*/true);
+      note_cwnd(now);
+      if (trace_track_set_) {
+        if (auto* tr = eng_->trace()) {
+          tr->instant(trace_track_, "fast_retx", now);
+        }
+      }
+      try_send();
+    }
+  }
+}
+
+void Flow::try_send() {
+  const Picos now = eng_->now();
+  const std::uint64_t wnd =
+      std::min<std::uint64_t>(cc_->cwnd_bytes(), cfg_.rwnd_bytes);
+  while (!done()) {
+    const std::uint64_t remaining =
+        cfg_.bytes_to_send == 0
+            ? cfg_.mss
+            : (cfg_.bytes_to_send > snd_nxt_ ? cfg_.bytes_to_send - snd_nxt_
+                                             : 0);
+    if (remaining == 0) break;
+    const auto len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(cfg_.mss, remaining));
+    if (snd_nxt_ - snd_una_ + len > wnd) break;  // window closed
+
+    const double pace = cc_->pacing_rate_bps();
+    if (pace > 0.0 && now < pace_next_) {
+      if (!pace_timer_) {
+        const sim::Engine::CategoryScope cat(*eng_,
+                                             sim::EventCategory::kTcp);
+        pace_timer_ = eng_->schedule_in(pace_next_ - now, [this] {
+          pace_timer_ = {};
+          try_send();
+        });
+      }
+      break;
+    }
+
+    emit_segment(snd_nxt_, len, /*in_place=*/false);
+    snd_nxt_ += len;
+    if (snd_nxt_ > max_sent_) max_sent_ = snd_nxt_;
+    if (pace > 0.0) {
+      const auto gap = static_cast<Picos>(
+          static_cast<double>(last_line_len_) * 8.0 *
+          static_cast<double>(kPicosPerSec) / pace);
+      pace_next_ = std::max(now, pace_next_) + gap;
+    }
+  }
+  if (snd_nxt_ > snd_una_ && !rto_timer_) arm_rto();
+}
+
+void Flow::emit_segment(std::uint64_t offset, std::uint32_t len,
+                        bool in_place) {
+  const Picos now = eng_->now();
+  net::PacketBuilder b;
+  b.eth(cfg_.src_mac, cfg_.dst_mac)
+      .ipv4(cfg_.src_ip, cfg_.dst_ip, net::ipproto::kTcp)
+      .tcp(cfg_.src_port, cfg_.dst_port, seq32_of(offset), 0,
+           net::TcpFlags::kAck | net::TcpFlags::kPsh)
+      .tcp_options(
+          {net::tcp_option_timestamps(tsval_now(now), last_tsecr_seen_)});
+  const Bytes payload(len, 0);
+  b.payload(payload);
+  net::Packet pkt = b.build();
+  last_line_len_ = pkt.line_len();
+
+  ++stats_.segs_sent;
+  stats_.bytes_sent += len;
+  if (offset < max_sent_) ++stats_.retransmits;
+
+  if (in_place) {
+    // Fast-retransmit / partial-ack resend: refresh the existing record's
+    // rate-sample anchors so a post-recovery sample is not computed
+    // against the stale original send.
+    if (!inflight_.empty() && inflight_.front().offset == offset) {
+      SegRec& r = inflight_.front();
+      r.sent_time = now;
+      r.delivered_at_send = delivered_;
+      r.delivered_time_at_send = delivered_time_;
+    }
+  } else {
+    inflight_.push_back(SegRec{offset, len, now, delivered_,
+                               delivered_time_ == 0 ? now : delivered_time_});
+  }
+  if (!emit_(std::move(pkt))) ++stats_.emit_rejects;
+}
+
+void Flow::arm_rto() {
+  if (rto_timer_) {
+    eng_->cancel(rto_timer_);
+    rto_timer_ = {};
+  }
+  if (snd_nxt_ <= snd_una_) return;
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kTcp);
+  rto_timer_ = eng_->schedule_in(rto_.rto(), [this] {
+    rto_timer_ = {};
+    on_rto_fire();
+  });
+}
+
+void Flow::on_rto_fire() {
+  if (snd_nxt_ <= snd_una_) return;
+  const Picos now = eng_->now();
+  ++stats_.rto_fires;
+  rto_.backoff();
+  cc_->on_rto(now);
+  // An RTO collapses the window to the controller's floor by contract;
+  // count the event even when decay already had cwnd sitting there.
+  ++stats_.cwnd_reductions;
+
+  // Go-back-N: everything past the cumulative ACK is presumed lost and
+  // will be resent from snd_una as the (collapsed) window allows.
+  snd_nxt_ = snd_una_;
+  inflight_.clear();
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  pace_next_ = 0;
+  note_cwnd(now);
+  if (trace_track_set_) {
+    if (auto* tr = eng_->trace()) tr->instant(trace_track_, "rto", now);
+  }
+  try_send();  // re-arms the (backed-off) timer
+}
+
+void Flow::note_cwnd(Picos now) {
+  cwnd_hist_.record(cc_->cwnd_bytes());
+  if (rto_.srtt() > 0) {
+    srtt_hist_.record(
+        static_cast<std::uint64_t>(rto_.srtt() / kPicosPerNano));
+  }
+  if (last_rate_bps_ > 0.0) {
+    rate_hist_.record(static_cast<std::uint64_t>(last_rate_bps_));
+  }
+  if (auto* tr = eng_->trace()) {
+    if (!trace_track_set_) {
+      trace_track_ = tr->track("tcp/" + std::to_string(cfg_.flow_id));
+      trace_track_set_ = true;
+    }
+    tr->counter(trace_track_, "cwnd_bytes", now, cc_->cwnd_bytes());
+    if (rto_.srtt() > 0) {
+      tr->counter(trace_track_, "srtt_ns", now,
+                  static_cast<std::uint64_t>(rto_.srtt() / kPicosPerNano));
+    }
+  }
+}
+
+}  // namespace osnt::tcp

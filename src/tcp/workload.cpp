@@ -1,0 +1,315 @@
+#include "osnt/tcp/workload.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "osnt/common/random.hpp"
+#include "osnt/fault/injector.hpp"
+#include "osnt/hw/port.hpp"
+#include "osnt/net/builder.hpp"
+#include "osnt/net/parser.hpp"
+#include "osnt/net/tcp_options.hpp"
+#include "osnt/telemetry/registry.hpp"
+
+namespace osnt::tcp {
+namespace {
+
+constexpr std::uint16_t kSenderPortBase = 40000;
+constexpr std::uint16_t kReceiverPortBase = 50000;
+
+std::uint32_t tsval_now(Picos now) {
+  return static_cast<std::uint32_t>(now / kPicosPerNano);
+}
+
+/// tsval/tsecr of the frame's timestamps option ({0,0} when absent).
+std::pair<std::uint32_t, std::uint32_t> frame_timestamps(
+    const net::ParsedPacket& p, const net::Packet& pkt) {
+  const std::size_t hdr = p.tcp.header_len();
+  if (hdr <= net::TcpHeader::kMinSize) return {0, 0};
+  const std::size_t opt_off = p.l4_offset + net::TcpHeader::kMinSize;
+  if (opt_off + (hdr - net::TcpHeader::kMinSize) > pkt.size()) return {0, 0};
+  const auto opts = net::parse_tcp_options(
+      pkt.bytes().subspan(opt_off, hdr - net::TcpHeader::kMinSize));
+  if (!opts) return {0, 0};
+  const auto ts = net::tcp_timestamps_of(*opts);
+  return ts ? *ts : std::pair<std::uint32_t, std::uint32_t>{0, 0};
+}
+
+}  // namespace
+
+ClosedLoopWorkload::ClosedLoopWorkload(sim::Engine& eng,
+                                       core::OsntDevice& dev,
+                                       WorkloadConfig cfg)
+    : eng_(&eng), dev_(&dev), cfg_(std::move(cfg)) {
+  if (cfg_.flows == 0) throw std::invalid_argument("tcp: flows must be > 0");
+  if (cfg_.tx_port == cfg_.rx_port) {
+    throw std::invalid_argument("tcp: tx_port and rx_port must differ");
+  }
+
+  gen::TxConfig txcfg;
+  txcfg.rate = cfg_.bottleneck_gbps > 0.0
+                   ? gen::RateSpec::gbps(cfg_.bottleneck_gbps)
+                   : gen::RateSpec::line_rate(1.0);
+  // Timestamp embedding would overwrite TCP header bytes at offset 42;
+  // TCP RTTs come from the timestamps option instead.
+  txcfg.embed_timestamp = false;
+  txcfg.seed = derive_seed(cfg_.seed, 0xBEEF);
+  gen::TxPipeline& txp = dev_->configure_tx(cfg_.tx_port, txcfg);
+  auto src = std::make_unique<gen::ClosedLoopSource>(cfg_.queue_segments);
+  source_ = src.get();
+  src->set_kick([&txp] { txp.kick(); });
+  txp.set_source(std::move(src));
+
+  dev_->rx(cfg_.tx_port).set_capture_enabled(cfg_.capture);
+  dev_->rx(cfg_.rx_port).set_capture_enabled(cfg_.capture);
+
+  flows_.reserve(cfg_.flows);
+  recv_.resize(cfg_.flows);
+  for (std::size_t i = 0; i < cfg_.flows; ++i) {
+    FlowConfig fc;
+    fc.flow_id = static_cast<std::uint32_t>(i);
+    fc.src_mac = net::MacAddr::from_index(0x0A0000 + i);
+    fc.dst_mac = net::MacAddr::from_index(0x0B0000 + i);
+    fc.src_ip = net::Ipv4Addr::of(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    fc.dst_ip = net::Ipv4Addr::of(10, 0, 1, static_cast<std::uint8_t>(i + 1));
+    fc.src_port = static_cast<std::uint16_t>(kSenderPortBase + i);
+    fc.dst_port = static_cast<std::uint16_t>(kReceiverPortBase + i);
+    fc.mss = cfg_.mss;
+    fc.bytes_to_send = cfg_.bytes_per_flow;
+    fc.rwnd_bytes = cfg_.rwnd_bytes;
+    fc.seed = derive_seed(cfg_.seed, i + 1);
+    fc.cc = cfg_.cc;
+    fc.min_rto = cfg_.min_rto;
+    fc.max_rto = cfg_.max_rto;
+    flows_.push_back(std::make_unique<Flow>(
+        *eng_, fc, [this](net::Packet&& pkt) {
+          return source_->offer(std::move(pkt));
+        }));
+    recv_[i].isn = flows_[i]->isn();
+    data_port_to_flow_[fc.dst_port] = i;
+    ack_port_to_flow_[fc.src_port] = i;
+  }
+
+  dev_->rx(cfg_.rx_port).set_tap(
+      [this](const net::ParsedPacket& p, const net::Packet& pkt,
+             Picos first_bit) { on_data_frame(p, pkt, first_bit); });
+  dev_->rx(cfg_.tx_port).set_tap(
+      [this](const net::ParsedPacket& p, const net::Packet& pkt,
+             Picos first_bit) { on_ack_frame(p, pkt, first_bit); });
+}
+
+ClosedLoopWorkload::~ClosedLoopWorkload() {
+  for (ReceiverState& st : recv_) {
+    if (st.delack_timer) {
+      eng_->cancel(st.delack_timer);
+      st.delack_timer = {};
+    }
+  }
+  dev_->rx(cfg_.rx_port).set_tap(nullptr);
+  dev_->rx(cfg_.tx_port).set_tap(nullptr);
+
+  if (telemetry::enabled() && total_acks_sent() + source_->offered() > 0) {
+    auto& reg = telemetry::registry();
+    reg.counter("tcp.acks_sent").add(total_acks_sent());
+    reg.counter("tcp.ooo_segs").add(total_ooo_segs());
+    reg.counter("tcp.queue_drops").add(source_->drops());
+  }
+}
+
+void ClosedLoopWorkload::start() {
+  dev_->tx(cfg_.tx_port).start();
+  for (auto& f : flows_) f->start();
+}
+
+void ClosedLoopWorkload::on_data_frame(const net::ParsedPacket& p,
+                                       const net::Packet& pkt,
+                                       Picos first_bit) {
+  if (p.l4 != net::L4Kind::kTcp || p.l3 != net::L3Kind::kIpv4) return;
+  const auto it = data_port_to_flow_.find(p.tcp.dst_port);
+  if (it == data_port_to_flow_.end()) return;
+  const std::size_t idx = it->second;
+  ReceiverState& st = recv_[idx];
+
+  const std::size_t l3_len = p.ipv4.total_length;
+  const std::size_t hdrs = p.ipv4.header_len() + p.tcp.header_len();
+  if (l3_len <= hdrs) return;  // no payload (stray pure ACK)
+  const std::uint64_t len = l3_len - hdrs;
+
+  const auto [tsval, tsecr] = frame_timestamps(p, pkt);
+  (void)tsecr;  // the data direction's echo is unused by the receiver
+
+  // Unwrap the 32-bit wire sequence against the reassembly point.
+  const auto diff = static_cast<std::int32_t>(
+      p.tcp.seq - (st.isn + static_cast<std::uint32_t>(st.rcv_nxt)));
+  const std::int64_t seq_abs = static_cast<std::int64_t>(st.rcv_nxt) + diff;
+  if (seq_abs < 0) return;
+  const auto seq = static_cast<std::uint64_t>(seq_abs);
+  const std::uint64_t seq_end = seq + len;
+
+  if (seq <= st.rcv_nxt && seq_end > st.rcv_nxt) {
+    // In-order (or overlapping) advance; absorb any now-contiguous
+    // out-of-order intervals.
+    st.rcv_nxt = seq_end;
+    st.bytes_in_order += len;
+    if (tsval != 0) st.last_tsval = tsval;
+    for (auto o = st.ooo.begin();
+         o != st.ooo.end() && o->first <= st.rcv_nxt;) {
+      st.rcv_nxt = std::max(st.rcv_nxt, o->second);
+      o = st.ooo.erase(o);
+    }
+    ++st.pending_ack_segs;
+    if (st.pending_ack_segs >= 2) {  // RFC 1122: ACK every 2nd segment
+      send_ack(idx, first_bit);
+    } else {
+      schedule_delack(idx);
+    }
+    return;
+  }
+
+  if (seq > st.rcv_nxt) {
+    // Hole: stash the interval and send an immediate duplicate ACK so
+    // the sender's dup-ACK counter can reach the fast-retransmit
+    // threshold.
+    ++st.ooo_segs;
+    auto [o, inserted] = st.ooo.emplace(seq, seq_end);
+    if (!inserted) o->second = std::max(o->second, seq_end);
+    send_ack(idx, first_bit);
+    return;
+  }
+
+  // Entirely below the window: a spurious (go-back-N) retransmit of data
+  // already received. Re-ACK immediately so the sender advances.
+  ++st.below_window_segs;
+  send_ack(idx, first_bit);
+}
+
+void ClosedLoopWorkload::send_ack(std::size_t idx, Picos now) {
+  ReceiverState& st = recv_[idx];
+  st.pending_ack_segs = 0;
+  if (st.delack_timer) {
+    eng_->cancel(st.delack_timer);
+    st.delack_timer = {};
+  }
+
+  const FlowConfig& fc = flows_[idx]->config();
+  net::PacketBuilder b;
+  b.eth(fc.dst_mac, fc.src_mac)
+      .ipv4(fc.dst_ip, fc.src_ip, net::ipproto::kTcp)
+      .tcp(fc.dst_port, fc.src_port, /*seq=*/0,
+           st.isn + static_cast<std::uint32_t>(st.rcv_nxt),
+           net::TcpFlags::kAck)
+      .tcp_options(
+          {net::tcp_option_timestamps(tsval_now(now), st.last_tsval)});
+  net::Packet ack = b.build();
+
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kTcp);
+  (void)dev_->port(cfg_.rx_port).tx().transmit(std::move(ack));
+  ++st.acks_sent;
+}
+
+void ClosedLoopWorkload::schedule_delack(std::size_t idx) {
+  ReceiverState& st = recv_[idx];
+  if (st.delack_timer) return;
+  const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kTcp);
+  st.delack_timer =
+      eng_->schedule_in(cfg_.delayed_ack_timeout, [this, idx] {
+        ReceiverState& s = recv_[idx];
+        s.delack_timer = {};
+        if (s.pending_ack_segs > 0) send_ack(idx, eng_->now());
+      });
+}
+
+void ClosedLoopWorkload::on_ack_frame(const net::ParsedPacket& p,
+                                      const net::Packet& pkt,
+                                      Picos first_bit) {
+  if (p.l4 != net::L4Kind::kTcp) return;
+  if ((p.tcp.flags & net::TcpFlags::kAck) == 0) return;
+  const auto it = ack_port_to_flow_.find(p.tcp.dst_port);
+  if (it == ack_port_to_flow_.end()) return;
+  const auto [tsval, tsecr] = frame_timestamps(p, pkt);
+  flows_[it->second]->on_ack(p.tcp, tsval, tsecr, first_bit);
+}
+
+std::uint64_t ClosedLoopWorkload::total_bytes_acked() const {
+  std::uint64_t v = 0;
+  for (const auto& f : flows_) v += f->stats().bytes_acked;
+  return v;
+}
+std::uint64_t ClosedLoopWorkload::total_retransmits() const {
+  std::uint64_t v = 0;
+  for (const auto& f : flows_) v += f->stats().retransmits;
+  return v;
+}
+std::uint64_t ClosedLoopWorkload::total_rto_fires() const {
+  std::uint64_t v = 0;
+  for (const auto& f : flows_) v += f->stats().rto_fires;
+  return v;
+}
+std::uint64_t ClosedLoopWorkload::total_fast_retx() const {
+  std::uint64_t v = 0;
+  for (const auto& f : flows_) v += f->stats().fast_retx;
+  return v;
+}
+std::uint64_t ClosedLoopWorkload::total_cwnd_reductions() const {
+  std::uint64_t v = 0;
+  for (const auto& f : flows_) v += f->stats().cwnd_reductions;
+  return v;
+}
+std::uint64_t ClosedLoopWorkload::total_acks_sent() const {
+  std::uint64_t v = 0;
+  for (const auto& r : recv_) v += r.acks_sent;
+  return v;
+}
+std::uint64_t ClosedLoopWorkload::total_ooo_segs() const {
+  std::uint64_t v = 0;
+  for (const auto& r : recv_) v += r.ooo_segs;
+  return v;
+}
+
+double ClosedLoopWorkload::goodput_bps(Picos window) const {
+  if (window <= 0) return 0.0;
+  return static_cast<double>(total_bytes_acked()) * 8.0 *
+         static_cast<double>(kPicosPerSec) / static_cast<double>(window);
+}
+
+TcpTrialReport run_closed_loop_trial(const WorkloadConfig& cfg,
+                                     Picos duration,
+                                     const fault::FaultPlan* plan,
+                                     telemetry::TraceRecorder* trace) {
+  sim::Engine eng;
+  if (trace) eng.set_trace(trace);
+  core::OsntDevice dev(eng);
+  hw::connect(dev.port(cfg.tx_port), dev.port(cfg.rx_port));
+
+  ClosedLoopWorkload w(eng, dev, cfg);
+  std::optional<fault::Injector> inj;
+  if (plan) {
+    inj.emplace(eng, *plan);
+    inj->attach_device(dev);
+    inj->arm();
+  }
+  w.start();
+  eng.run_until(duration);
+
+  TcpTrialReport r;
+  r.bytes_acked = w.total_bytes_acked();
+  r.retransmits = w.total_retransmits();
+  r.rto_fires = w.total_rto_fires();
+  r.fast_retx = w.total_fast_retx();
+  r.cwnd_reductions = w.total_cwnd_reductions();
+  r.acks_sent = w.total_acks_sent();
+  r.queue_drops = w.source().drops();
+  r.goodput_bps = w.goodput_bps(duration);
+  for (std::size_t i = 0; i < w.num_flows(); ++i) {
+    const Flow& f = w.flow(i);
+    r.segs_sent += f.stats().segs_sent;
+    r.emit_rejects += f.stats().emit_rejects;
+    const double rate = f.delivery_rate_bps();
+    if (i == 0 || rate < r.min_flow_rate_bps) r.min_flow_rate_bps = rate;
+    if (i == 0 || rate > r.max_flow_rate_bps) r.max_flow_rate_bps = rate;
+  }
+  return r;
+}
+
+}  // namespace osnt::tcp

@@ -45,12 +45,17 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
     if (e.ph == 'X') {
       out += ", \"dur\": ";
       append_micros(out, e.dur);
-    } else {
+    } else if (e.ph == 'i') {
       out += ", \"s\": \"t\"";
     }
     out += ", \"cat\": \"sim\", \"name\": \"";
     out += e.name;
-    out += "\"}";
+    if (e.ph == 'C') {
+      out += "\", \"args\": {\"value\": " +
+             std::to_string(static_cast<std::uint64_t>(e.dur)) + "}}";
+    } else {
+      out += "\"}";
+    }
     if (out.size() >= std::size_t{1} << 20) {
       os.write(out.data(), static_cast<std::streamsize>(out.size()));
       out.clear();

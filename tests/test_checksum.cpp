@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include "osnt/common/random.hpp"
+#include "osnt/net/builder.hpp"
 #include "osnt/net/checksum.hpp"
+#include "osnt/net/parser.hpp"
+#include "osnt/net/tcp_options.hpp"
 
 namespace osnt::net {
 namespace {
@@ -77,6 +80,92 @@ TEST(InternetChecksum, AddU32MatchesBytes) {
   InternetChecksum b;
   b.add(ByteSpan{bytes, 4});
   EXPECT_EQ(a.fold(), b.fold());
+}
+
+// ----------------------------------- TCP/IPv4 frames with header options
+
+/// Build a TCP/IPv4 data frame carrying timestamps (+ optionally MSS)
+/// options, as the tcp:: closed-loop workload emits them.
+Packet tcp_frame_with_options(bool with_mss, std::size_t payload_len) {
+  PacketBuilder b;
+  b.eth(MacAddr::from_index(1), MacAddr::from_index(2))
+      .ipv4(Ipv4Addr::of(10, 0, 0, 1), Ipv4Addr::of(10, 0, 1, 1),
+            ipproto::kTcp)
+      .tcp(40000, 50000, 0x01020304, 0x0a0b0c0d, TcpFlags::kAck | TcpFlags::kPsh);
+  std::vector<TcpOption> opts{tcp_option_timestamps(123456, 654321)};
+  if (with_mss) opts.push_back(tcp_option_mss(1448));
+  b.tcp_options(opts);
+  Bytes payload(payload_len);
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  b.payload(payload);
+  return b.build();
+}
+
+/// Fold the frame's TCP segment (header + options + payload, as bounded
+/// by the IP total length) through the pseudo-header checksum; a frame
+/// with a correct embedded checksum folds to zero.
+std::uint16_t tcp_segment_residual(const Packet& pkt) {
+  const auto parsed = parse_packet(pkt.bytes());
+  EXPECT_TRUE(parsed);
+  EXPECT_EQ(parsed->l4, L4Kind::kTcp);
+  const std::size_t seg_len =
+      parsed->ipv4.total_length - parsed->ipv4.header_len();
+  return l4_checksum_v4(parsed->ipv4.src, parsed->ipv4.dst, ipproto::kTcp,
+                        pkt.bytes().subspan(parsed->l4_offset, seg_len));
+}
+
+TEST(TcpChecksum, TimestampOptionFrameValidates) {
+  const auto pkt = tcp_frame_with_options(/*with_mss=*/false, 64);
+  EXPECT_EQ(tcp_segment_residual(pkt), 0u);
+  const auto parsed = parse_packet(pkt.bytes());
+  ASSERT_TRUE(parsed);
+  // Timestamps pad 10 -> 12 bytes: a 32-byte header, offset 8 words.
+  EXPECT_EQ(parsed->tcp.header_len(), 32u);
+}
+
+TEST(TcpChecksum, TimestampPlusMssFrameValidates) {
+  const auto pkt = tcp_frame_with_options(/*with_mss=*/true, 1448);
+  EXPECT_EQ(tcp_segment_residual(pkt), 0u);
+  const auto parsed = parse_packet(pkt.bytes());
+  ASSERT_TRUE(parsed);
+  const auto opts = parse_tcp_options(pkt.bytes().subspan(
+      parsed->l4_offset + TcpHeader::kMinSize,
+      parsed->tcp.header_len() - TcpHeader::kMinSize));
+  ASSERT_TRUE(opts);
+  EXPECT_EQ(tcp_mss_of(*opts), 1448);
+  const auto ts = tcp_timestamps_of(*opts);
+  ASSERT_TRUE(ts);
+  EXPECT_EQ(ts->first, 123456u);
+  EXPECT_EQ(ts->second, 654321u);
+}
+
+TEST(TcpChecksum, CorruptedOptionByteFailsValidation) {
+  // The options live between the fixed header and the payload — a bit
+  // error there must be caught by the checksum like any payload error.
+  auto pkt = tcp_frame_with_options(/*with_mss=*/true, 256);
+  const auto parsed = parse_packet(pkt.bytes());
+  ASSERT_TRUE(parsed);
+  pkt.data[parsed->l4_offset + TcpHeader::kMinSize + 2] ^= 0x40;
+  EXPECT_NE(tcp_segment_residual(pkt), 0u);
+}
+
+TEST(TcpChecksum, CorruptedPayloadByteFailsValidation) {
+  auto pkt = tcp_frame_with_options(/*with_mss=*/false, 512);
+  const auto parsed = parse_packet(pkt.bytes());
+  ASSERT_TRUE(parsed);
+  pkt.data[parsed->payload_offset + 100] ^= 0x01;
+  EXPECT_NE(tcp_segment_residual(pkt), 0u);
+}
+
+TEST(TcpChecksum, MinFramePaddingStaysOutsideTheSegment) {
+  // A short TCP frame is padded to the 64-byte Ethernet minimum; the pad
+  // bytes sit beyond the IP total length and must not disturb the
+  // checksum bound to the segment.
+  const auto pkt = tcp_frame_with_options(/*with_mss=*/false, 1);
+  EXPECT_GE(pkt.size(), 64u);
+  EXPECT_EQ(tcp_segment_residual(pkt), 0u);
 }
 
 }  // namespace

@@ -106,5 +106,104 @@ TEST(FlowStats, ClearResets) {
   EXPECT_EQ(c.unclassified(), 0u);
 }
 
+// ---------------------------------------------- TCP sequence regression
+
+CaptureRecord tcp_record(std::uint32_t seq, double ts_seconds,
+                         std::size_t snap = 0) {
+  net::PacketBuilder b;
+  auto pkt =
+      b.eth(net::MacAddr::from_index(1), net::MacAddr::from_index(2))
+          .ipv4(net::Ipv4Addr::of(10, 0, 0, 1), net::Ipv4Addr::of(10, 0, 1, 1),
+                net::ipproto::kTcp)
+          .tcp(1234, 80, seq, 0, net::TcpFlags::kAck)
+          .build();
+  CaptureRecord rec;
+  rec.orig_len = static_cast<std::uint32_t>(pkt.data.size());
+  if (snap != 0 && snap < pkt.data.size()) pkt.data.resize(snap);
+  rec.data = std::move(pkt.data);
+  rec.ts = tstamp::Timestamp::from_seconds(ts_seconds);
+  return rec;
+}
+
+const net::FiveTuple kTcpKey{net::Ipv4Addr::of(10, 0, 0, 1),
+                             net::Ipv4Addr::of(10, 0, 1, 1), 1234, 80,
+                             net::ipproto::kTcp};
+
+TEST(FlowStats, InOrderTcpShowsNoRegressions) {
+  FlowStatsCollector c;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    c.add(tcp_record(1000 + i * 100, 1.0 + i));
+  }
+  const auto* f = c.find(kTcpKey);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->tcp_segments, 5u);
+  EXPECT_EQ(f->seq_regressions, 0u);
+  EXPECT_FALSE(f->reordering_seen());
+  EXPECT_EQ(f->highest_seq, 1400u);
+}
+
+TEST(FlowStats, ReorderedAndRetransmittedSegmentsAreCounted) {
+  FlowStatsCollector c;
+  // 1000, 1300 (jumps a hole), 1100 and 1200 arrive late, then 1400.
+  for (const std::uint32_t seq : {1000u, 1300u, 1100u, 1200u, 1400u}) {
+    c.add(tcp_record(seq, 1.0));
+  }
+  const auto* f = c.find(kTcpKey);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->tcp_segments, 5u);
+  EXPECT_EQ(f->seq_regressions, 2u);  // 1100 and 1200 are below 1300
+  EXPECT_TRUE(f->reordering_seen());
+  EXPECT_EQ(f->highest_seq, 1400u);
+}
+
+TEST(FlowStats, SequenceTrackingIsWrapAware) {
+  FlowStatsCollector c;
+  // Forward progress across the 2^32 boundary must not read as a
+  // regression; a genuine step back across it must.
+  c.add(tcp_record(0xFFFFFF00u, 1.0));
+  c.add(tcp_record(0x00000100u, 1.1));  // forward across the wrap
+  c.add(tcp_record(0xFFFFFF80u, 1.2));  // genuinely behind
+  const auto* f = c.find(kTcpKey);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->seq_regressions, 1u);
+  EXPECT_EQ(f->highest_seq, 0x00000100u);
+}
+
+TEST(FlowStats, HardSnappedFramesSkipSequenceTracking) {
+  FlowStatsCollector c;
+  // The parser refuses a truncated TCP header outright, so a 42-byte
+  // snap (enough for UDP, 12 bytes short for TCP) cannot even be
+  // classified — it lands in `unclassified` rather than producing a
+  // flow with bogus sequence state.
+  c.add(tcp_record(1000, 1.0, /*snap=*/42));
+  c.add(tcp_record(900, 1.1, /*snap=*/42));
+  EXPECT_EQ(c.find(kTcpKey), nullptr);
+  EXPECT_EQ(c.flow_count(), 0u);
+  EXPECT_EQ(c.unclassified(), 2u);
+
+  // A 54-byte snap keeps the full fixed TCP header: classification and
+  // sequence tracking both work on the thinned capture.
+  c.add(tcp_record(1000, 2.0, /*snap=*/54));
+  c.add(tcp_record(900, 2.1, /*snap=*/54));
+  const auto* f = c.find(kTcpKey);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->packets, 2u);
+  EXPECT_EQ(f->tcp_segments, 2u);
+  EXPECT_EQ(f->seq_regressions, 1u);
+}
+
+TEST(FlowStats, UdpFlowsNeverTouchSequenceFields) {
+  FlowStatsCollector c;
+  c.add(make_record(1000, 100, 1.0));
+  c.add(make_record(1000, 100, 2.0));
+  const net::FiveTuple key{net::Ipv4Addr::of(10, 0, 0, 1),
+                           net::Ipv4Addr::of(10, 0, 1, 1), 1000, 5001,
+                           net::ipproto::kUdp};
+  const auto* f = c.find(key);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->tcp_segments, 0u);
+  EXPECT_FALSE(f->reordering_seen());
+}
+
 }  // namespace
 }  // namespace osnt::mon

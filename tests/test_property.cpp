@@ -2,12 +2,15 @@
 // crash on garbage" sweeps over the parsers and codecs.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "osnt/common/random.hpp"
 #include "osnt/net/builder.hpp"
 #include "osnt/net/checksum.hpp"
 #include "osnt/net/parser.hpp"
 #include "osnt/net/pcap.hpp"
 #include "osnt/openflow/messages.hpp"
+#include "osnt/tcp/flow.hpp"
 
 namespace osnt {
 namespace {
@@ -203,6 +206,86 @@ TEST(PcapProperty, RandomRecordsRoundTripThroughDisk) {
     EXPECT_EQ(back[i].ts_nanos, written[i].ts_nanos);
     EXPECT_EQ(back[i].data, written[i].data);
   }
+}
+
+// ------------------------------------------------- RTO estimator (RFC 6298)
+
+// The retransmission timer under any sample stream must stay inside
+// [min_rto, max_rto], back off monotonically between samples, and be a
+// pure function of its input sequence (no hidden wall-clock state).
+
+constexpr Picos kMinRto = kPicosPerMilli;
+constexpr Picos kMaxRto = 250 * kPicosPerMilli;
+
+/// Drive an estimator with a seeded mix of RTT samples and timer fires;
+/// returns the sequence of rto() values observed after each step.
+std::vector<Picos> rto_walk(std::uint64_t seed, int steps) {
+  Rng rng{seed};
+  tcp::RtoEstimator est{kMinRto, kMaxRto};
+  std::vector<Picos> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    if (rng.uniform_int(0, 2) == 0) {
+      est.backoff();  // a timer fire
+    } else {
+      // RTTs from 100 ns to ~80 ms: spans both clamp regimes.
+      est.sample(static_cast<Picos>(
+          rng.uniform_int(100, 80'000'000) * kPicosPerNano));
+    }
+    out.push_back(est.rto());
+  }
+  return out;
+}
+
+TEST(RtoProperty, BoundedForRandomSampleAndBackoffStreams) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const Picos rto : rto_walk(seed, 500)) {
+      EXPECT_GE(rto, kMinRto) << "seed " << seed;
+      EXPECT_LE(rto, kMaxRto) << "seed " << seed;
+    }
+  }
+}
+
+TEST(RtoProperty, BackoffIsMonotoneUntilTheCap) {
+  Rng rng{7};
+  for (int trial = 0; trial < 50; ++trial) {
+    tcp::RtoEstimator est{kMinRto, kMaxRto};
+    const auto warmup = rng.uniform_int(0, 5);
+    for (std::uint64_t i = 0; i < warmup; ++i) {
+      est.sample(static_cast<Picos>(
+          rng.uniform_int(1000, 5'000'000) * kPicosPerNano));
+    }
+    Picos prev = est.rto();
+    for (int fire = 0; fire < 12; ++fire) {
+      est.backoff();
+      const Picos cur = est.rto();
+      EXPECT_GE(cur, prev);  // doubles (or saturates), never shrinks
+      EXPECT_LE(cur, kMaxRto);
+      prev = cur;
+    }
+    EXPECT_EQ(prev, kMaxRto);  // 12 unanswered fires always saturate
+    // A fresh RTT sample resets the backoff below the cap.
+    est.sample(kPicosPerMilli);
+    EXPECT_LT(est.rto(), kMaxRto);
+  }
+}
+
+TEST(RtoProperty, IdenticalAcrossRerunsForFixedSeed) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(rto_walk(seed, 300), rto_walk(seed, 300)) << "seed " << seed;
+  }
+  EXPECT_NE(rto_walk(1, 300), rto_walk(2, 300));
+}
+
+TEST(RtoProperty, FirstSampleSeedsSrttPerRfc6298) {
+  tcp::RtoEstimator est{kMinRto, kMaxRto};
+  EXPECT_EQ(est.rto(), kMinRto);  // no sample yet: conservative floor
+  const Picos rtt = 10 * kPicosPerMilli;
+  est.sample(rtt);
+  EXPECT_EQ(est.srtt(), rtt);
+  EXPECT_EQ(est.rttvar(), rtt / 2);
+  // RTO = SRTT + 4*RTTVAR = 3*RTT here (granularity term is negligible).
+  EXPECT_EQ(est.rto(), 3 * rtt);
 }
 
 }  // namespace

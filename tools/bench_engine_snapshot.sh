@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Snapshot the perf gates into BENCH_engine.json, BENCH_runner.json, and
-# BENCH_telemetry.json at the repo root. Run from anywhere on a quiet
-# machine:
+# Snapshot the perf gates into BENCH_engine.json, BENCH_runner.json,
+# BENCH_telemetry.json, and BENCH_tcp.json at the repo root. Run from
+# anywhere on a quiet machine:
 #
 #   tools/bench_engine_snapshot.sh [build-dir]
 #
@@ -16,7 +16,11 @@
 # disabled A/B plus an "overhead" block with the per-benchmark ratio; the
 # gate is <= 5% on the ScheduleFire storm. Re-run after touching the
 # scheduler hot path, the runner, or the telemetry layer and commit the
-# refreshed files alongside the change.
+# refreshed files alongside the change. BENCH_tcp.json is bench_tcp's
+# closed-loop flows/sec plus a "goodput_curve" block (goodput vs the BER
+# of a 6 ms error window under BBR); the gate is the clean-link point
+# within 10% of the bottleneck's payload share and a monotonically
+# falling curve.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,13 +28,15 @@ build_dir="${1:-"$repo_root/build"}"
 bench="$build_dir/bench/bench_engine"
 bench_runner="$build_dir/bench/bench_runner"
 bench_telemetry="$build_dir/bench/bench_telemetry"
+bench_tcp="$build_dir/bench/bench_tcp"
 out="$repo_root/BENCH_engine.json"
 out_runner="$repo_root/BENCH_runner.json"
 out_telemetry="$repo_root/BENCH_telemetry.json"
+out_tcp="$repo_root/BENCH_tcp.json"
 
-if [[ ! -x "$bench" || ! -x "$bench_runner" || ! -x "$bench_telemetry" ]]; then
-  echo "error: $bench, $bench_runner, or $bench_telemetry not found — build the bench targets first:" >&2
-  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target bench_engine bench_runner bench_telemetry -j" >&2
+if [[ ! -x "$bench" || ! -x "$bench_runner" || ! -x "$bench_telemetry" || ! -x "$bench_tcp" ]]; then
+  echo "error: $bench, $bench_runner, $bench_telemetry, or $bench_tcp not found — build the bench targets first:" >&2
+  echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" --target bench_engine bench_runner bench_telemetry bench_tcp -j" >&2
   exit 1
 fi
 
@@ -160,6 +166,51 @@ doc["overhead"] = {
     ),
     "gate_pct": 5.0,
     "enabled_overhead_pct": overhead,
+}
+json.dump(doc, open(path, "w"), indent=1)
+print(f"wrote {path}")
+PYEOF
+
+"$bench_tcp" \
+  --benchmark_min_time=0.5 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$out_tcp" \
+  --benchmark_out_format=json
+
+# Derive the goodput-vs-BER curve and check the clean-link fidelity gate
+# (BBR within 10% of the bottleneck's payload share: 5 Gb/s L1 carries at
+# most 5e9 * 1448/1538 of TCP payload in 1518 B frames).
+python3 - "$out_tcp" <<'PYEOF'
+import json, sys
+
+path = sys.argv[1]
+doc = json.load(open(path))
+curve = {}
+for b in doc["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    if b["run_name"].startswith("BM_GoodputVsBer/"):
+        curve[b["ber"]] = round(b["goodput_gbps"], 4)
+
+points = [curve[k] for k in sorted(curve)]
+share = 5.0 * 1448.0 / 1538.0
+clean = curve.get(0.0, 0.0)
+doc["goodput_curve"] = {
+    "note": (
+        "BBR goodput (Gb/s, median of 3 reps) for a 4-flow 20 ms run vs "
+        "the BER of a 6 ms ber_window fault; 0.0 is the clean link. "
+        "Gates: clean-link point within 10% of the 5 Gb/s bottleneck's "
+        "payload share (5e9*1448/1538) and the curve falls monotonically "
+        "with BER."
+    ),
+    "payload_share_gbps": round(share, 4),
+    "goodput_gbps_by_ber": {str(k): curve[k] for k in sorted(curve)},
+    "clean_within_10pct": bool(clean >= 0.9 * share),
+    "monotone_decreasing": bool(
+        all(a >= b for a, b in zip(points, points[1:]))
+    ),
 }
 json.dump(doc, open(path, "w"), indent=1)
 print(f"wrote {path}")

@@ -3,7 +3,14 @@
 //   osnt_pcap info  FILE          header + record/flow summary
 //   osnt_pcap dump  FILE [--max N]   one line per packet
 //   osnt_pcap flows FILE [--top N]   per-flow table, heaviest first
-//   osnt_pcap filter IN OUT --dst-port P [--proto udp|tcp]   rewrite subset
+//   osnt_pcap filter IN OUT [--dst-port P] [--proto udp|tcp]
+//
+// The filter grammar is conjunctive: a record is kept only when it parses
+// as an Ethernet/IPv4 frame AND matches every predicate given. With no
+// predicates, filter rewrites the parseable subset (a normalize pass).
+// --strict (any subcommand reading classic .pcap) makes a truncated final
+// record an error instead of a silently swallowed EOF — mirrors
+// net::PcapReaderOptions::strict.
 #include <cstdio>
 #include <string>
 
@@ -22,9 +29,12 @@ bool is_pcapng(const std::string& path) {
   return path.size() > 7 && path.rfind(".pcapng") == path.size() - 7;
 }
 
-/// Normalize either format into a single record list.
-std::vector<net::PcapRecord> load_any(const std::string& path) {
-  if (!is_pcapng(path)) return net::PcapReader::read_all(path);
+/// Normalize either format into a single record list. `opt` applies to
+/// classic .pcap only (pcapng blocks are length-framed; a short tail is
+/// always an error there).
+std::vector<net::PcapRecord> load_any(const std::string& path,
+                                      net::PcapReaderOptions opt) {
+  if (!is_pcapng(path)) return net::PcapReader::read_all(path, opt);
   std::vector<net::PcapRecord> out;
   for (auto& ng : net::PcapngReader::read_all(path)) {
     net::PcapRecord rec;
@@ -36,8 +46,8 @@ std::vector<net::PcapRecord> load_any(const std::string& path) {
   return out;
 }
 
-int cmd_info(const std::string& path) {
-  net::PcapReader reader{path};
+int cmd_info(const std::string& path, net::PcapReaderOptions opt) {
+  net::PcapReader reader{path, opt};
   std::printf("%s: %s timestamps, linktype %u\n", path.c_str(),
               reader.nanosecond_format() ? "nanosecond" : "microsecond",
               reader.link_type());
@@ -59,6 +69,8 @@ int cmd_info(const std::string& path) {
   const double span_s = static_cast<double>(last_ns - first_ns) * 1e-9;
   std::printf("%zu records, %zu original bytes, %zu snapped, %zu flows\n",
               records, bytes, snapped, flows.flow_count());
+  if (reader.truncated_tail() > 0)
+    std::printf("(final record truncated; re-run with --strict to fail)\n");
   if (span_s > 0) {
     std::printf("span %.6f s, mean %.3f Mb/s, %.0f pps\n", span_s,
                 static_cast<double>(bytes) * 8.0 / span_s / 1e6,
@@ -67,9 +79,10 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
-int cmd_dump(const std::string& path, std::int64_t max) {
+int cmd_dump(const std::string& path, std::int64_t max,
+             net::PcapReaderOptions opt) {
   std::int64_t n = 0;
-  for (auto& rec : load_any(path)) {
+  for (auto& rec : load_any(path, opt)) {
     if (max > 0 && n >= max) break;
     net::Packet pkt{std::move(rec.data)};
     std::printf("%6lld %14.6f %s\n", static_cast<long long>(n),
@@ -80,9 +93,10 @@ int cmd_dump(const std::string& path, std::int64_t max) {
   return 0;
 }
 
-int cmd_flows(const std::string& path, std::int64_t top) {
+int cmd_flows(const std::string& path, std::int64_t top,
+              net::PcapReaderOptions opt) {
   mon::FlowStatsCollector flows;
-  for (auto& rec : load_any(path)) {
+  for (auto& rec : load_any(path, opt)) {
     mon::CaptureRecord cr;
     cr.data = std::move(rec.data);
     cr.orig_len = rec.orig_len;
@@ -110,8 +124,9 @@ int cmd_flows(const std::string& path, std::int64_t top) {
 }
 
 int cmd_filter(const std::string& in, const std::string& out,
-               std::int64_t dst_port, const std::string& proto) {
-  net::PcapReader reader{in};
+               std::int64_t dst_port, const std::string& proto,
+               net::PcapReaderOptions opt) {
+  net::PcapReader reader{in, opt};
   net::PcapWriter writer{out, reader.nanosecond_format()};
   std::size_t kept = 0, total = 0;
   while (auto rec = reader.next()) {
@@ -144,26 +159,37 @@ int main(int argc, char** argv) {
   CliParser cli{"osnt_pcap — inspect and filter PCAP captures"};
   std::int64_t max = 0, top = 20, dst_port = 0;
   std::string proto;
+  bool strict = false;
   cli.add_flag("max", &max, "dump: stop after N records (0 = all)");
   cli.add_flag("top", &top, "flows: show the N heaviest (0 = all)");
   cli.add_flag("dst-port", &dst_port, "filter: keep this destination port");
   cli.add_flag("proto", &proto, "filter: keep udp|tcp only");
+  cli.add_flag("strict", &strict,
+               "fail on a truncated final record instead of dropping it");
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  net::PcapReaderOptions opt;
+  opt.strict = strict;
 
   const auto& pos = cli.positional();
   if (pos.empty()) {
     std::fprintf(stderr,
-                 "usage: osnt_pcap <info|dump|flows|filter> FILE [OUT] "
-                 "[flags]\n");
+                 "usage: osnt_pcap info  FILE [--strict]\n"
+                 "       osnt_pcap dump  FILE [--max N] [--strict]\n"
+                 "       osnt_pcap flows FILE [--top N] [--strict]\n"
+                 "       osnt_pcap filter IN OUT [--dst-port P] "
+                 "[--proto udp|tcp] [--strict]\n"
+                 "filter keeps records matching ALL given predicates "
+                 "(parseable IPv4 frames only;\nno predicates = normalize "
+                 "pass). FILE may be .pcap or .pcapng; OUT is .pcap.\n");
     return 1;
   }
   const std::string& cmd = pos[0];
   try {
-    if (cmd == "info" && pos.size() == 2) return cmd_info(pos[1]);
-    if (cmd == "dump" && pos.size() == 2) return cmd_dump(pos[1], max);
-    if (cmd == "flows" && pos.size() == 2) return cmd_flows(pos[1], top);
+    if (cmd == "info" && pos.size() == 2) return cmd_info(pos[1], opt);
+    if (cmd == "dump" && pos.size() == 2) return cmd_dump(pos[1], max, opt);
+    if (cmd == "flows" && pos.size() == 2) return cmd_flows(pos[1], top, opt);
     if (cmd == "filter" && pos.size() == 3)
-      return cmd_filter(pos[1], pos[2], dst_port, proto);
+      return cmd_filter(pos[1], pos[2], dst_port, proto, opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -8,16 +8,22 @@
 //                       [--event-budget N] [--wall-deadline-ms N]
 //                       [--trace PATH] [--metrics-out PATH]
 //   osnt_run throughput [--frame-size N] [--resolution F] [--dut ...]
-//                       [--jobs N] [--metrics-out PATH]
+//                       [--jobs N]
 //   osnt_run capture    [--rate-gbps N] [--snap N] [--flows N]
 //                       [--pcap-out PATH]
+//   osnt_run tcp        [--cc newreno|cubic|bbr] [--flows N]
+//                       [--duration-ms N] [--bottleneck-gbps N]
+//                       [--queue-segments N] [--faults PLAN.json]
+//                       [--trials N] [--jobs N]
 //   osnt_run oflops     [--module M] [--table-size N] [--rounds N]
 //                       [--faults PLAN.json]
 //
 // Global flags (any subcommand): --log-level debug|info|warn|error|off.
-// --trace writes a Chrome trace_event JSON of the run in *sim* time
-// (open in Perfetto / chrome://tracing); --metrics-out snapshots the
-// process-wide telemetry registry as JSON at end of run. --faults loads
+// latency, throughput, capture, and tcp all take --trace PATH and
+// --metrics-out PATH: --trace writes a Chrome trace_event JSON of the run
+// in *sim* time (open in Perfetto / chrome://tracing); --metrics-out
+// snapshots the process-wide telemetry registry as JSON at end of run.
+// --faults loads
 // a deterministic fault plan (see examples/faults/) and injects it into
 // the testbed; fault activations show up as a "fault/*" trace track and
 // in the fault.* metric family.
@@ -46,6 +52,7 @@
 #include "osnt/oflops/interaction.hpp"
 #include "osnt/oflops/queue_delay.hpp"
 #include "osnt/oflops/stats_poll.hpp"
+#include "osnt/tcp/workload.hpp"
 #include "osnt/telemetry/registry.hpp"
 #include "osnt/telemetry/trace.hpp"
 #include "osnt/topo/fabric.hpp"
@@ -53,6 +60,56 @@
 using namespace osnt;
 
 namespace {
+
+/// Shared --trace/--metrics-out handling so every measurement subcommand
+/// exposes the observability surface the same way: call add_to() before
+/// parse, attach() on each single-threaded engine the run constructs, and
+/// finish() once at exit to write whatever was requested.
+struct ObservabilityFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  telemetry::TraceRecorder rec;
+
+  void add_to(CliParser& cli) {
+    cli.add_flag("trace", &trace_path, "write Chrome trace_event JSON here");
+    cli.add_flag("metrics-out", &metrics_path,
+                 "write a telemetry registry JSON snapshot here");
+  }
+
+  [[nodiscard]] bool trace_enabled() const { return !trace_path.empty(); }
+
+  /// Attach the recorder / handler timing to a trial engine. Only valid
+  /// for engines driven from one thread (the recorder is not thread-safe);
+  /// sharded sweeps must gate this on jobs == 1.
+  void attach(sim::Engine& eng) {
+    if (!trace_path.empty()) eng.set_trace(&rec);
+    if (!metrics_path.empty()) eng.set_handler_timing(true);
+  }
+
+  /// Write the requested outputs; prints what was written. Returns false
+  /// (after a stderr diagnostic) on I/O failure.
+  [[nodiscard]] bool finish() {
+    if (!trace_path.empty()) {
+      if (!rec.write_chrome_json(trace_path)) {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     trace_path.c_str());
+        return false;
+      }
+      std::printf("wrote %zu trace events (%llu dropped) to %s\n", rec.size(),
+                  static_cast<unsigned long long>(rec.dropped()),
+                  trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      if (!telemetry::registry().write_json(metrics_path)) {
+        std::fprintf(stderr, "failed to write metrics to %s\n",
+                     metrics_path.c_str());
+        return false;
+      }
+      std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+    }
+    return true;
+  }
+};
 
 struct DutHolder {
   std::unique_ptr<dut::LegacySwitch> sw;
@@ -88,8 +145,9 @@ int cmd_latency(int argc, const char* const* argv) {
   std::int64_t frame_size = 256;
   std::string dut = "legacy";
   bool poisson = false;
-  std::string trace_path, metrics_path, faults_path;
+  std::string faults_path;
   std::int64_t retries = 0, event_budget = 0, wall_deadline_ms = 0;
+  ObservabilityFlags obs;
   CliParser cli{"osnt_run latency — one-way latency/jitter through a DUT"};
   cli.add_flag("rate-gbps", &rate_gbps, "offered L1 rate");
   cli.add_flag("frame-size", &frame_size, "frame size incl. FCS");
@@ -103,9 +161,7 @@ int cmd_latency(int argc, const char* const* argv) {
                "abort a trial after this many sim events (0 = unlimited)");
   cli.add_flag("wall-deadline-ms", &wall_deadline_ms,
                "abort a trial after this much wall time (0 = unlimited)");
-  cli.add_flag("trace", &trace_path, "write Chrome trace_event JSON here");
-  cli.add_flag("metrics-out", &metrics_path,
-               "write a telemetry registry JSON snapshot here");
+  obs.add_to(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   fault::FaultPlan fplan;
@@ -120,7 +176,6 @@ int cmd_latency(int argc, const char* const* argv) {
     std::printf("fault plan: %s\n", fplan.summary().c_str());
   }
 
-  telemetry::TraceRecorder rec;
   core::RunResult r;
 
   // Phrased as a one-point trial plan: the testbed lives inside the trial
@@ -130,8 +185,7 @@ int cmd_latency(int argc, const char* const* argv) {
   plan.points.resize(1);
   plan.run = [&](const core::TrialPoint& pt) {
     sim::Engine eng;
-    if (!trace_path.empty()) eng.set_trace(&rec);
-    if (!metrics_path.empty()) eng.set_handler_timing(true);
+    obs.attach(eng);
     core::OsntDevice osnt{eng};
     auto holder = wire(eng, osnt, dut);
 
@@ -186,24 +240,7 @@ int cmd_latency(int argc, const char* const* argv) {
               r.latency_ns.quantile(0.99), r.latency_ns.max());
   std::printf("jitter ns:  p50 %.2f p99 %.2f\n", r.jitter_ns.quantile(0.5),
               r.jitter_ns.quantile(0.99));
-  if (!trace_path.empty()) {
-    if (!rec.write_chrome_json(trace_path)) {
-      std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
-      return 1;
-    }
-    std::printf("wrote %zu trace events (%llu dropped) to %s\n", rec.size(),
-                static_cast<unsigned long long>(rec.dropped()),
-                trace_path.c_str());
-  }
-  if (!metrics_path.empty()) {
-    if (!telemetry::registry().write_json(metrics_path)) {
-      std::fprintf(stderr, "failed to write metrics to %s\n",
-                   metrics_path.c_str());
-      return 1;
-    }
-    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
-  }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }
 
 int cmd_throughput(int argc, const char* const* argv) {
@@ -211,21 +248,28 @@ int cmd_throughput(int argc, const char* const* argv) {
   double resolution = 0.01;
   std::string dut = "legacy";
   std::int64_t jobs = 1;
-  std::string metrics_path;
+  ObservabilityFlags obs;
   CliParser cli{"osnt_run throughput — RFC 2544 zero-loss search"};
   cli.add_flag("frame-size", &frame_size, "single size, or 0 for the sweep");
   cli.add_flag("resolution", &resolution, "search resolution (fraction)");
   cli.add_flag("dut", &dut, "device under test: none|legacy|lossy");
   cli.add_flag("jobs", &jobs,
                "worker threads for the sweep (0 = all hardware threads)");
-  cli.add_flag("metrics-out", &metrics_path,
-               "write a telemetry registry JSON snapshot here");
+  obs.add_to(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  // The trace recorder is single-threaded; a sharded sweep cannot share
+  // one. Metrics shards merge commutatively, so --metrics-out is fine at
+  // any job count.
+  if (obs.trace_enabled() && jobs != 1) {
+    std::fprintf(stderr, "--trace requires --jobs 1\n");
+    return 1;
+  }
 
   // Each trial builds a pristine testbed, so the sweep can shard across
   // cores; output is identical for any --jobs value.
-  const core::Trial trial = [&dut](const core::TrialPoint& pt) {
+  const core::Trial trial = [&dut, &obs](const core::TrialPoint& pt) {
     sim::Engine eng;
+    obs.attach(eng);
     core::OsntDevice osnt{eng};
     auto holder = wire(eng, osnt, dut);
     core::TrafficSpec spec;
@@ -257,29 +301,24 @@ int cmd_throughput(int argc, const char* const* argv) {
                   pt.max_load_fraction * 100.0, pt.gbps, pt.mpps);
     }
   }
-  if (!metrics_path.empty()) {
-    if (!telemetry::registry().write_json(metrics_path)) {
-      std::fprintf(stderr, "failed to write metrics to %s\n",
-                   metrics_path.c_str());
-      return 1;
-    }
-    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
-  }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }
 
 int cmd_capture(int argc, const char* const* argv) {
   double rate_gbps = 4.0;
   std::int64_t snap = 0, flows = 16;
   std::string pcap_out;
+  ObservabilityFlags obs;
   CliParser cli{"osnt_run capture — capture a traffic mix, report flows"};
   cli.add_flag("rate-gbps", &rate_gbps, "offered L1 rate");
   cli.add_flag("snap", &snap, "cutter snap length (0 = full frames)");
   cli.add_flag("flows", &flows, "concurrent flows");
   cli.add_flag("pcap-out", &pcap_out, "write the capture to this .pcap");
+  obs.add_to(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
 
   sim::Engine eng;
+  obs.attach(eng);
   core::OsntDevice osnt{eng};
   hw::connect(osnt.port(0), osnt.port(1));
   osnt.rx(1).cutter().set_snap_len(static_cast<std::size_t>(snap));
@@ -310,7 +349,7 @@ int cmd_capture(int argc, const char* const* argv) {
     std::printf("wrote %zu records to %s\n", osnt.capture().size(),
                 pcap_out.c_str());
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }
 
 int cmd_oflops(int argc, const char* const* argv) {
@@ -375,6 +414,124 @@ int cmd_oflops(int argc, const char* const* argv) {
   }
   tb.ctx.run(*mod, 600 * kPicosPerSec).print();
   return 0;
+}
+
+int cmd_tcp(int argc, const char* const* argv) {
+  std::string cc = "newreno";
+  std::int64_t flows = 1, trials = 1, jobs = 1, mss = 1448;
+  std::int64_t queue_segments = 256, seed = 1, rwnd_kb = 1024;
+  double duration_ms = 10.0, bottleneck_gbps = 5.0;
+  std::string faults_path;
+  ObservabilityFlags obs;
+  CliParser cli{
+      "osnt_run tcp — closed-loop congestion-controlled flows over the "
+      "simulated dataplane"};
+  cli.add_flag("cc", &cc, "congestion control: newreno|cubic|bbr");
+  cli.add_flag("flows", &flows, "concurrent flows sharing the bottleneck");
+  cli.add_flag("duration-ms", &duration_ms, "simulated test duration");
+  cli.add_flag("mss", &mss, "segment payload bytes (1448 = 1518B frames)");
+  cli.add_flag("bottleneck-gbps", &bottleneck_gbps,
+               "bottleneck drain rate (0 = port line rate)");
+  cli.add_flag("queue-segments", &queue_segments,
+               "bottleneck buffer depth in frames");
+  cli.add_flag("rwnd-kb", &rwnd_kb, "receiver window per flow, KiB");
+  cli.add_flag("seed", &seed, "base seed (trial i runs at seed+i)");
+  cli.add_flag("faults", &faults_path, "JSON fault plan to inject");
+  cli.add_flag("trials", &trials, "independent trials (distinct seeds)");
+  cli.add_flag("jobs", &jobs,
+               "worker threads for the trials (0 = all hardware threads)");
+  obs.add_to(cli);
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  if (flows <= 0 || trials <= 0 || mss <= 0) {
+    std::fprintf(stderr, "--flows/--trials/--mss must be positive\n");
+    return 1;
+  }
+  if (obs.trace_enabled() && (trials != 1 || jobs != 1)) {
+    std::fprintf(stderr, "--trace requires --trials 1 --jobs 1\n");
+    return 1;
+  }
+
+  fault::FaultPlan fplan;
+  if (!faults_path.empty()) {
+    try {
+      fplan = fault::FaultPlan::load(faults_path);
+    } catch (const fault::PlanError& e) {
+      std::fprintf(stderr, "bad fault plan %s: %s\n", faults_path.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("fault plan: %s\n", fplan.summary().c_str());
+  }
+
+  tcp::WorkloadConfig base;
+  base.flows = static_cast<std::size_t>(flows);
+  base.cc = cc;
+  base.mss = static_cast<std::uint32_t>(mss);
+  base.bottleneck_gbps = bottleneck_gbps;
+  base.queue_segments = static_cast<std::size_t>(queue_segments);
+  base.rwnd_bytes = static_cast<std::uint64_t>(rwnd_kb) * 1024;
+  const Picos duration = from_micros(duration_ms * 1000.0);
+
+  // One trial = one fresh closed-loop testbed; trials shard across the
+  // runner pool and reports come back in plan order at any --jobs.
+  std::vector<tcp::TcpTrialReport> reports(
+      static_cast<std::size_t>(trials));
+  core::TrialPlan plan;
+  plan.points.resize(static_cast<std::size_t>(trials));
+  for (std::size_t i = 0; i < plan.points.size(); ++i) {
+    plan.points[i].seed = static_cast<std::uint64_t>(seed) + i;
+  }
+  plan.run = [&](const core::TrialPoint& pt) {
+    tcp::WorkloadConfig cfg = base;
+    cfg.seed = pt.seed;
+    const auto rep = tcp::run_closed_loop_trial(
+        cfg, duration, fplan.events.empty() ? nullptr : &fplan,
+        obs.trace_enabled() ? &obs.rec : nullptr);
+    reports[pt.index] = rep;
+    core::TrialStats s;
+    s.tx_frames = rep.segs_sent;
+    s.rx_frames = rep.acks_sent;
+    s.metric = rep.goodput_bps;
+    return s;
+  };
+
+  core::RunnerConfig rcfg;
+  rcfg.jobs = static_cast<std::size_t>(jobs < 0 ? 0 : jobs);
+  const auto outcomes = core::Runner{rcfg}.run_resilient(plan);
+
+  std::printf("%5s %6s %10s %8s %8s %8s %8s %8s\n", "trial", "seed",
+              "goodput", "segs", "retx", "rto", "fastrtx", "drops");
+  int rc = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& tr = outcomes[i];
+    if (!tr.ok()) {
+      std::fprintf(stderr, "trial %zu %s after %u attempt(s): %s\n", i,
+                   core::trial_outcome_name(tr.outcome), tr.attempts,
+                   tr.error.c_str());
+      rc = 1;
+      continue;
+    }
+    const auto& rep = reports[i];
+    std::printf("%5zu %6llu %7.3f Gb %8llu %8llu %8llu %8llu %8llu\n", i,
+                static_cast<unsigned long long>(tr.seed_used),
+                rep.goodput_bps / 1e9,
+                static_cast<unsigned long long>(rep.segs_sent),
+                static_cast<unsigned long long>(rep.retransmits),
+                static_cast<unsigned long long>(rep.rto_fires),
+                static_cast<unsigned long long>(rep.fast_retx),
+                static_cast<unsigned long long>(rep.queue_drops));
+  }
+  if (trials == 1 && outcomes.front().ok()) {
+    const auto& rep = reports.front();
+    std::printf("cc %s  flows %lld  cwnd reductions %llu  acks %llu  "
+                "flow rate min %.3f / max %.3f Gb/s\n",
+                cc.c_str(), static_cast<long long>(flows),
+                static_cast<unsigned long long>(rep.cwnd_reductions),
+                static_cast<unsigned long long>(rep.acks_sent),
+                rep.min_flow_rate_bps / 1e9, rep.max_flow_rate_bps / 1e9);
+  }
+  if (!obs.finish()) rc = 1;
+  return rc;
 }
 
 int cmd_fleet(int argc, const char* const* argv) {
@@ -452,8 +609,8 @@ int main(int argc, char** argv) {
 
   if (args.size() < 2) {
     std::fprintf(stderr,
-                 "usage: osnt_run <latency|throughput|capture|oflops|fleet> "
-                 "[flags] [--log-level debug|info|warn|error|off]\n"
+                 "usage: osnt_run <latency|throughput|capture|tcp|oflops|"
+                 "fleet> [flags] [--log-level debug|info|warn|error|off]\n"
                  "       osnt_run <cmd> --help\n");
     return 1;
   }
@@ -461,6 +618,7 @@ int main(int argc, char** argv) {
   const int sub_argc = static_cast<int>(args.size()) - 1;
   const char* const* sub_argv = args.data() + 1;
   if (cmd == "latency") return cmd_latency(sub_argc, sub_argv);
+  if (cmd == "tcp") return cmd_tcp(sub_argc, sub_argv);
   if (cmd == "throughput") return cmd_throughput(sub_argc, sub_argv);
   if (cmd == "capture") return cmd_capture(sub_argc, sub_argv);
   if (cmd == "oflops") return cmd_oflops(sub_argc, sub_argv);
