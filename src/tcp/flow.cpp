@@ -73,6 +73,17 @@ void Flow::on_ack(const net::TcpHeader& hdr, std::uint32_t peer_tsval,
     const auto ack_off = static_cast<std::uint64_t>(ack_abs);
     const std::uint64_t newly = ack_off - snd_una_;
     snd_una_ = ack_off;
+    if (snd_nxt_ < snd_una_) {
+      // After an RTO rolled snd_nxt back to snd_una (go-back-N), an ACK
+      // for the original transmissions — or the receiver's below-window
+      // re-ACK carrying the full rcv_nxt — can land beyond snd_nxt.
+      // Without the clamp, snd_nxt - snd_una underflows: the window
+      // check never opens, the RTO never re-arms, and the flow
+      // deadlocks. All data below snd_una is delivered, so recovery is
+      // over too.
+      snd_nxt_ = snd_una_;
+      in_recovery_ = false;
+    }
     delivered_ += newly;
     delivered_time_ = now;
     stats_.bytes_acked += newly;

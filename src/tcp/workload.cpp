@@ -179,8 +179,13 @@ void ClosedLoopWorkload::on_data_frame(const net::ParsedPacket& p,
   }
 
   // Entirely below the window: a spurious (go-back-N) retransmit of data
-  // already received. Re-ACK immediately so the sender advances.
+  // already received. Re-ACK immediately so the sender advances. Per
+  // RFC 7323 the retransmit's tsval becomes TS.Recent (SEG.SEQ ≤
+  // Last.ACK.sent), so the echoed TSecr dates from this arrival — an
+  // echo of the pre-outage tsval would inflate the sender's RTT sample
+  // by the whole loss episode and blow SRTT/RTO toward max_rto.
   ++st.below_window_segs;
+  if (tsval != 0) st.last_tsval = tsval;
   send_ack(idx, first_bit);
 }
 

@@ -253,6 +253,42 @@ TEST(TcpFlow, SilentLossFiresBackedOffRtosAndGoesBackN) {
   EXPECT_EQ(flow.stats().bytes_acked, 0u);
 }
 
+TEST(TcpFlow, AckBeyondSndNxtAfterRtoDoesNotDeadlock) {
+  // Regression: an RTO rolls snd_nxt back to snd_una (go-back-N) while
+  // the original transmissions are still in flight; their cumulative ACK
+  // then lands beyond snd_nxt. bytes_in_flight must clamp to zero rather
+  // than underflow to ~2^64 — the underflow closed the window forever
+  // and left no timer armed (the new-data path had just cancelled the
+  // RTO), deadlocking the flow.
+  sim::Engine eng;
+  EmittedFrames sink;
+  FlowConfig fc = flow_config();
+  fc.min_rto = kPicosPerMilli;
+  Flow flow{eng, fc, [&sink](net::Packet&& p) {
+              sink.frames.push_back(std::move(p));
+              return true;
+            }};
+  flow.start();  // 10 segments in flight, none ACKed yet
+  eng.run_until(2 * kPicosPerMilli);
+  ASSERT_GE(flow.stats().rto_fires, 1u);  // snd_nxt rolled back to 0
+
+  const std::size_t sent_before = sink.frames.size();
+  net::TcpHeader ack;
+  ack.flags = net::TcpFlags::kAck;
+  ack.ack = flow.isn() + 5 * kMss;  // delayed ACK of the original sends
+  flow.on_ack(ack, /*peer_tsval=*/0, /*tsecr=*/0, eng.now());
+  EXPECT_EQ(flow.stats().bytes_acked, std::uint64_t{5} * kMss);
+  EXPECT_LE(flow.bytes_in_flight(), flow.cwnd_bytes());  // no underflow
+  ASSERT_GT(sink.frames.size(), sent_before);  // the window reopened
+  // Sending resumes at the ACKed offset, not at the stale snd_nxt.
+  const auto parsed = net::parse_packet(sink.frames[sent_before].bytes());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tcp.seq, flow.isn() + 5 * kMss);
+  // The flow stays live: the re-armed RTO keeps recovering the tail.
+  eng.run_until(eng.now() + 10 * kPicosPerMilli);
+  EXPECT_GT(sink.frames.size(), sent_before + 1);
+}
+
 TEST(TcpFlow, CumulativeAckAdvancesAndSamplesRtt) {
   sim::Engine eng;
   EmittedFrames sink;
