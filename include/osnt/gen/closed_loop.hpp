@@ -27,11 +27,22 @@ class ClosedLoopSource final : public PacketSource {
   /// pipeline when offer() refills an empty queue (TxPipeline::kick).
   void set_kick(std::function<void()> kick) { kick_ = std::move(kick); }
 
+  /// True when the next offer() would tail-drop. Senders may probe this
+  /// before serializing a frame and skip the build entirely.
+  [[nodiscard]] bool full() const {
+    return queue_limit_ != 0 && queue_.size() >= queue_limit_;
+  }
+
+  /// Record a tail-drop for a frame the sender elided building because
+  /// full() was already true — keeps drops() identical to the path where
+  /// the frame is built and then refused by offer().
+  void note_tail_drop() { ++drops_; }
+
   /// Enqueue a frame for transmission. Returns false (and counts a drop)
   /// when the queue is full — the frame is lost exactly as a full switch
   /// buffer would lose it.
   bool offer(net::Packet pkt) {
-    if (queue_limit_ != 0 && queue_.size() >= queue_limit_) {
+    if (full()) {
       ++drops_;
       return false;
     }

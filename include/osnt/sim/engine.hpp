@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "osnt/common/time.hpp"
+#include "osnt/sim/timer_wheel.hpp"
 #include "osnt/sim/unique_fn.hpp"
 #include "osnt/telemetry/trace.hpp"
 
@@ -181,6 +182,44 @@ class Engine {
     return schedule_at(now_ + dt, std::forward<F>(fn));
   }
 
+  /// Timer-class variant of schedule_at for coarse *bulk* timers — RTO,
+  /// delayed ACK, pacing at ≥ tens-of-ns pitch — of which a large flow
+  /// count arms millions. Routed to the hierarchical timing wheel (O(1)
+  /// schedule/cancel) instead of the O(log n) heap; entries migrate to
+  /// the heap only when due, carrying their exact {time, seq} keys, so
+  /// firing order — and kSimOnly telemetry — is identical to schedule_at
+  /// for any configuration. Sub-tick times, times at/behind the wheel
+  /// cursor, and times past the ~281 s horizon spill to the heap.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule_bulk_at(Picos t, F&& fn) {
+    const std::uint32_t slot = acquire_slot_();
+    fn_(slot).emplace(std::forward<F>(fn));
+    return arm_bulk_(t, slot, meta_[slot]);
+  }
+  EventId schedule_bulk_at(Picos t, EventFn fn) {
+    const std::uint32_t slot = acquire_slot_();
+    fn_(slot) = std::move(fn);
+    return arm_bulk_(t, slot, meta_[slot]);
+  }
+  template <typename F>
+  EventId schedule_bulk_in(Picos dt, F&& fn) {
+    return schedule_bulk_at(now_ + dt, std::forward<F>(fn));
+  }
+
+  /// Route schedule_bulk_* to the heap instead of the wheel (A/B baseline
+  /// for benchmarks and equivalence tests). Firing order is unaffected.
+  void set_wheel_enabled(bool on) noexcept { wheel_enabled_ = on; }
+  [[nodiscard]] bool wheel_enabled() const noexcept { return wheel_enabled_; }
+  [[nodiscard]] const TimerWheel& wheel() const noexcept { return wheel_; }
+  /// Bulk timers the wheel refused (sub-tick, at/behind cursor, or past
+  /// the horizon) that fell back to the heap.
+  [[nodiscard]] std::uint64_t wheel_spilled() const noexcept {
+    return wheel_spilled_;
+  }
+
   /// Cancel a pending event. Returns false if already fired/cancelled.
   bool cancel(EventId id);
 
@@ -267,6 +306,9 @@ class Engine {
   /// Slot bookkeeping lives in a dense parallel array (12 B/slot) so the
   /// cancel-check on the pop path stays L1-resident even when the closure
   /// slab has outgrown the cache.
+  /// Which structure currently holds a kPending slot's {time, seq} entry.
+  enum class Where : std::uint8_t { kHeap, kWheel };
+
   struct SlotMeta {
     std::uint32_t gen = 1;  ///< bumped on release; stale ids mismatch
     std::uint32_t next_free = kNilSlot;
@@ -274,6 +316,9 @@ class Engine {
     /// EventCategory of the pending event; rides in padding, so the
     /// telemetry tag costs no slot-metadata footprint at all.
     std::uint8_t category = 0;
+    /// Rides in the remaining padding byte: cancel() must know whether to
+    /// unlink from the wheel (eager, O(1)) or mark for the lazy heap skim.
+    Where where = Where::kHeap;
   };
 
   /// `seq` is a wrapping 32-bit counter; events pending at the same time
@@ -301,7 +346,28 @@ class Engine {
   EventId arm_(Picos t, std::uint32_t slot, SlotMeta& m) {
     m.state = State::kPending;
     m.category = static_cast<std::uint8_t>(cat_);
+    m.where = Where::kHeap;
     heap_push_(HeapEntry{t > now_ ? t : now_, next_seq_++, slot});
+    ++live_;
+    live_hw_ = live_ > live_hw_ ? live_ : live_hw_;
+    return id_of_(slot, m.gen);
+  }
+
+  /// arm_ with wheel routing. The seq is consumed identically on both
+  /// routes, so the fired (time, seq) order — and every sim-only counter
+  /// derived from it — does not depend on where the entry waited.
+  EventId arm_bulk_(Picos t, std::uint32_t slot, SlotMeta& m) {
+    m.state = State::kPending;
+    m.category = static_cast<std::uint8_t>(cat_);
+    const Picos when = t > now_ ? t : now_;
+    const std::uint32_t seq = next_seq_++;
+    if (wheel_enabled_ && wheel_.schedule(when, seq, slot)) {
+      m.where = Where::kWheel;
+    } else {
+      if (wheel_enabled_) ++wheel_spilled_;
+      m.where = Where::kHeap;
+      heap_push_(HeapEntry{when, seq, slot});
+    }
     ++live_;
     live_hw_ = live_ > live_hw_ ? live_ : live_hw_;
     return id_of_(slot, m.gen);
@@ -360,20 +426,46 @@ class Engine {
     }
   }
 
-  /// Skim cancelled entries off the heap head, then pop the next live event
-  /// if its time is <= `limit`. Returns its slot (kRunning, already off the
-  /// heap) and fills `time`, or kNilSlot.
+  /// Skim cancelled entries off the heap head, drain any due wheel
+  /// buckets into the heap, then pop the next live event if its time is
+  /// <= `limit`. Returns its slot (kRunning, already off the heap) and
+  /// fills `time`, or kNilSlot.
+  ///
+  /// Order matters: cancelled heads are skimmed *before* the drain bound
+  /// is computed, so the bound is the live heap head. A cancelled head's
+  /// (possibly earlier) time must not mask a due wheel bucket, or a live
+  /// heap entry could fire ahead of a wheel entry that sorts before it.
   std::uint32_t pop_next_live_(Picos limit, Picos& time) {
-    while (!heap_.empty()) {
-      const HeapEntry top = heap_.front();
-      SlotMeta& m = meta_[top.slot];
-      if (m.state == State::kCancelled) {
-        release_slot_(top.slot);
+    for (;;) {
+      while (!heap_.empty() &&
+             meta_[heap_.front().slot].state == State::kCancelled) {
+        release_slot_(heap_.front().slot);
         heap_pop_();
-        continue;
       }
-      if (top.time > limit) return kNilSlot;
-      m.state = State::kRunning;
+      if (wheel_.has_pending()) {
+        const Picos head =
+            heap_.empty() ? std::numeric_limits<Picos>::max()
+                          : heap_.front().time;
+        const Picos bound = head < limit ? head : limit;
+        const Picos due = wheel_.next_due();
+        if (due <= bound) {
+          // Migrate the earliest due bucket onto the heap with its exact
+          // arm-time keys; the heap merges it into the global (time, seq)
+          // order. Draining only to `due` — not all the way to `bound` —
+          // keeps far-future entries parked in O(1) buckets instead of
+          // mass-migrating the whole window when the heap happens to be
+          // empty; the loop re-evaluates with the updated heap head.
+          wheel_.drain_until(due, [this](Picos t, std::uint32_t seq,
+                                         std::uint32_t slot) {
+            meta_[slot].where = Where::kHeap;
+            heap_push_(HeapEntry{t, seq, slot});
+          });
+          continue;  // the heap head may have changed
+        }
+      }
+      if (heap_.empty() || heap_.front().time > limit) return kNilSlot;
+      const HeapEntry top = heap_.front();
+      meta_[top.slot].state = State::kRunning;
       --live_;
       heap_pop_();
       // Overlap the next closure's slab miss with this one's execution.
@@ -381,7 +473,6 @@ class Engine {
       time = top.time;
       return top.slot;
     }
-    return kNilSlot;
   }
 
   // Hole-shifting sift-up/down: one final store instead of a swap per level.
@@ -448,6 +539,10 @@ class Engine {
   telemetry::TraceRecorder::TrackId trace_tracks_[kEventCategoryCount] = {};
   std::uint64_t handler_ns_[kEventCategoryCount] = {};
   std::vector<HeapEntry> heap_;
+  /// Staging area for schedule_bulk_* timers; drains into heap_ when due.
+  TimerWheel wheel_;
+  bool wheel_enabled_ = true;
+  std::uint64_t wheel_spilled_ = 0;  ///< bulk timers the wheel refused
   /// Fixed-size blocks: closure addresses are stable across slab growth,
   /// so a closure can run in place while scheduling new events.
   std::vector<std::unique_ptr<UniqueFn[]>> blocks_;

@@ -1,0 +1,170 @@
+// Hierarchical timing wheel for coarse bulk timers (see DESIGN.md §12).
+//
+// The wheel is NOT a second priority queue: it is an O(1) staging area in
+// front of the engine's 4-ary heap. Entries keep their exact {time, seq}
+// keys from arm time; when a bucket comes due its entries are drained
+// *into the heap*, which re-sorts them by those exact keys. The fired
+// order is therefore bit-identical to routing every timer through the
+// heap directly — the wheel only changes *when* an entry starts paying
+// O(log n), not where it lands in the total order. That property is what
+// keeps kSimOnly telemetry byte-identical across timer routing.
+//
+// Geometry: 4 levels × 256 slots, one tick = 2^20 ps (~1.05 µs). Level k
+// buckets span 2^(20+8k) ps, so the horizon is 2^52 ps ≈ 75 min of sim
+// time ahead of the cursor. Schedules at or below the cursor tick, or
+// past the horizon (a top-level wrap), are refused and the caller falls
+// back to the heap — wrap never happens *inside* the wheel.
+//
+// Level routing is by high-bit equality with the cursor, not by delta
+// magnitude: an entry lands in level k iff its quantized time agrees with
+// the cursor above bit 8(k+1). This guarantees fresh entries always land
+// strictly ahead of the cursor index at their level, so cursor buckets
+// are only ever populated transiently during a cascade.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "osnt/common/time.hpp"
+
+namespace osnt::sim {
+
+class TimerWheel {
+ public:
+  TimerWheel() {
+    for (auto& h : heads_) h = kNil;
+  }
+
+  static constexpr std::uint32_t kLevels = 4;
+  static constexpr std::uint32_t kSlotBits = 8;
+  static constexpr std::uint32_t kSlotsPerLevel = 1u << kSlotBits;  // 256
+  static constexpr std::uint32_t kTickShift = 20;
+  /// One tick: ~1.05 µs. Coarse bulk timers (RTO, delayed ACK, paced
+  /// sends above this pitch) quantize losslessly enough to bucket; the
+  /// exact Picos value still travels with the entry. The tick is chosen
+  /// so the common bulk deadlines (hundreds of µs to hundreds of ms)
+  /// land in levels 0–1 and rarely cascade; sub-tick gaps (tight pacing)
+  /// spill to the heap, which is exactly where precise events belong.
+  static constexpr Picos kTickPicos = Picos{1} << kTickShift;
+  /// Ticks covered by all four levels: 2^32 ticks ≈ 75 min of sim time.
+  static constexpr std::uint64_t kHorizonTicks = std::uint64_t{1}
+                                                 << (kSlotBits * kLevels);
+
+  /// Grow per-slot node storage to `slots` (parallel to the engine slab;
+  /// node i belongs to engine slot i). Never shrinks.
+  void ensure_capacity(std::size_t slots) {
+    if (nodes_.size() < slots) nodes_.resize(slots);
+  }
+
+  /// Try to admit the timer {time, seq, slot}. Returns false when the
+  /// quantized time is at/behind the cursor or beyond the horizon — the
+  /// caller must push the entry onto the heap instead (the spill path).
+  bool schedule(Picos time, std::uint32_t seq, std::uint32_t slot);
+
+  /// O(1) unlink of a pending wheel entry. Precondition: `slot` was
+  /// admitted by schedule() and has not been drained or cancelled since.
+  void cancel(std::uint32_t slot) noexcept;
+
+  [[nodiscard]] bool has_pending() const noexcept { return pending_ != 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+
+  /// Conservative lower bound on the earliest pending entry's time: the
+  /// base time of the first occupied bucket. No entry can fire before it.
+  /// Call only while has_pending().
+  [[nodiscard]] Picos next_due() const noexcept {
+    if (!due_dirty_) return cached_due_;
+    cached_due_ = scan_due_();
+    due_dirty_ = false;
+    return cached_due_;
+  }
+
+  /// Migrate every entry that might fire at or before `bound` to the
+  /// caller: advance the cursor bucket-by-bucket through all due buckets,
+  /// cascading higher levels down, and hand each level-0 entry to
+  /// `sink(time, seq, slot)` with its exact arm-time keys.
+  template <typename Sink>
+  void drain_until(Picos bound, Sink&& sink) {
+    while (pending_ != 0) {
+      const Picos due = next_due();
+      if (due > bound) break;
+      advance_cursor_(static_cast<std::uint64_t>(due) >> kTickShift);
+      drain_cursor_bucket_(sink);
+      due_dirty_ = true;
+    }
+  }
+
+  // Introspection for telemetry/tests (lifetime totals).
+  [[nodiscard]] std::uint64_t scheduled() const noexcept { return scheduled_; }
+  [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
+  [[nodiscard]] std::uint64_t drained() const noexcept { return drained_; }
+  [[nodiscard]] std::uint64_t cascaded() const noexcept { return cascaded_; }
+  [[nodiscard]] std::uint64_t cur_tick() const noexcept { return cur_tick_; }
+
+ private:
+  static constexpr std::uint32_t kNil =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint32_t kWordsPerLevel = kSlotsPerLevel / 64;
+
+  /// 24-byte intrusive node, indexed by engine slot id. `bucket` is the
+  /// flat heads_ index (level * 256 + slot) so an unlink can fix the head
+  /// pointer and occupancy bit without re-deriving the route.
+  struct Node {
+    Picos time = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint16_t bucket = 0;
+  };
+
+  /// Level for quantized tick `qt`, given it is strictly ahead of the
+  /// cursor and within the horizon: the lowest level whose epoch (bits
+  /// above 8(k+1)) still matches the cursor's.
+  [[nodiscard]] std::uint32_t level_of_(std::uint64_t qt) const noexcept {
+    if ((qt >> kSlotBits) == (cur_tick_ >> kSlotBits)) return 0;
+    if ((qt >> (2 * kSlotBits)) == (cur_tick_ >> (2 * kSlotBits))) return 1;
+    if ((qt >> (3 * kSlotBits)) == (cur_tick_ >> (3 * kSlotBits))) return 2;
+    return 3;
+  }
+
+  void link_(std::uint64_t qt, std::uint32_t slot) noexcept;
+  void unlink_(std::uint32_t slot) noexcept;
+  void advance_cursor_(std::uint64_t tick) noexcept;
+  void cascade_(std::uint32_t level, std::uint32_t index) noexcept;
+  [[nodiscard]] Picos scan_due_() const noexcept;
+
+  /// Empty the level-0 cursor bucket into the sink. Every resident entry
+  /// has quantized time == cur_tick_ exactly.
+  template <typename Sink>
+  void drain_cursor_bucket_(Sink&& sink) {
+    const auto bucket =
+        static_cast<std::uint32_t>(cur_tick_ & (kSlotsPerLevel - 1));
+    std::uint32_t n = heads_[bucket];
+    heads_[bucket] = kNil;
+    occupancy_[0][bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+    while (n != kNil) {
+      const Node& node = nodes_[n];
+      const std::uint32_t next = node.next;
+      --pending_;
+      ++drained_;
+      sink(node.time, node.seq, n);
+      n = next;
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::uint32_t heads_[kLevels * kSlotsPerLevel];  // set to kNil in ctor
+  std::uint64_t occupancy_[kLevels][kWordsPerLevel] = {};
+  std::uint64_t cur_tick_ = 0;
+  std::size_t pending_ = 0;
+  mutable Picos cached_due_ = 0;
+  mutable bool due_dirty_ = true;
+
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t drained_ = 0;
+  std::uint64_t cascaded_ = 0;
+};
+
+}  // namespace osnt::sim

@@ -113,8 +113,20 @@ class Flow {
   /// and recovered like any other drop.
   using SegmentEmitter = std::function<bool(net::Packet&&)>;
 
+  /// Optional admission probe consulted before a segment is serialized.
+  /// Returning false means "a frame offered right now would be
+  /// tail-dropped" — the flow then skips building the frame entirely
+  /// (the per-packet hot path stays allocation-free under congestion)
+  /// and the probe is responsible for recording the drop exactly as a
+  /// refused offer would have.
+  using EmitPreflight = std::function<bool()>;
+
   Flow(sim::Engine& eng, FlowConfig cfg, SegmentEmitter emit);
   ~Flow();  // cancels pending timers; merges the telemetry shard
+
+  void set_emit_preflight(EmitPreflight probe) {
+    preflight_ = std::move(probe);
+  }
 
   Flow(const Flow&) = delete;
   Flow& operator=(const Flow&) = delete;
@@ -176,6 +188,8 @@ class Flow {
   sim::Engine* eng_;
   FlowConfig cfg_;
   SegmentEmitter emit_;
+  EmitPreflight preflight_;       ///< null = always build and offer
+  std::size_t line_overhead_ = 0; ///< line_len minus payload, from 1st build
   std::unique_ptr<CongestionControl> cc_;
   RtoEstimator rto_;
   std::uint32_t isn_;

@@ -1,0 +1,148 @@
+// Generation-counted object slab for per-flow transport state — the same
+// storage discipline as the sim engine's event core (DESIGN.md "Event
+// core", §12): objects are placement-constructed into fixed 256-entry
+// blocks whose addresses never move, recycled through a LIFO free list,
+// and addressed by {slot, generation} handles so a stale handle can never
+// reach a slot's next occupant. At 100k+ flows this removes one heap
+// allocation and one pointer chase per flow versus vector<unique_ptr<T>>,
+// and keeps same-block neighbours cache-adjacent for the per-ACK walk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace osnt::tcp {
+
+template <typename T>
+class Slab {
+ public:
+  /// {slot, generation}. Default handle is null and never issued.
+  struct Handle {
+    std::uint32_t slot = kNil;
+    std::uint32_t gen = 0;
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return slot != kNil;
+    }
+    friend bool operator==(const Handle&, const Handle&) = default;
+  };
+
+  Slab() = default;
+  ~Slab() { clear(); }
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  /// Construct a T in the lowest free slot. Handles issue densely
+  /// (0, 1, 2, …) while no erase() has run, so a caller creating N
+  /// objects up front can index them by slot directly.
+  template <typename... Args>
+  Handle emplace(Args&&... args) {
+    if (free_head_ == kNil) add_block_();
+    const std::uint32_t slot = free_head_;
+    free_head_ = meta_[slot].next_free;
+    try {
+      ::new (static_cast<void*>(cell_(slot))) T(std::forward<Args>(args)...);
+    } catch (...) {
+      meta_[slot].next_free = free_head_;
+      free_head_ = slot;
+      throw;
+    }
+    Meta& m = meta_[slot];
+    m.live = true;
+    ++size_;
+    return Handle{slot, m.gen};
+  }
+
+  /// The object behind `h`, or nullptr if it was erased (or the slot was
+  /// since reused — the generation mismatch catches that).
+  [[nodiscard]] T* get(Handle h) noexcept {
+    if (h.slot >= meta_.size()) return nullptr;
+    const Meta& m = meta_[h.slot];
+    if (!m.live || m.gen != h.gen) return nullptr;
+    return cell_(h.slot);
+  }
+  [[nodiscard]] const T* get(Handle h) const noexcept {
+    return const_cast<Slab*>(this)->get(h);
+  }
+
+  /// Unchecked slot access. Precondition: the slot is live.
+  [[nodiscard]] T& operator[](std::uint32_t slot) noexcept {
+    return *cell_(slot);
+  }
+  [[nodiscard]] const T& operator[](std::uint32_t slot) const noexcept {
+    return *const_cast<Slab*>(this)->cell_(slot);
+  }
+
+  /// Destroy the object and recycle its slot; the bumped generation makes
+  /// every outstanding handle to it stale. False if already gone.
+  bool erase(Handle h) noexcept {
+    T* p = get(h);
+    if (!p) return false;
+    p->~T();
+    Meta& m = meta_[h.slot];
+    if (++m.gen == 0) m.gen = 1;  // gen 0 is reserved for null handles
+    m.live = false;
+    m.next_free = free_head_;
+    free_head_ = h.slot;
+    --size_;
+    return true;
+  }
+
+  /// Destroy every live object (slot order) and reset to empty.
+  void clear() noexcept {
+    for (std::uint32_t i = 0; i < meta_.size(); ++i) {
+      if (meta_[i].live) cell_(i)->~T();
+    }
+    blocks_.clear();
+    meta_.clear();
+    free_head_ = kNil;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return meta_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNil =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint32_t kBlockShift = 8;
+  static constexpr std::uint32_t kBlockSize = 1u << kBlockShift;
+
+  struct alignas(alignof(T)) Cell {
+    std::byte raw[sizeof(T)];
+  };
+
+  struct Meta {
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNil;
+    bool live = false;
+  };
+
+  [[nodiscard]] T* cell_(std::uint32_t i) noexcept {
+    return std::launder(reinterpret_cast<T*>(
+        blocks_[i >> kBlockShift][i & (kBlockSize - 1)].raw));
+  }
+
+  void add_block_() {
+    const auto base = static_cast<std::uint32_t>(blocks_.size())
+                      << kBlockShift;
+    blocks_.push_back(std::make_unique<Cell[]>(kBlockSize));
+    meta_.resize(meta_.size() + kBlockSize);
+    // Lowest index first, so dense creation yields slot == creation order.
+    for (std::uint32_t i = kBlockSize; i-- > 0;) {
+      meta_[base + i].next_free = free_head_;
+      free_head_ = base + i;
+    }
+  }
+
+  std::vector<std::unique_ptr<Cell[]>> blocks_;
+  std::vector<Meta> meta_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace osnt::tcp

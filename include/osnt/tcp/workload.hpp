@@ -7,19 +7,28 @@
 // delayed-ACK reassembly state that transmits cumulative/duplicate ACKs
 // back through the reverse sim link — so loss injected anywhere on the
 // path (osnt::fault BER windows, flaps) closes the control loop.
+//
+// Built for flow counts in the 10k–1M range (DESIGN.md §12): flows live
+// in a generation-counted Slab (no per-flow unique_ptr), receiver state
+// is split hot/cold so the per-ACK touch set stays cache-resident, and
+// the per-frame demux is pure index arithmetic over the flow addressing
+// scheme — no map lookups anywhere on the RX tap path.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "osnt/core/device.hpp"
+#include "osnt/fault/injector.hpp"
 #include "osnt/fault/plan.hpp"
 #include "osnt/gen/closed_loop.hpp"
 #include "osnt/sim/engine.hpp"
 #include "osnt/tcp/flow.hpp"
+#include "osnt/tcp/flow_slab.hpp"
 
 namespace osnt::tcp {
 
@@ -38,28 +47,104 @@ struct WorkloadConfig {
   Picos max_rto = 250 * kPicosPerMilli;
   Picos delayed_ack_timeout = 200 * kPicosPerMicro;
   bool capture = false;              ///< keep the DMA capture path off
+  /// Route RTO/delack/pacing timers through the engine's timing wheel
+  /// (schedule_bulk_*). false = heap-only; firing order and kSimOnly
+  /// telemetry are identical either way (DESIGN.md §12).
+  bool wheel_timers = true;
+  /// Benchmark baseline: reproduce the pre-§12 hot path — heap-only
+  /// timers, an eager delayed-ACK cancel on every ACK sent, and
+  /// unconditional frame serialization (no drop-early admission probe).
+  /// This is the baseline the flows-per-wall-second speedup gate in
+  /// BENCH_tcp.json compares against. Not byte-identical to the default
+  /// path (lazy delack timers may deliver an ACK slightly earlier);
+  /// wheel_timers is the knob for byte-identical A/B.
+  bool legacy_hot_path = false;
 };
 
-/// Receiver-side per-flow state: cumulative reassembly point, a small
-/// out-of-order interval set (data is go-back-N so it stays small), and
-/// RFC 1122 delayed ACKs (every 2nd segment or a timeout).
-struct ReceiverState {
+// --- flow addressing -------------------------------------------------
+// The demux must invert a frame's {dst IP, dst port} back to a flow index
+// in O(1), so the index is split across the header fields: the low
+// kPortIndexBits land in the port number, the high bits in the third IP
+// octet. Good for kMaxFlows = 2^21 flows before an octet would overflow.
+inline constexpr std::uint16_t kSenderPortBase = 40000;
+inline constexpr std::uint16_t kReceiverPortBase = 50000;
+inline constexpr std::uint32_t kPortIndexBits = 13;
+inline constexpr std::uint32_t kPortsPerGroup = 1u << kPortIndexBits;  // 8192
+inline constexpr std::size_t kMaxFlows = std::size_t{kPortsPerGroup} << 8;
+
+/// Sender-side endpoint of flow `i`: 10.0.<i/8192>.1:<40000 + i%8192>.
+[[nodiscard]] inline net::Ipv4Addr sender_ip_of(std::size_t i) noexcept {
+  return net::Ipv4Addr::of(10, 0, static_cast<std::uint8_t>(i >> kPortIndexBits),
+                           1);
+}
+/// Receiver-side endpoint of flow `i`: 10.1.<i/8192>.1:<50000 + i%8192>.
+[[nodiscard]] inline net::Ipv4Addr receiver_ip_of(std::size_t i) noexcept {
+  return net::Ipv4Addr::of(10, 1, static_cast<std::uint8_t>(i >> kPortIndexBits),
+                           1);
+}
+[[nodiscard]] inline std::uint16_t sender_port_of(std::size_t i) noexcept {
+  return static_cast<std::uint16_t>(kSenderPortBase +
+                                    (i & (kPortsPerGroup - 1)));
+}
+[[nodiscard]] inline std::uint16_t receiver_port_of(std::size_t i) noexcept {
+  return static_cast<std::uint16_t>(kReceiverPortBase +
+                                    (i & (kPortsPerGroup - 1)));
+}
+
+inline constexpr std::size_t kNoFlow = static_cast<std::size_t>(-1);
+
+/// Invert a data frame's destination {ip, port} to its flow index, or
+/// kNoFlow for foreign traffic. Pure arithmetic — the O(1) demux.
+[[nodiscard]] inline std::size_t flow_index_of_data(
+    net::Ipv4Addr dst_ip, std::uint16_t dst_port) noexcept {
+  const std::uint32_t off = static_cast<std::uint32_t>(dst_port) -
+                            kReceiverPortBase;  // unsigned: below-base wraps big
+  if (off >= kPortsPerGroup) return kNoFlow;
+  const std::uint32_t v = dst_ip.v;
+  if ((v >> 16) != ((10u << 8) | 1u) || (v & 0xffu) != 1u) return kNoFlow;
+  return (static_cast<std::size_t>((v >> 8) & 0xffu) << kPortIndexBits) | off;
+}
+
+/// Same inversion for the ACK direction (dst is the sender endpoint).
+[[nodiscard]] inline std::size_t flow_index_of_ack(
+    net::Ipv4Addr dst_ip, std::uint16_t dst_port) noexcept {
+  const std::uint32_t off =
+      static_cast<std::uint32_t>(dst_port) - kSenderPortBase;
+  if (off >= kPortsPerGroup) return kNoFlow;
+  const std::uint32_t v = dst_ip.v;
+  if ((v >> 16) != (10u << 8) || (v & 0xffu) != 1u) return kNoFlow;
+  return (static_cast<std::size_t>((v >> 8) & 0xffu) << kPortIndexBits) | off;
+}
+
+// --- receiver state, split hot/cold ----------------------------------
+
+/// The per-segment receiver touch set: everything the in-order fast path
+/// reads or writes, packed to 48 bytes (¾ of a cache line, no map, no
+/// EventId indirection beyond the lazy delack handle).
+struct ReceiverHot {
   std::uint64_t rcv_nxt = 0;  ///< absolute stream offset (wire seq − ISN)
+  std::uint64_t bytes_in_order = 0;
+  std::uint64_t acks_sent = 0;
+  sim::EventId delack_timer{};  ///< lazy: armed once, checked on fire
   std::uint32_t isn = 0;
-  std::map<std::uint64_t, std::uint64_t> ooo;  ///< [start, end) intervals
   std::uint32_t pending_ack_segs = 0;
   std::uint32_t last_tsval = 0;  ///< tsval of last in-order arrival
-  sim::EventId delack_timer{};
-  std::uint64_t bytes_in_order = 0;
+};
+static_assert(sizeof(ReceiverHot) <= 48, "per-segment touch set grew");
+
+/// Loss-episode state: only touched when a hole opens or a spurious
+/// retransmit lands, so it stays out of the hot array entirely.
+struct ReceiverCold {
+  std::map<std::uint64_t, std::uint64_t> ooo;  ///< [start, end) intervals
   std::uint64_t ooo_segs = 0;
   std::uint64_t below_window_segs = 0;  ///< spurious-retransmit arrivals
-  std::uint64_t acks_sent = 0;
 };
 
 class ClosedLoopWorkload {
  public:
-  /// Reconfigures `tx_port`'s generator pipeline and installs monitor
-  /// taps on both ports. The engine and device must outlive the workload;
+  /// Reconfigures `tx_port`'s generator pipeline, installs monitor taps
+  /// on both ports, and sets the engine's bulk-timer routing from
+  /// cfg.wheel_timers. The engine and device must outlive the workload;
   /// the workload must be destroyed before either (it cancels its timers
   /// and detaches its taps in the destructor).
   ClosedLoopWorkload(sim::Engine& eng, core::OsntDevice& dev,
@@ -73,12 +158,17 @@ class ClosedLoopWorkload {
   void start();
 
   [[nodiscard]] std::size_t num_flows() const { return flows_.size(); }
-  [[nodiscard]] Flow& flow(std::size_t i) { return *flows_.at(i); }
-  [[nodiscard]] const Flow& flow(std::size_t i) const {
-    return *flows_.at(i);
+  [[nodiscard]] Flow& flow(std::size_t i) {
+    return flows_[static_cast<std::uint32_t>(i)];
   }
-  [[nodiscard]] const ReceiverState& receiver(std::size_t i) const {
-    return recv_.at(i);
+  [[nodiscard]] const Flow& flow(std::size_t i) const {
+    return flows_[static_cast<std::uint32_t>(i)];
+  }
+  [[nodiscard]] const ReceiverHot& receiver(std::size_t i) const {
+    return recv_hot_.at(i);
+  }
+  [[nodiscard]] const ReceiverCold& receiver_cold(std::size_t i) const {
+    return recv_cold_.at(i);
   }
   [[nodiscard]] const gen::ClosedLoopSource& source() const {
     return *source_;
@@ -92,6 +182,11 @@ class ClosedLoopWorkload {
   [[nodiscard]] std::uint64_t total_cwnd_reductions() const;
   [[nodiscard]] std::uint64_t total_acks_sent() const;
   [[nodiscard]] std::uint64_t total_ooo_segs() const;
+  /// Delayed-ACK timer cancels avoided by the lazy one-armed-timer
+  /// scheme (each would have been a cancel + re-arm pair pre-§12).
+  [[nodiscard]] std::uint64_t delack_cancels_saved() const {
+    return delack_cancels_saved_;
+  }
   /// Application goodput (cum-acked bytes) over `window`, in bits/s.
   [[nodiscard]] double goodput_bps(Picos window) const;
 
@@ -107,10 +202,12 @@ class ClosedLoopWorkload {
   core::OsntDevice* dev_;
   WorkloadConfig cfg_;
   gen::ClosedLoopSource* source_ = nullptr;  ///< owned by the TX pipeline
-  std::vector<std::unique_ptr<Flow>> flows_;
-  std::vector<ReceiverState> recv_;
-  std::map<std::uint16_t, std::size_t> data_port_to_flow_;
-  std::map<std::uint16_t, std::size_t> ack_port_to_flow_;
+  /// Flows live in the slab; handles are dense (slot == flow index).
+  Slab<Flow> flows_;
+  std::vector<Slab<Flow>::Handle> flow_handles_;
+  std::vector<ReceiverHot> recv_hot_;
+  std::vector<ReceiverCold> recv_cold_;
+  std::uint64_t delack_cancels_saved_ = 0;
 };
 
 /// Aggregate result of one closed-loop trial (the unit osnt_run tcp,
@@ -128,6 +225,34 @@ struct TcpTrialReport {
   double goodput_bps = 0.0;
   double min_flow_rate_bps = 0.0;  ///< slowest flow's delivery-rate sample
   double max_flow_rate_bps = 0.0;
+};
+
+/// A complete closed-loop testbed: engine + device + cabled port pair +
+/// workload (+ optional armed fault plan). Exists so callers that care
+/// about wall time — the benchmarks, the 100k-flow CLI smoke — can split
+/// construction (packet templates, slab growth, 2·N state blocks) from
+/// the run itself and measure only the simulation.
+class ClosedLoopTestbed {
+ public:
+  explicit ClosedLoopTestbed(const WorkloadConfig& cfg,
+                             const fault::FaultPlan* plan = nullptr,
+                             telemetry::TraceRecorder* trace = nullptr);
+
+  /// Start (first call) and simulate up to absolute sim time `until`.
+  void run_until(Picos until);
+
+  /// Aggregate the trial counters; `window` scales the goodput figure.
+  [[nodiscard]] TcpTrialReport report(Picos window) const;
+
+  [[nodiscard]] sim::Engine& engine() { return eng_; }
+  [[nodiscard]] ClosedLoopWorkload& workload() { return *workload_; }
+
+ private:
+  sim::Engine eng_;
+  core::OsntDevice dev_;
+  std::unique_ptr<ClosedLoopWorkload> workload_;
+  std::optional<fault::Injector> injector_;
+  bool started_ = false;
 };
 
 /// Build a fresh testbed (engine + device + cabled ports), run `cfg` for

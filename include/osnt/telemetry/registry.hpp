@@ -11,8 +11,11 @@
 // Naming convention: metric names are dot-separated families
 // (`sim.engine.*`, `gen.tx.*`, `mon.rx.*`, `hw.dma.*`, `core.runner.*`).
 // Anything derived from the host's wall clock — as opposed to simulated
-// time — MUST contain the token "wall" in its name; `Snapshot::kSimOnly`
-// filters those out so determinism checks can compare the rest bit-exactly.
+// time — MUST contain the token "wall" in its name; likewise anything
+// describing *how* the engine executed (timer routing, slab growth) as
+// opposed to what the simulation did MUST contain the token "impl".
+// `Snapshot::kSimOnly` filters both out so determinism checks can compare
+// the rest bit-exactly across worker counts and execution strategies.
 #pragma once
 
 #include <atomic>
@@ -95,8 +98,9 @@ class SharedHistogram {
 };
 
 /// Which metrics a snapshot includes. kSimOnly drops every metric whose
-/// name contains "wall" — the remainder is derived from simulated time
-/// only and must be byte-identical for any --jobs value.
+/// name contains "wall" (host-clock domain) or "impl" (execution-strategy
+/// internals) — the remainder is derived from simulated time only and
+/// must be byte-identical for any --jobs value or timer routing.
 enum class Snapshot : std::uint8_t { kAll, kSimOnly };
 
 class Registry {

@@ -59,12 +59,23 @@ Engine::~Engine() {
   reg.counter("sim.engine.engines").inc();
   reg.counter("sim.engine.events_fired").add(processed_);
   reg.counter("sim.engine.events_cancelled").add(cancelled_);
-  reg.gauge("sim.engine.heap_high_water")
+  // The "impl" token excludes a stat from kSimOnly snapshots (like
+  // "wall"): these depend on how timers were *routed* (wheel vs heap,
+  // eager vs lazy slot release), not on what the simulation did, and
+  // kSimOnly must stay byte-identical across timer-routing configs.
+  reg.gauge("sim.engine.impl.heap_high_water")
       .update_max(static_cast<std::int64_t>(heap_hw_));
   reg.gauge("sim.engine.live_high_water")
       .update_max(static_cast<std::int64_t>(live_hw_));
-  reg.gauge("sim.engine.slab_slots")
+  reg.gauge("sim.engine.impl.slab_slots")
       .update_max(static_cast<std::int64_t>(meta_.size()));
+  if (wheel_.scheduled() != 0 || wheel_spilled_ != 0) {
+    reg.counter("sim.engine.wheel.impl.scheduled").add(wheel_.scheduled());
+    reg.counter("sim.engine.wheel.impl.cancelled").add(wheel_.cancelled());
+    reg.counter("sim.engine.wheel.impl.drained").add(wheel_.drained());
+    reg.counter("sim.engine.wheel.impl.cascaded").add(wheel_.cascaded());
+    reg.counter("sim.engine.wheel.impl.spilled").add(wheel_spilled_);
+  }
   for (std::size_t c = 0; c < kEventCategoryCount; ++c) {
     if (handler_ns_[c] == 0) continue;
     reg.counter(std::string("sim.engine.handler_ns.wall.") +
@@ -80,6 +91,7 @@ void Engine::add_block_() {
                     << kSlotBlockShift;
   blocks_.push_back(std::make_unique<UniqueFn[]>(kSlotBlockSize));
   meta_.resize(meta_.size() + kSlotBlockSize);
+  wheel_.ensure_capacity(meta_.size());  // wheel nodes parallel the slab
   // Chain the fresh block into the free list, lowest index first so slot
   // acquisition order stays intuitive in debuggers.
   for (std::uint32_t i = kSlotBlockSize; i-- > 0;) {
@@ -95,13 +107,20 @@ bool Engine::cancel(EventId id) {
   if (slot >= meta_.size()) return false;
   SlotMeta& m = meta_[slot];
   if (m.gen != gen || m.state != State::kPending) return false;
+  fn_(slot).reset();
+  --live_;
+  ++cancelled_;
+  if (m.where == Where::kWheel) {
+    // The heap never saw this entry, so there is nothing to skim: unlink
+    // from its bucket and recycle the slot right away.
+    wheel_.cancel(slot);
+    release_slot_(slot);
+    return true;
+  }
   // Lazy deletion: free the captures now, skim the heap entry when it
   // surfaces. The slot stays reserved until then so it can't be reused
   // while the heap still points at it.
   m.state = State::kCancelled;
-  fn_(slot).reset();
-  --live_;
-  ++cancelled_;
   return true;
 }
 

@@ -1,0 +1,130 @@
+#include "osnt/sim/timer_wheel.hpp"
+
+namespace osnt::sim {
+
+bool TimerWheel::schedule(Picos time, std::uint32_t seq, std::uint32_t slot) {
+  const auto qt = static_cast<std::uint64_t>(time) >> kTickShift;
+  // Behind/at the cursor the entry could be due immediately; past the
+  // horizon the top-level epoch differs and bucket indices would wrap
+  // onto live earlier entries. Both spill to the heap.
+  if (qt <= cur_tick_ || (qt >> (kSlotBits * kLevels)) !=
+                             (cur_tick_ >> (kSlotBits * kLevels))) {
+    return false;
+  }
+  assert(slot < nodes_.size());
+  Node& n = nodes_[slot];
+  n.time = time;
+  n.seq = seq;
+  link_(qt, slot);
+  ++pending_;
+  ++scheduled_;
+  // Maintain the cached due bound exactly instead of forcing a rescan:
+  // the bound is the min over occupied bucket bases, and a new entry can
+  // only lower it to its own bucket's base. This keeps the arm hot path
+  // at O(1) — next_due() rescans only after a drain or cancel.
+  const std::uint32_t level = level_of_(qt);
+  const auto base = static_cast<Picos>(
+      (qt & ~((std::uint64_t{1} << (level * kSlotBits)) - 1)) << kTickShift);
+  if (pending_ == 1 || (!due_dirty_ && base < cached_due_)) {
+    cached_due_ = base;
+    due_dirty_ = false;
+  }
+  return true;
+}
+
+void TimerWheel::cancel(std::uint32_t slot) noexcept {
+  unlink_(slot);
+  --pending_;
+  ++cancelled_;
+  due_dirty_ = true;
+}
+
+void TimerWheel::link_(std::uint64_t qt, std::uint32_t slot) noexcept {
+  const std::uint32_t level = level_of_(qt);
+  const auto index = static_cast<std::uint32_t>(
+      (qt >> (level * kSlotBits)) & (kSlotsPerLevel - 1));
+  const std::uint32_t bucket = level * kSlotsPerLevel + index;
+  Node& n = nodes_[slot];
+  n.bucket = static_cast<std::uint16_t>(bucket);
+  n.prev = kNil;
+  n.next = heads_[bucket];
+  if (n.next != kNil) nodes_[n.next].prev = slot;
+  heads_[bucket] = slot;
+  occupancy_[level][index >> 6] |= std::uint64_t{1} << (index & 63);
+}
+
+void TimerWheel::unlink_(std::uint32_t slot) noexcept {
+  Node& n = nodes_[slot];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    heads_[n.bucket] = n.next;
+  }
+  if (n.next != kNil) nodes_[n.next].prev = n.prev;
+  if (heads_[n.bucket] == kNil) {
+    const std::uint32_t level = n.bucket / kSlotsPerLevel;
+    const std::uint32_t index = n.bucket & (kSlotsPerLevel - 1);
+    occupancy_[level][index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+  }
+}
+
+void TimerWheel::advance_cursor_(std::uint64_t tick) noexcept {
+  const std::uint64_t prev = cur_tick_;
+  cur_tick_ = tick;
+  // Highest level first, so entries trickle all the way down to level 0
+  // (and possibly into the level-0 cursor bucket) in a single pass.
+  for (std::uint32_t level = kLevels - 1; level >= 1; --level) {
+    const std::uint32_t shift = level * kSlotBits;
+    if ((tick >> shift) == (prev >> shift)) continue;
+    cascade_(level,
+             static_cast<std::uint32_t>((tick >> shift) & (kSlotsPerLevel - 1)));
+  }
+}
+
+void TimerWheel::cascade_(std::uint32_t level, std::uint32_t index) noexcept {
+  const std::uint32_t bucket = level * kSlotsPerLevel + index;
+  std::uint32_t n = heads_[bucket];
+  heads_[bucket] = kNil;
+  occupancy_[level][index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+  while (n != kNil) {
+    const std::uint32_t next = nodes_[n].next;
+    // Re-route against the advanced cursor. An entry whose quantized time
+    // equals cur_tick_ lands in the level-0 cursor bucket and is drained
+    // immediately after the cascade.
+    link_(static_cast<std::uint64_t>(nodes_[n].time) >> kTickShift, n);
+    ++cascaded_;
+    n = next;
+  }
+}
+
+Picos TimerWheel::scan_due_() const noexcept {
+  // First occupied bucket at or ahead of the cursor index, per level; the
+  // winner's base time bounds every pending entry from below. O(16 words).
+  auto best = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    const std::uint32_t shift = level * kSlotBits;
+    const auto cursor =
+        static_cast<std::uint32_t>((cur_tick_ >> shift) & (kSlotsPerLevel - 1));
+    std::uint32_t found = kSlotsPerLevel;
+    for (std::uint32_t w = cursor >> 6; w < kWordsPerLevel; ++w) {
+      std::uint64_t word = occupancy_[level][w];
+      if (w == (cursor >> 6)) word &= ~std::uint64_t{0} << (cursor & 63);
+      if (word == 0) continue;
+      found = (w << 6) +
+              static_cast<std::uint32_t>(__builtin_ctzll(word));
+      break;
+    }
+    if (found == kSlotsPerLevel) continue;
+    // Bucket base: cursor's bits above this level's span, this bucket's
+    // index at the level, zeros below.
+    const std::uint64_t span = std::uint64_t{1} << (shift + kSlotBits);
+    const std::uint64_t base =
+        (cur_tick_ & ~(span - 1)) | (std::uint64_t{found} << shift);
+    best = base < best ? base : best;
+  }
+  assert(best != std::numeric_limits<std::uint64_t>::max() &&
+         "scan_due_ called with no pending entries");
+  return static_cast<Picos>(best << kTickShift);
+}
+
+}  // namespace osnt::sim

@@ -208,7 +208,9 @@ void Flow::try_send() {
       if (!pace_timer_) {
         const sim::Engine::CategoryScope cat(*eng_,
                                              sim::EventCategory::kTcp);
-        pace_timer_ = eng_->schedule_in(pace_next_ - now, [this] {
+        // Bulk class: pacing gaps above the wheel tick (~65 ns) sit in
+        // O(1) buckets; sub-tick gaps spill to the heap automatically.
+        pace_timer_ = eng_->schedule_bulk_in(pace_next_ - now, [this] {
           pace_timer_ = {};
           try_send();
         });
@@ -232,18 +234,6 @@ void Flow::try_send() {
 void Flow::emit_segment(std::uint64_t offset, std::uint32_t len,
                         bool in_place) {
   const Picos now = eng_->now();
-  net::PacketBuilder b;
-  b.eth(cfg_.src_mac, cfg_.dst_mac)
-      .ipv4(cfg_.src_ip, cfg_.dst_ip, net::ipproto::kTcp)
-      .tcp(cfg_.src_port, cfg_.dst_port, seq32_of(offset), 0,
-           net::TcpFlags::kAck | net::TcpFlags::kPsh)
-      .tcp_options(
-          {net::tcp_option_timestamps(tsval_now(now), last_tsecr_seen_)});
-  const Bytes payload(len, 0);
-  b.payload(payload);
-  net::Packet pkt = b.build();
-  last_line_len_ = pkt.line_len();
-
   ++stats_.segs_sent;
   stats_.bytes_sent += len;
   if (offset < max_sent_) ++stats_.retransmits;
@@ -262,6 +252,32 @@ void Flow::emit_segment(std::uint64_t offset, std::uint32_t len,
     inflight_.push_back(SegRec{offset, len, now, delivered_,
                                delivered_time_ == 0 ? now : delivered_time_});
   }
+
+  // Drop-early fast path: when the bottleneck buffer is already full the
+  // frame would be serialized only to be tail-dropped at offer(). Skip
+  // the build — the preflight records the drop exactly as a refused
+  // offer would, and the sender-side accounting above is identical. The
+  // line-length overhead is self-calibrated from the first real build
+  // (headers are fixed-size per flow), so pacing sees the same lengths.
+  if (line_overhead_ != 0 && preflight_ && !preflight_()) {
+    last_line_len_ = line_overhead_ + len;
+    ++stats_.emit_rejects;
+    return;
+  }
+
+  net::PacketBuilder b;
+  b.eth(cfg_.src_mac, cfg_.dst_mac)
+      .ipv4(cfg_.src_ip, cfg_.dst_ip, net::ipproto::kTcp)
+      .tcp(cfg_.src_port, cfg_.dst_port, seq32_of(offset), 0,
+           net::TcpFlags::kAck | net::TcpFlags::kPsh)
+      .tcp_options(
+          {net::tcp_option_timestamps(tsval_now(now), last_tsecr_seen_)});
+  const Bytes payload(len, 0);
+  b.payload(payload);
+  net::Packet pkt = b.build();
+  last_line_len_ = pkt.line_len();
+  line_overhead_ = pkt.line_len() - len;
+
   if (!emit_(std::move(pkt))) ++stats_.emit_rejects;
 }
 
@@ -272,7 +288,10 @@ void Flow::arm_rto() {
   }
   if (snd_nxt_ <= snd_una_) return;
   const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kTcp);
-  rto_timer_ = eng_->schedule_in(rto_.rto(), [this] {
+  // RTOs are the canonical bulk timer: one per flow, almost always
+  // cancelled (by the next cumulative ACK) before firing — exactly the
+  // schedule/cancel churn the wheel makes O(1).
+  rto_timer_ = eng_->schedule_bulk_in(rto_.rto(), [this] {
     rto_timer_ = {};
     on_rto_fire();
   });

@@ -1,11 +1,9 @@
 #include "osnt/tcp/workload.hpp"
 
 #include <algorithm>
-#include <optional>
 #include <stdexcept>
 
 #include "osnt/common/random.hpp"
-#include "osnt/fault/injector.hpp"
 #include "osnt/hw/port.hpp"
 #include "osnt/net/builder.hpp"
 #include "osnt/net/parser.hpp"
@@ -14,9 +12,6 @@
 
 namespace osnt::tcp {
 namespace {
-
-constexpr std::uint16_t kSenderPortBase = 40000;
-constexpr std::uint16_t kReceiverPortBase = 50000;
 
 std::uint32_t tsval_now(Picos now) {
   return static_cast<std::uint32_t>(now / kPicosPerNano);
@@ -43,9 +38,15 @@ ClosedLoopWorkload::ClosedLoopWorkload(sim::Engine& eng,
                                        WorkloadConfig cfg)
     : eng_(&eng), dev_(&dev), cfg_(std::move(cfg)) {
   if (cfg_.flows == 0) throw std::invalid_argument("tcp: flows must be > 0");
+  if (cfg_.flows > kMaxFlows) {
+    throw std::invalid_argument(
+        "tcp: flows exceeds the addressing scheme's capacity (" +
+        std::to_string(kMaxFlows) + ")");
+  }
   if (cfg_.tx_port == cfg_.rx_port) {
     throw std::invalid_argument("tcp: tx_port and rx_port must differ");
   }
+  eng_->set_wheel_enabled(cfg_.wheel_timers && !cfg_.legacy_hot_path);
 
   gen::TxConfig txcfg;
   txcfg.rate = cfg_.bottleneck_gbps > 0.0
@@ -64,17 +65,18 @@ ClosedLoopWorkload::ClosedLoopWorkload(sim::Engine& eng,
   dev_->rx(cfg_.tx_port).set_capture_enabled(cfg_.capture);
   dev_->rx(cfg_.rx_port).set_capture_enabled(cfg_.capture);
 
-  flows_.reserve(cfg_.flows);
-  recv_.resize(cfg_.flows);
+  flow_handles_.reserve(cfg_.flows);
+  recv_hot_.resize(cfg_.flows);
+  recv_cold_.resize(cfg_.flows);
   for (std::size_t i = 0; i < cfg_.flows; ++i) {
     FlowConfig fc;
     fc.flow_id = static_cast<std::uint32_t>(i);
-    fc.src_mac = net::MacAddr::from_index(0x0A0000 + i);
-    fc.dst_mac = net::MacAddr::from_index(0x0B0000 + i);
-    fc.src_ip = net::Ipv4Addr::of(10, 0, 0, static_cast<std::uint8_t>(i + 1));
-    fc.dst_ip = net::Ipv4Addr::of(10, 0, 1, static_cast<std::uint8_t>(i + 1));
-    fc.src_port = static_cast<std::uint16_t>(kSenderPortBase + i);
-    fc.dst_port = static_cast<std::uint16_t>(kReceiverPortBase + i);
+    fc.src_mac = net::MacAddr::from_index(0x0A000000u + i);
+    fc.dst_mac = net::MacAddr::from_index(0x0B000000u + i);
+    fc.src_ip = sender_ip_of(i);
+    fc.dst_ip = receiver_ip_of(i);
+    fc.src_port = sender_port_of(i);
+    fc.dst_port = receiver_port_of(i);
     fc.mss = cfg_.mss;
     fc.bytes_to_send = cfg_.bytes_per_flow;
     fc.rwnd_bytes = cfg_.rwnd_bytes;
@@ -82,13 +84,25 @@ ClosedLoopWorkload::ClosedLoopWorkload(sim::Engine& eng,
     fc.cc = cfg_.cc;
     fc.min_rto = cfg_.min_rto;
     fc.max_rto = cfg_.max_rto;
-    flows_.push_back(std::make_unique<Flow>(
-        *eng_, fc, [this](net::Packet&& pkt) {
-          return source_->offer(std::move(pkt));
-        }));
-    recv_[i].isn = flows_[i]->isn();
-    data_port_to_flow_[fc.dst_port] = i;
-    ack_port_to_flow_[fc.src_port] = i;
+    const auto h = flows_.emplace(*eng_, fc, [this](net::Packet&& pkt) {
+      return source_->offer(std::move(pkt));
+    });
+    // Dense creation on a fresh slab: slot == flow index, which the O(1)
+    // demux and the flow(i) accessor both rely on.
+    if (h.slot != i) throw std::logic_error("tcp: flow slab not dense");
+    // Drop-early admission probe: under congestion (the common case at
+    // 10k+ flows sharing one bottleneck buffer) senders skip serializing
+    // frames the queue would tail-drop anyway; the probe records the
+    // drop so queue_drops telemetry is identical to built-then-dropped.
+    if (!cfg_.legacy_hot_path) {
+      flows_[h.slot].set_emit_preflight([this] {
+        if (!source_->full()) return true;
+        source_->note_tail_drop();
+        return false;
+      });
+    }
+    flow_handles_.push_back(h);
+    recv_hot_[i].isn = flows_[h.slot].isn();
   }
 
   dev_->rx(cfg_.rx_port).set_tap(
@@ -100,9 +114,9 @@ ClosedLoopWorkload::ClosedLoopWorkload(sim::Engine& eng,
 }
 
 ClosedLoopWorkload::~ClosedLoopWorkload() {
-  for (ReceiverState& st : recv_) {
+  for (ReceiverHot& st : recv_hot_) {
     if (st.delack_timer) {
-      eng_->cancel(st.delack_timer);
+      eng_->cancel(st.delack_timer);  // O(1) wheel unlink when routed there
       st.delack_timer = {};
     }
   }
@@ -114,22 +128,22 @@ ClosedLoopWorkload::~ClosedLoopWorkload() {
     reg.counter("tcp.acks_sent").add(total_acks_sent());
     reg.counter("tcp.ooo_segs").add(total_ooo_segs());
     reg.counter("tcp.queue_drops").add(source_->drops());
+    reg.counter("tcp.delack.cancels_saved").add(delack_cancels_saved_);
   }
 }
 
 void ClosedLoopWorkload::start() {
   dev_->tx(cfg_.tx_port).start();
-  for (auto& f : flows_) f->start();
+  for (const auto& h : flow_handles_) flows_[h.slot].start();
 }
 
 void ClosedLoopWorkload::on_data_frame(const net::ParsedPacket& p,
                                        const net::Packet& pkt,
                                        Picos first_bit) {
   if (p.l4 != net::L4Kind::kTcp || p.l3 != net::L3Kind::kIpv4) return;
-  const auto it = data_port_to_flow_.find(p.tcp.dst_port);
-  if (it == data_port_to_flow_.end()) return;
-  const std::size_t idx = it->second;
-  ReceiverState& st = recv_[idx];
+  const std::size_t idx = flow_index_of_data(p.ipv4.dst, p.tcp.dst_port);
+  if (idx >= recv_hot_.size()) return;
+  ReceiverHot& st = recv_hot_[idx];
 
   const std::size_t l3_len = p.ipv4.total_length;
   const std::size_t hdrs = p.ipv4.header_len() + p.tcp.header_len();
@@ -149,14 +163,18 @@ void ClosedLoopWorkload::on_data_frame(const net::ParsedPacket& p,
 
   if (seq <= st.rcv_nxt && seq_end > st.rcv_nxt) {
     // In-order (or overlapping) advance; absorb any now-contiguous
-    // out-of-order intervals.
+    // out-of-order intervals. The ooo set lives in the cold half and is
+    // only consulted while a loss episode is open.
     st.rcv_nxt = seq_end;
     st.bytes_in_order += len;
     if (tsval != 0) st.last_tsval = tsval;
-    for (auto o = st.ooo.begin();
-         o != st.ooo.end() && o->first <= st.rcv_nxt;) {
-      st.rcv_nxt = std::max(st.rcv_nxt, o->second);
-      o = st.ooo.erase(o);
+    ReceiverCold& cold = recv_cold_[idx];
+    if (!cold.ooo.empty()) {
+      for (auto o = cold.ooo.begin();
+           o != cold.ooo.end() && o->first <= st.rcv_nxt;) {
+        st.rcv_nxt = std::max(st.rcv_nxt, o->second);
+        o = cold.ooo.erase(o);
+      }
     }
     ++st.pending_ack_segs;
     if (st.pending_ack_segs >= 2) {  // RFC 1122: ACK every 2nd segment
@@ -167,12 +185,13 @@ void ClosedLoopWorkload::on_data_frame(const net::ParsedPacket& p,
     return;
   }
 
+  ReceiverCold& cold = recv_cold_[idx];
   if (seq > st.rcv_nxt) {
     // Hole: stash the interval and send an immediate duplicate ACK so
     // the sender's dup-ACK counter can reach the fast-retransmit
     // threshold.
-    ++st.ooo_segs;
-    auto [o, inserted] = st.ooo.emplace(seq, seq_end);
+    ++cold.ooo_segs;
+    auto [o, inserted] = cold.ooo.emplace(seq, seq_end);
     if (!inserted) o->second = std::max(o->second, seq_end);
     send_ack(idx, first_bit);
     return;
@@ -184,20 +203,29 @@ void ClosedLoopWorkload::on_data_frame(const net::ParsedPacket& p,
   // Last.ACK.sent), so the echoed TSecr dates from this arrival — an
   // echo of the pre-outage tsval would inflate the sender's RTT sample
   // by the whole loss episode and blow SRTT/RTO toward max_rto.
-  ++st.below_window_segs;
+  ++cold.below_window_segs;
   if (tsval != 0) st.last_tsval = tsval;
   send_ack(idx, first_bit);
 }
 
 void ClosedLoopWorkload::send_ack(std::size_t idx, Picos now) {
-  ReceiverState& st = recv_[idx];
+  ReceiverHot& st = recv_hot_[idx];
   st.pending_ack_segs = 0;
+  // Lazy delayed-ACK discipline: an armed timer is left armed. It fires
+  // with pending_ack_segs == 0 and re-arms nothing — one no-op event
+  // instead of a cancel + re-arm pair per ACKed segment. (The timer can
+  // also fire "early" relative to the newest segment; that only makes an
+  // ACK less delayed, which RFC 1122 always allows.)
   if (st.delack_timer) {
-    eng_->cancel(st.delack_timer);
-    st.delack_timer = {};
+    if (cfg_.legacy_hot_path) {
+      eng_->cancel(st.delack_timer);
+      st.delack_timer = {};
+    } else {
+      ++delack_cancels_saved_;
+    }
   }
 
-  const FlowConfig& fc = flows_[idx]->config();
+  const FlowConfig& fc = flows_[static_cast<std::uint32_t>(idx)].config();
   net::PacketBuilder b;
   b.eth(fc.dst_mac, fc.src_mac)
       .ipv4(fc.dst_ip, fc.src_ip, net::ipproto::kTcp)
@@ -214,12 +242,12 @@ void ClosedLoopWorkload::send_ack(std::size_t idx, Picos now) {
 }
 
 void ClosedLoopWorkload::schedule_delack(std::size_t idx) {
-  ReceiverState& st = recv_[idx];
-  if (st.delack_timer) return;
+  ReceiverHot& st = recv_hot_[idx];
+  if (st.delack_timer) return;  // one armed timer per flow, ever
   const sim::Engine::CategoryScope cat(*eng_, sim::EventCategory::kTcp);
   st.delack_timer =
-      eng_->schedule_in(cfg_.delayed_ack_timeout, [this, idx] {
-        ReceiverState& s = recv_[idx];
+      eng_->schedule_bulk_in(cfg_.delayed_ack_timeout, [this, idx] {
+        ReceiverHot& s = recv_hot_[idx];
         s.delack_timer = {};
         if (s.pending_ack_segs > 0) send_ack(idx, eng_->now());
       });
@@ -228,47 +256,50 @@ void ClosedLoopWorkload::schedule_delack(std::size_t idx) {
 void ClosedLoopWorkload::on_ack_frame(const net::ParsedPacket& p,
                                       const net::Packet& pkt,
                                       Picos first_bit) {
-  if (p.l4 != net::L4Kind::kTcp) return;
+  if (p.l4 != net::L4Kind::kTcp || p.l3 != net::L3Kind::kIpv4) return;
   if ((p.tcp.flags & net::TcpFlags::kAck) == 0) return;
-  const auto it = ack_port_to_flow_.find(p.tcp.dst_port);
-  if (it == ack_port_to_flow_.end()) return;
+  const std::size_t idx = flow_index_of_ack(p.ipv4.dst, p.tcp.dst_port);
+  if (idx >= flow_handles_.size()) return;
   const auto [tsval, tsecr] = frame_timestamps(p, pkt);
-  flows_[it->second]->on_ack(p.tcp, tsval, tsecr, first_bit);
+  flows_[static_cast<std::uint32_t>(idx)].on_ack(p.tcp, tsval, tsecr,
+                                                 first_bit);
 }
 
 std::uint64_t ClosedLoopWorkload::total_bytes_acked() const {
   std::uint64_t v = 0;
-  for (const auto& f : flows_) v += f->stats().bytes_acked;
+  for (const auto& h : flow_handles_) v += flows_[h.slot].stats().bytes_acked;
   return v;
 }
 std::uint64_t ClosedLoopWorkload::total_retransmits() const {
   std::uint64_t v = 0;
-  for (const auto& f : flows_) v += f->stats().retransmits;
+  for (const auto& h : flow_handles_) v += flows_[h.slot].stats().retransmits;
   return v;
 }
 std::uint64_t ClosedLoopWorkload::total_rto_fires() const {
   std::uint64_t v = 0;
-  for (const auto& f : flows_) v += f->stats().rto_fires;
+  for (const auto& h : flow_handles_) v += flows_[h.slot].stats().rto_fires;
   return v;
 }
 std::uint64_t ClosedLoopWorkload::total_fast_retx() const {
   std::uint64_t v = 0;
-  for (const auto& f : flows_) v += f->stats().fast_retx;
+  for (const auto& h : flow_handles_) v += flows_[h.slot].stats().fast_retx;
   return v;
 }
 std::uint64_t ClosedLoopWorkload::total_cwnd_reductions() const {
   std::uint64_t v = 0;
-  for (const auto& f : flows_) v += f->stats().cwnd_reductions;
+  for (const auto& h : flow_handles_) {
+    v += flows_[h.slot].stats().cwnd_reductions;
+  }
   return v;
 }
 std::uint64_t ClosedLoopWorkload::total_acks_sent() const {
   std::uint64_t v = 0;
-  for (const auto& r : recv_) v += r.acks_sent;
+  for (const auto& r : recv_hot_) v += r.acks_sent;
   return v;
 }
 std::uint64_t ClosedLoopWorkload::total_ooo_segs() const {
   std::uint64_t v = 0;
-  for (const auto& r : recv_) v += r.ooo_segs;
+  for (const auto& r : recv_cold_) v += r.ooo_segs;
   return v;
 }
 
@@ -278,25 +309,30 @@ double ClosedLoopWorkload::goodput_bps(Picos window) const {
          static_cast<double>(kPicosPerSec) / static_cast<double>(window);
 }
 
-TcpTrialReport run_closed_loop_trial(const WorkloadConfig& cfg,
-                                     Picos duration,
+ClosedLoopTestbed::ClosedLoopTestbed(const WorkloadConfig& cfg,
                                      const fault::FaultPlan* plan,
-                                     telemetry::TraceRecorder* trace) {
-  sim::Engine eng;
-  if (trace) eng.set_trace(trace);
-  core::OsntDevice dev(eng);
-  hw::connect(dev.port(cfg.tx_port), dev.port(cfg.rx_port));
-
-  ClosedLoopWorkload w(eng, dev, cfg);
-  std::optional<fault::Injector> inj;
+                                     telemetry::TraceRecorder* trace)
+    : dev_(eng_) {
+  if (trace) eng_.set_trace(trace);
+  hw::connect(dev_.port(cfg.tx_port), dev_.port(cfg.rx_port));
+  workload_ = std::make_unique<ClosedLoopWorkload>(eng_, dev_, cfg);
   if (plan) {
-    inj.emplace(eng, *plan);
-    inj->attach_device(dev);
-    inj->arm();
+    injector_.emplace(eng_, *plan);
+    injector_->attach_device(dev_);
+    injector_->arm();
   }
-  w.start();
-  eng.run_until(duration);
+}
 
+void ClosedLoopTestbed::run_until(Picos until) {
+  if (!started_) {
+    workload_->start();
+    started_ = true;
+  }
+  eng_.run_until(until);
+}
+
+TcpTrialReport ClosedLoopTestbed::report(Picos window) const {
+  const ClosedLoopWorkload& w = *workload_;
   TcpTrialReport r;
   r.bytes_acked = w.total_bytes_acked();
   r.retransmits = w.total_retransmits();
@@ -305,7 +341,7 @@ TcpTrialReport run_closed_loop_trial(const WorkloadConfig& cfg,
   r.cwnd_reductions = w.total_cwnd_reductions();
   r.acks_sent = w.total_acks_sent();
   r.queue_drops = w.source().drops();
-  r.goodput_bps = w.goodput_bps(duration);
+  r.goodput_bps = w.goodput_bps(window);
   for (std::size_t i = 0; i < w.num_flows(); ++i) {
     const Flow& f = w.flow(i);
     r.segs_sent += f.stats().segs_sent;
@@ -315,6 +351,15 @@ TcpTrialReport run_closed_loop_trial(const WorkloadConfig& cfg,
     if (i == 0 || rate > r.max_flow_rate_bps) r.max_flow_rate_bps = rate;
   }
   return r;
+}
+
+TcpTrialReport run_closed_loop_trial(const WorkloadConfig& cfg,
+                                     Picos duration,
+                                     const fault::FaultPlan* plan,
+                                     telemetry::TraceRecorder* trace) {
+  ClosedLoopTestbed bed(cfg, plan, trace);
+  bed.run_until(duration);
+  return bed.report(duration);
 }
 
 }  // namespace osnt::tcp

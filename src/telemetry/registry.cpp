@@ -33,8 +33,13 @@ std::string fmt_double(double v) {
   return buf;
 }
 
-bool is_wall(std::string_view name) noexcept {
-  return name.find("wall") != std::string_view::npos;
+/// Stats excluded from kSimOnly snapshots: "wall" marks host-time
+/// measurements, "impl" marks implementation internals that vary with
+/// execution strategy (timer routing, slot recycling) while the simulated
+/// universe — and everything else in the snapshot — is unchanged.
+bool is_host_dependent(std::string_view name) noexcept {
+  return name.find("wall") != std::string_view::npos ||
+         name.find("impl") != std::string_view::npos;
 }
 
 }  // namespace
@@ -134,7 +139,7 @@ std::string Registry::to_json(Snapshot mode) const {
   std::string out = "{\n \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : impl_->counters) {
-    if (!all && is_wall(name)) continue;
+    if (!all && is_host_dependent(name)) continue;
     out += first ? "\n" : ",\n";
     first = false;
     out += "  \"" + name + "\": " + std::to_string(c->value());
@@ -142,7 +147,7 @@ std::string Registry::to_json(Snapshot mode) const {
   out += "\n },\n \"gauges\": {";
   first = true;
   for (const auto& [name, g] : impl_->gauges) {
-    if (!all && is_wall(name)) continue;
+    if (!all && is_host_dependent(name)) continue;
     out += first ? "\n" : ",\n";
     first = false;
     out += "  \"" + name + "\": " + std::to_string(g->value());
@@ -150,7 +155,7 @@ std::string Registry::to_json(Snapshot mode) const {
   out += "\n },\n \"histograms\": {";
   first = true;
   for (const auto& [name, h] : impl_->hists) {
-    if (!all && is_wall(name)) continue;
+    if (!all && is_host_dependent(name)) continue;
     out += first ? "\n" : ",\n";
     first = false;
     const Log2Histogram snap = h->snapshot();

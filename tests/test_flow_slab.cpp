@@ -1,0 +1,147 @@
+// Generation-counted flow slab and the O(1) arithmetic flow demux: the
+// storage and addressing layer that lets osnt::tcp scale past 64k flows
+// without per-packet map lookups.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "osnt/net/headers.hpp"
+#include "osnt/tcp/flow_slab.hpp"
+#include "osnt/tcp/workload.hpp"
+
+namespace osnt::tcp {
+namespace {
+
+// ------------------------------------------------------------- Slab
+
+struct Tracked {
+  static inline int live = 0;
+  int value;
+  explicit Tracked(int v) : value(v) {
+    if (v < 0) throw std::runtime_error("tracked ctor");
+    ++live;
+  }
+  ~Tracked() { --live; }
+};
+
+TEST(FlowSlab, DenseCreationYieldsSlotEqualsOrder) {
+  Slab<Tracked> s;
+  // Cross two 256-entry blocks to cover block growth.
+  for (int i = 0; i < 600; ++i) {
+    const auto h = s.emplace(i);
+    EXPECT_EQ(h.slot, static_cast<std::uint32_t>(i));
+    EXPECT_TRUE(static_cast<bool>(h));
+  }
+  EXPECT_EQ(s.size(), 600u);
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    EXPECT_EQ(s[i].value, static_cast<int>(i));
+  }
+  s.clear();
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(FlowSlab, StaleHandleCannotReachSlotReuse) {
+  Slab<Tracked> s;
+  const auto a = s.emplace(1);
+  ASSERT_NE(s.get(a), nullptr);
+  EXPECT_TRUE(s.erase(a));
+  EXPECT_EQ(s.get(a), nullptr);
+  EXPECT_FALSE(s.erase(a));  // double erase is a no-op
+
+  // LIFO free list: the next emplace reuses the same slot with a new gen.
+  const auto b = s.emplace(2);
+  EXPECT_EQ(b.slot, a.slot);
+  EXPECT_NE(b.gen, a.gen);
+  EXPECT_EQ(s.get(a), nullptr);       // stale
+  ASSERT_NE(s.get(b), nullptr);
+  EXPECT_EQ(s.get(b)->value, 2);
+  s.clear();
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(FlowSlab, NullHandleNeverResolves) {
+  Slab<Tracked> s;
+  Slab<Tracked>::Handle null;
+  EXPECT_FALSE(static_cast<bool>(null));
+  EXPECT_EQ(s.get(null), nullptr);
+  (void)s.emplace(7);
+  EXPECT_EQ(s.get(null), nullptr);
+  s.clear();
+}
+
+TEST(FlowSlab, ThrowingCtorRestoresFreeList) {
+  Slab<Tracked> s;
+  const auto a = s.emplace(1);
+  EXPECT_THROW((void)s.emplace(-1), std::runtime_error);
+  EXPECT_EQ(s.size(), 1u);
+  // The aborted slot went back on the free list and is handed out next.
+  const auto b = s.emplace(2);
+  EXPECT_EQ(b.slot, a.slot + 1);
+  EXPECT_EQ(s.get(b)->value, 2);
+  s.clear();
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(FlowSlab, AddressesAreStableAcrossGrowth) {
+  Slab<Tracked> s;
+  const auto h0 = s.emplace(42);
+  Tracked* p0 = s.get(h0);
+  for (int i = 0; i < 2000; ++i) (void)s.emplace(i);
+  EXPECT_EQ(s.get(h0), p0);  // block storage never relocates
+  EXPECT_EQ(p0->value, 42);
+  s.clear();
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+// ------------------------------------------------------------- demux
+
+TEST(FlowDemux, RoundTripsEveryAddressingRegime) {
+  // Indices below, at, and above the 8192-per-group port boundary, plus
+  // the extremes of the 2^21 space.
+  const std::size_t cases[] = {0,       1,         kPortsPerGroup - 1,
+                               kPortsPerGroup,     kPortsPerGroup + 1,
+                               100000,  1000000,   kMaxFlows - 1};
+  for (const std::size_t i : cases) {
+    EXPECT_EQ(flow_index_of_data(receiver_ip_of(i), receiver_port_of(i)), i);
+    EXPECT_EQ(flow_index_of_ack(sender_ip_of(i), sender_port_of(i)), i);
+  }
+}
+
+TEST(FlowDemux, EndpointsAreDistinctAcrossGroups) {
+  // Two flows one group apart share a port but differ in the IP octet.
+  const std::size_t i = 5, j = i + kPortsPerGroup;
+  EXPECT_EQ(receiver_port_of(i), receiver_port_of(j));
+  EXPECT_NE(receiver_ip_of(i).v, receiver_ip_of(j).v);
+  EXPECT_NE(flow_index_of_data(receiver_ip_of(i), receiver_port_of(i)),
+            flow_index_of_data(receiver_ip_of(j), receiver_port_of(j)));
+}
+
+TEST(FlowDemux, ForeignTrafficMapsToNoFlow) {
+  const net::Ipv4Addr rx = receiver_ip_of(0);
+  // Port outside the receiver range (below base, and past the group).
+  EXPECT_EQ(flow_index_of_data(rx, kReceiverPortBase - 1), kNoFlow);
+  EXPECT_EQ(flow_index_of_data(
+                rx, static_cast<std::uint16_t>(kReceiverPortBase +
+                                               kPortsPerGroup)),
+            kNoFlow);
+  // Right port, wrong prefix: sender-side 10.0.x.1, foreign 192.168.0.1,
+  // and a wrong host octet 10.1.0.2.
+  EXPECT_EQ(flow_index_of_data(sender_ip_of(0), receiver_port_of(0)),
+            kNoFlow);
+  EXPECT_EQ(flow_index_of_data(net::Ipv4Addr::of(192, 168, 0, 1),
+                               receiver_port_of(0)),
+            kNoFlow);
+  EXPECT_EQ(flow_index_of_data(net::Ipv4Addr::of(10, 1, 0, 2),
+                               receiver_port_of(0)),
+            kNoFlow);
+  // The ACK demux rejects receiver-side addresses symmetrically.
+  EXPECT_EQ(flow_index_of_ack(receiver_ip_of(0), sender_port_of(0)),
+            kNoFlow);
+  EXPECT_EQ(flow_index_of_ack(sender_ip_of(0), kSenderPortBase - 1),
+            kNoFlow);
+}
+
+}  // namespace
+}  // namespace osnt::tcp

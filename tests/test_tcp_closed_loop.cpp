@@ -128,9 +128,22 @@ TEST(TcpClosedLoop, ReceiverCountsOutOfOrderSegmentsUnderLoss) {
   EXPECT_GT(eng_report.retransmits, 0u);
 }
 
+TEST(TcpClosedLoop, LazyDelayedAckElidesTimerCancels) {
+  // The delack timer is armed once and left armed across ACK sends; a
+  // cumulative ACK riding on data just clears pending_ack_segs. Every
+  // such elision is counted — under steady bidirectional load there must
+  // be many, and the engine must see strictly fewer cancels than arms.
+  WorkloadConfig cfg = base_cfg("bbr", 2);
+  ClosedLoopTestbed bed(cfg);
+  bed.run_until(10 * kPicosPerMilli);
+  EXPECT_GT(bed.workload().delack_cancels_saved(), 0u);
+  EXPECT_GT(bed.workload().total_acks_sent(), 0u);
+}
+
 // ------------------------------------------------------- determinism
 
-std::string tcp_sim_snapshot_for_jobs(std::size_t jobs) {
+std::string tcp_sim_snapshot_for_jobs(std::size_t jobs,
+                                      bool wheel_timers = true) {
   auto& reg = telemetry::registry();
   reg.reset();
   const fault::FaultPlan plan = fault::FaultPlan::from_json(kBerPlanJson);
@@ -139,9 +152,10 @@ std::string tcp_sim_snapshot_for_jobs(std::size_t jobs) {
   for (std::size_t i = 0; i < trial_plan.points.size(); ++i) {
     trial_plan.points[i].seed = 100 + i;
   }
-  trial_plan.run = [&plan](const core::TrialPoint& pt) {
+  trial_plan.run = [&plan, wheel_timers](const core::TrialPoint& pt) {
     WorkloadConfig cfg = base_cfg(pt.index % 2 == 0 ? "bbr" : "cubic", 2);
     cfg.seed = pt.seed;
+    cfg.wheel_timers = wheel_timers;
     const auto r = run_closed_loop_trial(cfg, 5 * kPicosPerMilli, &plan);
     core::TrialStats s;
     s.tx_frames = r.segs_sent;
@@ -162,6 +176,37 @@ TEST(TcpClosedLoop, SimSnapshotsByteIdenticalAcrossJobs) {
   EXPECT_NE(serial.find("tcp.cwnd_bytes"), std::string::npos);
   EXPECT_NE(serial.find("tcp.acks_sent"), std::string::npos);
   EXPECT_EQ(serial, tcp_sim_snapshot_for_jobs(4));
+}
+
+TEST(TcpClosedLoop, SimSnapshotsByteIdenticalWheelVsHeap) {
+  // The tentpole determinism contract end to end: routing RTO/delack/
+  // pacing timers through the timing wheel instead of the heap must not
+  // change a single byte of kSimOnly telemetry — implementation-detail
+  // gauges carry the "impl" token and are filtered out, and the wheel
+  // drains entries into the heap with their exact arm-time keys.
+  const std::string wheel = tcp_sim_snapshot_for_jobs(1, true);
+  EXPECT_GT(wheel.size(), 0u);
+  EXPECT_EQ(wheel, tcp_sim_snapshot_for_jobs(1, false));
+}
+
+TEST(TcpClosedLoop, TrialReportsIdenticalWheelVsHeap) {
+  const fault::FaultPlan plan = fault::FaultPlan::from_json(kBerPlanJson);
+  for (const char* cc : {"newreno", "bbr"}) {
+    WorkloadConfig cfg = base_cfg(cc, 4);
+    cfg.seed = 9;
+    WorkloadConfig heap_cfg = cfg;
+    heap_cfg.wheel_timers = false;
+    const auto a = run_closed_loop_trial(cfg, 10 * kPicosPerMilli, &plan);
+    const auto b =
+        run_closed_loop_trial(heap_cfg, 10 * kPicosPerMilli, &plan);
+    EXPECT_EQ(a.bytes_acked, b.bytes_acked) << cc;
+    EXPECT_EQ(a.segs_sent, b.segs_sent) << cc;
+    EXPECT_EQ(a.retransmits, b.retransmits) << cc;
+    EXPECT_EQ(a.rto_fires, b.rto_fires) << cc;
+    EXPECT_EQ(a.acks_sent, b.acks_sent) << cc;
+    EXPECT_EQ(a.queue_drops, b.queue_drops) << cc;
+    EXPECT_EQ(a.goodput_bps, b.goodput_bps) << cc;
+  }
 }
 
 TEST(TcpClosedLoop, RerunsAreByteIdenticalForFixedSeed) {

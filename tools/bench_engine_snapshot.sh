@@ -179,20 +179,53 @@ PYEOF
   --benchmark_out="$out_tcp" \
   --benchmark_out_format=json
 
-# Derive the goodput-vs-BER curve and check the clean-link fidelity gate
-# (BBR within 10% of the bottleneck's payload share: 5 Gb/s L1 carries at
-# most 5e9 * 1448/1538 of TCP payload in 1518 B frames).
+# Derive (a) the flows-per-wall-second scale axis and its hot-path
+# speedup gate and (b) the goodput-vs-BER curve with its clean-link
+# fidelity gate (BBR within 10% of the bottleneck's payload share:
+# 5 Gb/s L1 carries at most 5e9 * 1448/1538 of TCP payload in 1518 B
+# frames).
 python3 - "$out_tcp" <<'PYEOF'
 import json, sys
 
 path = sys.argv[1]
 doc = json.load(open(path))
 curve = {}
+scale = {}
 for b in doc["benchmarks"]:
     if b.get("aggregate_name") != "median":
         continue
     if b["run_name"].startswith("BM_GoodputVsBer/"):
         curve[b["ber"]] = round(b["goodput_gbps"], 4)
+    if b["run_name"].startswith("BM_FlowScale/"):
+        # run_name: BM_FlowScale/<flows>/<mode>/manual_time
+        _, flows, mode = b["run_name"].split("/")[:3]
+        key = "wheel" if mode == "1" else "legacy"
+        scale.setdefault(key, {})[int(flows)] = b["items_per_second"]
+
+wheel = scale.get("wheel", {})
+legacy = scale.get("legacy", {})
+speedup_10k = (
+    wheel[10000] / legacy[10000]
+    if 10000 in wheel and legacy.get(10000) else 0.0
+)
+doc["flow_scale"] = {
+    "note": (
+        "Closed-loop flows simulated per wall second (median of 3 reps, "
+        "manual timing: testbed construction untimed) in the "
+        "timer-dominated BM_FlowScale regime. 'wheel' is the §12 hot "
+        "path (timing-wheel bulk timers, lazy delayed ACKs, drop-early "
+        "admission probe); 'legacy' is the pre-§12 baseline (heap-only "
+        "timers, eager delack cancels, unconditional serialization). "
+        "Gate: wheel >= 2x legacy at the 10k-flow point."
+    ),
+    "flows_per_wall_second": {
+        "wheel": {str(k): round(wheel[k], 1) for k in sorted(wheel)},
+        "legacy": {str(k): round(legacy[k], 1) for k in sorted(legacy)},
+    },
+    "gate_speedup_10k": 2.0,
+    "speedup_10k": round(speedup_10k, 2),
+    "speedup_10k_ok": bool(speedup_10k >= 2.0),
+}
 
 points = [curve[k] for k in sorted(curve)]
 share = 5.0 * 1448.0 / 1538.0

@@ -422,6 +422,7 @@ int cmd_tcp(int argc, const char* const* argv) {
   std::int64_t queue_segments = 256, seed = 1, rwnd_kb = 1024;
   double duration_ms = 10.0, bottleneck_gbps = 5.0;
   std::string faults_path;
+  std::string timers = "wheel";
   ObservabilityFlags obs;
   CliParser cli{
       "osnt_run tcp — closed-loop congestion-controlled flows over the "
@@ -436,6 +437,10 @@ int cmd_tcp(int argc, const char* const* argv) {
                "bottleneck buffer depth in frames");
   cli.add_flag("rwnd-kb", &rwnd_kb, "receiver window per flow, KiB");
   cli.add_flag("seed", &seed, "base seed (trial i runs at seed+i)");
+  cli.add_flag("timers",
+               &timers,
+               "bulk-timer routing: wheel (O(1) timing wheel) | heap "
+               "(baseline; identical results, slower at high --flows)");
   cli.add_flag("faults", &faults_path, "JSON fault plan to inject");
   cli.add_flag("trials", &trials, "independent trials (distinct seeds)");
   cli.add_flag("jobs", &jobs,
@@ -444,6 +449,10 @@ int cmd_tcp(int argc, const char* const* argv) {
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
   if (flows <= 0 || trials <= 0 || mss <= 0) {
     std::fprintf(stderr, "--flows/--trials/--mss must be positive\n");
+    return 1;
+  }
+  if (timers != "wheel" && timers != "heap") {
+    std::fprintf(stderr, "--timers must be wheel or heap\n");
     return 1;
   }
   if (obs.trace_enabled() && (trials != 1 || jobs != 1)) {
@@ -470,6 +479,7 @@ int cmd_tcp(int argc, const char* const* argv) {
   base.bottleneck_gbps = bottleneck_gbps;
   base.queue_segments = static_cast<std::size_t>(queue_segments);
   base.rwnd_bytes = static_cast<std::uint64_t>(rwnd_kb) * 1024;
+  base.wheel_timers = timers == "wheel";
   const Picos duration = from_micros(duration_ms * 1000.0);
 
   // One trial = one fresh closed-loop testbed; trials shard across the
