@@ -13,7 +13,10 @@
 #include <cstddef>
 #include <string>
 
+#include "osnt/core/device.hpp"
 #include "osnt/fault/plan.hpp"
+#include "osnt/graph/blocks.hpp"
+#include "osnt/graph/graph.hpp"
 #include "osnt/tcp/workload.hpp"
 
 namespace {
@@ -123,6 +126,56 @@ BENCHMARK(BM_ClosedLoopPerCc)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The graph-indirection A/B: the same 8-flow closed-loop trial with the
+/// device ports either cabled directly (arg 0) or through a scenario
+/// graph with a pass-through monitor block on each direction (arg 1).
+/// The frames, their timestamps, and the congestion-control trajectory
+/// are identical by construction — the graph arm only adds the block
+/// dispatch (input adapter, counters, emit, one zero-propagation Link
+/// hop) per frame per direction. tools/bench_engine_snapshot.sh derives
+/// graph_overhead from the pair; the gate is <= 5%.
+void BM_GraphOverhead(benchmark::State& state) {
+  const bool through_graph = state.range(0) == 1;
+  const auto cfg = bench_cfg("newreno", 8);
+  std::uint64_t bytes_acked = 0;
+  for (auto _ : state) {
+    // Untimed: engine/device/graph construction and cabling.
+    sim::Engine eng;
+    core::OsntDevice dev{eng};
+    graph::Graph g{eng};
+    if (through_graph) {
+      g.emplace<graph::MonitorBlock>(eng, "fwd");
+      g.emplace<graph::MonitorBlock>(eng, "rev");
+      dev.port(0).out_link().connect(g.input("fwd"));
+      g.connect_output("fwd", 0, dev.port(1).rx());
+      dev.port(1).out_link().connect(g.input("rev"));
+      g.connect_output("rev", 0, dev.port(0).rx());
+      g.start();
+    } else {
+      dev.port(0).out_link().connect(dev.port(1).rx());
+      dev.port(1).out_link().connect(dev.port(0).rx());
+    }
+    tcp::ClosedLoopWorkload workload{eng, dev, cfg};
+    workload.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    eng.run_until(2 * kPicosPerMilli);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    bytes_acked = workload.total_bytes_acked();
+    benchmark::DoNotOptimize(bytes_acked);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+  // Identical in both arms — the label makes the equivalence auditable
+  // from the snapshot JSON.
+  state.counters["bytes_acked"] = static_cast<double>(bytes_acked);
+  state.SetLabel(through_graph ? "graph" : "direct");
+}
+BENCHMARK(BM_GraphOverhead)
+    ->Arg(0)
+    ->Arg(1)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

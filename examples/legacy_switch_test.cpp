@@ -3,12 +3,17 @@
 // traffic at a variable rate; another captures it after the switch and
 // estimates switching latency — exactly the workflow the paper describes.
 //
+// The switch is a one-node scenario graph (graph::LegacySwitchBlock), so
+// this doubles as the minimal example of wiring an OSNT tester through
+// the composable dataplane API.
+//
 //   $ ./legacy_switch_test
 #include <cstdio>
 
 #include "osnt/core/device.hpp"
 #include "osnt/core/measure.hpp"
-#include "osnt/dut/legacy_switch.hpp"
+#include "osnt/graph/dut_blocks.hpp"
+#include "osnt/graph/graph.hpp"
 #include "osnt/net/builder.hpp"
 
 using namespace osnt;
@@ -38,10 +43,13 @@ int main() {
     // Fresh testbed per load point: OSNT ports 0,2 → switch; port 1 captures.
     sim::Engine eng;
     core::OsntDevice osnt{eng};
-    dut::LegacySwitch sw{eng};
-    hw::connect(osnt.port(0), sw.port(0));
-    hw::connect(osnt.port(1), sw.port(1));
-    hw::connect(osnt.port(2), sw.port(2));
+    graph::Graph g{eng};
+    g.emplace<graph::LegacySwitchBlock>(eng, "sw");
+    for (std::size_t p : {0, 1, 2}) {
+      osnt.port(p).out_link().connect(g.input("sw", p));
+      g.connect_output("sw", p, osnt.port(p).rx());
+    }
+    g.start();
     prime_learning(eng, osnt);
 
     // Competing traffic from port 2 creates the "load condition": it

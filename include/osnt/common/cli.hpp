@@ -10,6 +10,18 @@
 
 namespace osnt {
 
+/// Levenshtein distance with two rolling rows — names are short, so the
+/// quadratic DP is microscopic. Shared by the CLI's unknown-flag hint and
+/// the topology loader's unknown-block-type hint.
+[[nodiscard]] std::size_t edit_distance(const std::string& a,
+                                        const std::string& b);
+
+/// Closest candidate to a (misspelled) name, or "" when nothing is close
+/// enough to be a plausible typo: at most 1 edit for short names, scaling
+/// to roughly a third of the name's length for long ones.
+[[nodiscard]] std::string suggest_nearest(
+    const std::string& name, const std::vector<std::string>& candidates);
+
 class CliParser {
  public:
   explicit CliParser(std::string program_description);

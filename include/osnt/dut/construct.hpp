@@ -1,0 +1,14 @@
+// Construction tag for DUT models. The plain constructors of
+// LegacySwitch/OpenFlowSwitch are deprecated in favour of their
+// osnt::graph block wrappers (graph/dut_blocks.hpp); harness code that
+// deliberately embeds a raw switch inside a larger composition — a graph
+// node, a leaf/spine fabric, an OFLOPS testbed — passes GraphWired{} to
+// select the supported, non-deprecated constructor and take on the
+// wiring responsibility itself.
+#pragma once
+
+namespace osnt::dut {
+
+struct GraphWired {};
+
+}  // namespace osnt::dut

@@ -1,0 +1,142 @@
+// Declarative topologies: a JSON file names a set of blocks, wires their
+// ports, and picks a workload; TopologyFile turns that into a live Graph
+// and run_topology_trial() closes the loop with the OSNT device — TCP
+// flows or a CBR stream enter the graph at `ingress` and leave at
+// `egress`, with an optional separate path for the ACK direction.
+//
+// Parsing is strict (osnt::json): any unknown key or misspelled block
+// type is a hard error with the line/column it occurred at, plus a
+// did-you-mean suggestion for plausible typos. Wiring errors — dangling
+// edges, port-count mismatches, an output claimed twice, duplicate block
+// names — fail at load() time, before any engine exists.
+//
+// Determinism: per-block random streams (RED's drop lottery, delay_ber's
+// corruption) are derived from the trial seed and the block's ordinal,
+// so a topology run is byte-identical for a fixed (file, seed) pair at
+// any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osnt/core/measure.hpp"
+#include "osnt/fault/plan.hpp"
+#include "osnt/graph/blocks.hpp"
+#include "osnt/graph/dut_blocks.hpp"
+#include "osnt/graph/graph.hpp"
+#include "osnt/tcp/workload.hpp"
+#include "osnt/telemetry/trace.hpp"
+
+namespace osnt::graph {
+
+/// Load/validation failure: what was wrong and (when it came from JSON)
+/// where in the file.
+class TopologyError : public GraphError {
+ public:
+  using GraphError::GraphError;
+};
+
+/// "block" or "block:port" in an edge or workload attachment.
+struct Endpoint {
+  std::string block;
+  std::size_t port = 0;
+};
+
+/// One block declaration. `type` selects which of the config members is
+/// meaningful; the loader fills port counts for validation.
+struct BlockSpec {
+  std::string name;
+  std::string type;
+  std::size_t num_inputs = 1;
+  std::size_t num_outputs = 1;
+
+  FifoQueueConfig fifo{};
+  RedConfig red{};
+  TokenBucketConfig token_bucket{};
+  DelayBerConfig delay_ber{};
+  EcmpConfig ecmp{};
+  dut::LegacySwitchConfig legacy_switch{};
+  OpenFlowSwitchBlockConfig openflow_switch{};
+};
+
+struct EdgeSpec {
+  Endpoint from;
+  Endpoint to;
+  Picos propagation = 0;
+};
+
+/// The traffic that drives the graph.
+struct WorkloadSpec {
+  enum class Kind : std::uint8_t { kNone, kTcp, kCbr };
+  Kind kind = Kind::kNone;
+
+  Endpoint ingress;  ///< where device TX enters the graph
+  Endpoint egress;   ///< which block output feeds the device RX
+  /// Optional ACK-direction path (tcp only). Absent = a direct reverse
+  /// cable, i.e. an ideal return channel.
+  std::optional<Endpoint> ack_ingress;
+  std::optional<Endpoint> ack_egress;
+
+  // --- tcp ---
+  std::size_t flows = 1;
+  std::string cc = "newreno";
+  std::uint32_t mss = 1448;
+  double bottleneck_gbps = 0.0;  ///< source-side TX drain; 0 = line rate
+  std::size_t queue_segments = 256;
+  std::uint64_t rwnd_kb = 1024;
+
+  // --- cbr ---
+  double rate_gbps = 1.0;
+  std::size_t frame_size = 256;
+  std::uint32_t flow_count = 1;
+};
+
+/// A parsed, validated topology file. Pure data until build() is called.
+struct TopologyFile {
+  std::string name;
+  std::uint64_t seed = 1;
+  Picos duration = 10 * kPicosPerMilli;
+  std::vector<BlockSpec> blocks;
+  std::vector<EdgeSpec> edges;
+  WorkloadSpec workload;
+
+  /// Parse + validate. Throws TopologyError with file positions.
+  [[nodiscard]] static TopologyFile from_json(const std::string& text);
+  [[nodiscard]] static TopologyFile load(const std::string& path);
+
+  /// The block type names the loader accepts (for did-you-mean and docs).
+  [[nodiscard]] static const std::vector<std::string>& known_types();
+
+  /// Instantiate every block and edge into `g`. Per-block random streams
+  /// derive from `trial_seed` and the block ordinal.
+  void build(sim::Engine& eng, Graph& g, std::uint64_t trial_seed) const;
+};
+
+/// Per-block counter row captured before the graph is torn down.
+struct BlockCounters {
+  std::string name;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t drops = 0;
+};
+
+struct TopologyTrialReport {
+  tcp::TcpTrialReport tcp{};  ///< meaningful when workload.kind == kTcp
+  core::RunResult cbr{};      ///< meaningful when workload.kind == kCbr
+  std::vector<BlockCounters> blocks;
+  std::uint64_t graph_frames_in = 0;
+  std::uint64_t graph_drops = 0;
+};
+
+/// One deterministic trial: fresh engine + device + graph built from
+/// `topo`, workload attached at the declared endpoints, run for
+/// `duration` (0 = the file's duration). Shared by osnt_run topo, the
+/// tests, and the graph A/B benchmark.
+[[nodiscard]] TopologyTrialReport run_topology_trial(
+    const TopologyFile& topo, std::uint64_t trial_seed, Picos duration = 0,
+    const fault::FaultPlan* plan = nullptr,
+    telemetry::TraceRecorder* trace = nullptr);
+
+}  // namespace osnt::graph

@@ -5,10 +5,7 @@
 #include <cstdlib>
 
 namespace osnt {
-namespace {
 
-/// Levenshtein distance with two rolling rows — flag names are short, so
-/// the quadratic DP is microscopic.
 std::size_t edit_distance(const std::string& a, const std::string& b) {
   std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
   for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
@@ -23,7 +20,22 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   return prev[b.size()];
 }
 
-}  // namespace
+std::string suggest_nearest(const std::string& name,
+                            const std::vector<std::string>& candidates) {
+  std::size_t best = std::string::npos;
+  const std::string* winner = nullptr;
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(name, candidate);
+    if (d < best) {
+      best = d;
+      winner = &candidate;
+    }
+  }
+  // Suggest only plausible typos: at most 1 edit for short names, scaling
+  // to roughly a third of the name's length for long ones.
+  const std::size_t limit = std::max<std::size_t>(1, name.size() / 3);
+  return winner && best <= limit ? *winner : std::string();
+}
 
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -139,22 +151,11 @@ bool CliParser::parse(int argc, const char* const* argv) {
 }
 
 std::string CliParser::nearest_flag(const std::string& name) const {
-  std::size_t best = std::string::npos;
-  const std::string* winner = nullptr;
-  const auto consider = [&](const std::string& candidate) {
-    const std::size_t d = edit_distance(name, candidate);
-    if (d < best) {
-      best = d;
-      winner = &candidate;
-    }
-  };
-  for (const auto& f : flags_) consider(f.name);
-  static const std::string kHelp = "help";
-  consider(kHelp);
-  // Suggest only plausible typos: at most 1 edit for short names, scaling
-  // to roughly a third of the name's length for long ones.
-  const std::size_t limit = std::max<std::size_t>(1, name.size() / 3);
-  return winner && best <= limit ? *winner : std::string();
+  std::vector<std::string> candidates;
+  candidates.reserve(flags_.size() + 1);
+  for (const auto& f : flags_) candidates.push_back(f.name);
+  candidates.emplace_back("help");
+  return suggest_nearest(name, candidates);
 }
 
 std::string CliParser::usage() const {

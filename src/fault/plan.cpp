@@ -1,220 +1,19 @@
 #include "osnt/fault/plan.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <algorithm>
 #include <utility>
+
+#include "osnt/common/json.hpp"
 
 namespace osnt::fault {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader — plans are small hand-written files, so this is a
-// strict recursive-descent parser over a value tree, not a streaming one.
-// No external dependency: the toolchain image is all we may assume.
-// ---------------------------------------------------------------------------
-
-struct Json {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Json> array;
-  std::vector<std::pair<std::string, Json>> object;  // preserves order
-
-  [[nodiscard]] const Json* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text)
-      : p_(text.data()), end_(text.data() + text.size()), begin_(text.data()) {}
-
-  Json parse() {
-    Json v = value();
-    skip_ws();
-    if (p_ != end_) fail("trailing content after JSON value");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw PlanError("fault plan JSON: " + why + " (offset " +
-                    std::to_string(p_ - begin_) + ")");
-  }
-
-  void skip_ws() {
-    while (p_ != end_ &&
-           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
-      ++p_;
-    }
-  }
-
-  [[nodiscard]] bool eat(char c) {
-    if (p_ != end_ && *p_ == c) {
-      ++p_;
-      return true;
-    }
-    return false;
-  }
-
-  void expect(char c) {
-    if (!eat(c)) fail(std::string("expected '") + c + "'");
-  }
-
-  Json value() {
-    skip_ws();
-    if (p_ == end_) fail("unexpected end of input");
-    switch (*p_) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"': {
-        Json v;
-        v.type = Json::Type::kString;
-        v.string = string();
-        return v;
-      }
-      case 't':
-      case 'f':
-        return boolean();
-      case 'n':
-        literal("null");
-        return Json{};
-      default:
-        return number();
-    }
-  }
-
-  void literal(const char* lit) {
-    for (const char* c = lit; *c; ++c) {
-      if (p_ == end_ || *p_ != *c) fail(std::string("bad literal, expected ") + lit);
-      ++p_;
-    }
-  }
-
-  Json boolean() {
-    Json v;
-    v.type = Json::Type::kBool;
-    if (*p_ == 't') {
-      literal("true");
-      v.boolean = true;
-    } else {
-      literal("false");
-    }
-    return v;
-  }
-
-  Json number() {
-    const char* start = p_;
-    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
-    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
-                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
-                          *p_ == '-' || *p_ == '+')) {
-      ++p_;
-    }
-    if (p_ == start) fail("expected a value");
-    char* parsed_end = nullptr;
-    const std::string token(start, p_);
-    const double d = std::strtod(token.c_str(), &parsed_end);
-    if (parsed_end != token.c_str() + token.size() || !std::isfinite(d)) {
-      fail("malformed number '" + token + "'");
-    }
-    Json v;
-    v.type = Json::Type::kNumber;
-    v.number = d;
-    return v;
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (p_ != end_ && *p_ != '"') {
-      char c = *p_++;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (p_ == end_) fail("unterminated escape");
-      switch (*p_++) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (end_ - p_ < 4) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = *p_++;
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          if (code > 0x7f) fail("non-ASCII \\u escape unsupported in plans");
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default:
-          fail("unknown escape");
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  Json object() {
-    expect('{');
-    Json v;
-    v.type = Json::Type::kObject;
-    skip_ws();
-    if (eat('}')) return v;
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), value());
-      skip_ws();
-      if (eat(',')) continue;
-      expect('}');
-      return v;
-    }
-  }
-
-  Json array() {
-    expect('[');
-    Json v;
-    v.type = Json::Type::kArray;
-    skip_ws();
-    if (eat(']')) return v;
-    for (;;) {
-      v.array.push_back(value());
-      skip_ws();
-      if (eat(',')) continue;
-      expect(']');
-      return v;
-    }
-  }
-
-  const char* p_;
-  const char* end_;
-  const char* begin_;
-};
+// Plans parse through the shared strict JSON reader (osnt::json, also
+// behind topology files); its positioned ParseError is rethrown as
+// PlanError so fault-plan callers keep a single exception type.
+using Json = json::Value;
 
 // ---------------------------------------------------------------------------
 // Schema mapping
@@ -397,7 +196,13 @@ void FaultPlan::normalize() {
 }
 
 FaultPlan FaultPlan::from_json(const std::string& text) {
-  const Json root = JsonParser(text).parse();
+  const Json root = [&text] {
+    try {
+      return json::parse(text, "fault plan JSON");
+    } catch (const json::ParseError& e) {
+      throw PlanError(e.what());
+    }
+  }();
   if (root.type != Json::Type::kObject) {
     throw PlanError("fault plan JSON: root must be an object");
   }
@@ -451,17 +256,11 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
 }
 
 FaultPlan FaultPlan::load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) throw PlanError("fault plan: cannot open '" + path + "'");
-  std::string text;
-  char buf[4096];
-  for (std::size_t got; (got = std::fread(buf, 1, sizeof buf, f)) > 0;) {
-    text.append(buf, got);
+  try {
+    return from_json(json::read_file(path, "fault plan"));
+  } catch (const json::ParseError& e) {
+    throw PlanError(e.what());
   }
-  const bool read_err = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_err) throw PlanError("fault plan: read error on '" + path + "'");
-  return from_json(text);
 }
 
 std::string FaultPlan::summary() const {

@@ -38,6 +38,13 @@ void Link::carry(net::Packet pkt, Picos tx_start, Picos tx_end) {
   // Deliver at last-bit arrival: sinks are store-and-forward MACs. The
   // first-bit time rides along for MAC-receipt timestamping semantics.
   const Engine::CategoryScope cat(*eng_, EventCategory::kLink);
+  if (last_bit == eng_->now()) {
+    // Zero-delay hop invoked at the frame's own arrival instant (a graph
+    // backplane edge): hand over synchronously instead of paying a full
+    // engine event for a no-op timestamp.
+    sink_->on_frame(std::move(pkt), first_bit, last_bit);
+    return;
+  }
   eng_->schedule_at(last_bit,
                     [this, pkt = std::move(pkt), first_bit, last_bit]() mutable {
                       sink_->on_frame(std::move(pkt), first_bit, last_bit);

@@ -18,9 +18,11 @@
 # scheduler hot path, the runner, or the telemetry layer and commit the
 # refreshed files alongside the change. BENCH_tcp.json is bench_tcp's
 # closed-loop flows/sec plus a "goodput_curve" block (goodput vs the BER
-# of a 6 ms error window under BBR); the gate is the clean-link point
-# within 10% of the bottleneck's payload share and a monotonically
-# falling curve.
+# of a 6 ms error window under BBR) and a "graph_overhead" block (the
+# BM_GraphOverhead direct-vs-graph A/B); the gates are the clean-link
+# point within 10% of the bottleneck's payload share, a monotonically
+# falling curve, and <= 5% cost for routing the closed loop through
+# scenario-graph blocks instead of a hand-wired cable.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -180,10 +182,10 @@ PYEOF
   --benchmark_out_format=json
 
 # Derive (a) the flows-per-wall-second scale axis and its hot-path
-# speedup gate and (b) the goodput-vs-BER curve with its clean-link
+# speedup gate, (b) the goodput-vs-BER curve with its clean-link
 # fidelity gate (BBR within 10% of the bottleneck's payload share:
 # 5 Gb/s L1 carries at most 5e9 * 1448/1538 of TCP payload in 1518 B
-# frames).
+# frames), and (c) the graph-indirection overhead with its <= 5% gate.
 python3 - "$out_tcp" <<'PYEOF'
 import json, sys
 
@@ -191,6 +193,7 @@ path = sys.argv[1]
 doc = json.load(open(path))
 curve = {}
 scale = {}
+ab = {}
 for b in doc["benchmarks"]:
     if b.get("aggregate_name") != "median":
         continue
@@ -201,6 +204,13 @@ for b in doc["benchmarks"]:
         _, flows, mode = b["run_name"].split("/")[:3]
         key = "wheel" if mode == "1" else "legacy"
         scale.setdefault(key, {})[int(flows)] = b["items_per_second"]
+    if b["run_name"].startswith("BM_GraphOverhead/"):
+        # run_name: BM_GraphOverhead/<0=direct,1=graph>/manual_time
+        arm = "graph" if b["run_name"].split("/")[1] == "1" else "direct"
+        ab[arm] = {
+            "flows_per_wall_second": b["items_per_second"],
+            "bytes_acked": b.get("bytes_acked", 0.0),
+        }
 
 wheel = scale.get("wheel", {})
 legacy = scale.get("legacy", {})
@@ -244,6 +254,32 @@ doc["goodput_curve"] = {
     "monotone_decreasing": bool(
         all(a >= b for a, b in zip(points, points[1:]))
     ),
+}
+
+direct = ab.get("direct", {}).get("flows_per_wall_second", 0.0)
+through = ab.get("graph", {}).get("flows_per_wall_second", 0.0)
+overhead_pct = (direct / through - 1.0) * 100.0 if through else 0.0
+doc["graph_overhead"] = {
+    "note": (
+        "Cost of routing the 8-flow closed loop through scenario-graph "
+        "blocks (a pass-through monitor per direction) instead of a "
+        "hand-wired cable, as (direct_rate / graph_rate - 1) * 100 "
+        "(median of 3 reps, manual timing). bytes_acked must match "
+        "between the arms — the workload is identical by construction, "
+        "only the dispatch differs. Gate: <= 5.0; negative values are "
+        "measurement noise around zero."
+    ),
+    "flows_per_wall_second": {
+        "direct": round(direct, 1),
+        "graph": round(through, 1),
+    },
+    "bytes_acked_match": bool(
+        ab.get("direct", {}).get("bytes_acked")
+        == ab.get("graph", {}).get("bytes_acked")
+    ),
+    "gate_pct": 5.0,
+    "overhead_pct": round(overhead_pct, 2),
+    "overhead_ok": bool(overhead_pct <= 5.0),
 }
 json.dump(doc, open(path, "w"), indent=1)
 print(f"wrote {path}")

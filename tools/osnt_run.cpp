@@ -15,6 +15,8 @@
 //                       [--duration-ms N] [--bottleneck-gbps N]
 //                       [--queue-segments N] [--faults PLAN.json]
 //                       [--trials N] [--jobs N]
+//   osnt_run topo       FILE.json [--seed N] [--duration-ms N]
+//                       [--trials N] [--jobs N] [--faults PLAN.json]
 //   osnt_run oflops     [--module M] [--table-size N] [--rounds N]
 //                       [--faults PLAN.json]
 //
@@ -42,6 +44,9 @@
 #include "osnt/dut/legacy_switch.hpp"
 #include "osnt/fault/injector.hpp"
 #include "osnt/fault/plan.hpp"
+#include "osnt/graph/dut_blocks.hpp"
+#include "osnt/graph/graph.hpp"
+#include "osnt/graph/topology.hpp"
 #include "osnt/net/builder.hpp"
 #include "osnt/mon/flow_stats.hpp"
 #include "osnt/oflops/consistency.hpp"
@@ -112,10 +117,12 @@ struct ObservabilityFlags {
 };
 
 struct DutHolder {
-  std::unique_ptr<dut::LegacySwitch> sw;
+  std::unique_ptr<graph::Graph> g;
 };
 
 /// Wire OSNT port 0 → DUT → OSNT port 1 (or back-to-back for "none").
+/// The DUT is a one-node scenario graph, so the driver exercises the
+/// same seam the topology loader does.
 DutHolder wire(sim::Engine& eng, core::OsntDevice& osnt,
                const std::string& dut) {
   DutHolder h;
@@ -125,9 +132,13 @@ DutHolder wire(sim::Engine& eng, core::OsntDevice& osnt,
   }
   dut::LegacySwitchConfig cfg;
   if (dut == "lossy") cfg.lookup_rate_mpps = 2.0;
-  h.sw = std::make_unique<dut::LegacySwitch>(eng, cfg);
-  hw::connect(osnt.port(0), h.sw->port(0));
-  hw::connect(osnt.port(1), h.sw->port(1));
+  h.g = std::make_unique<graph::Graph>(eng);
+  h.g->emplace<graph::LegacySwitchBlock>(eng, "dut", cfg);
+  osnt.port(0).out_link().connect(h.g->input("dut", 0));
+  osnt.port(1).out_link().connect(h.g->input("dut", 1));
+  h.g->connect_output("dut", 0, osnt.port(0).rx());
+  h.g->connect_output("dut", 1, osnt.port(1).rx());
+  h.g->start();
   // Prime MAC learning for the monitor-side address.
   net::PacketBuilder b;
   (void)osnt.port(1).tx().transmit(
@@ -544,6 +555,143 @@ int cmd_tcp(int argc, const char* const* argv) {
   return rc;
 }
 
+int cmd_topo(int argc, const char* const* argv) {
+  std::int64_t trials = 1, jobs = 1, seed = 0;
+  double duration_ms = 0.0;
+  std::string faults_path;
+  ObservabilityFlags obs;
+  CliParser cli{
+      "osnt_run topo FILE.json — run a declarative scenario-graph topology\n"
+      "(see examples/topologies/; blocks: fifo_queue, red, token_bucket,\n"
+      "delay_ber, ecmp, sink, monitor, legacy_switch, openflow_switch)"};
+  cli.add_flag("seed", &seed, "base seed (0 = the file's; trial i adds i)");
+  cli.add_flag("duration-ms", &duration_ms,
+               "simulated duration (0 = the file's)");
+  cli.add_flag("faults", &faults_path, "JSON fault plan to inject");
+  cli.add_flag("trials", &trials, "independent trials (distinct seeds)");
+  cli.add_flag("jobs", &jobs,
+               "worker threads for the trials (0 = all hardware threads)");
+  obs.add_to(cli);
+  if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  if (cli.positional().size() != 1) {
+    std::fprintf(stderr, "usage: osnt_run topo FILE.json [flags]\n");
+    return 1;
+  }
+  if (trials <= 0) {
+    std::fprintf(stderr, "--trials must be positive\n");
+    return 1;
+  }
+  if (obs.trace_enabled() && (trials != 1 || jobs != 1)) {
+    std::fprintf(stderr, "--trace requires --trials 1 --jobs 1\n");
+    return 1;
+  }
+
+  graph::TopologyFile topo;
+  try {
+    topo = graph::TopologyFile::load(cli.positional()[0]);
+  } catch (const graph::GraphError& e) {
+    std::fprintf(stderr, "%s: %s\n", cli.positional()[0].c_str(), e.what());
+    return 1;
+  }
+  const std::uint64_t base_seed =
+      seed > 0 ? static_cast<std::uint64_t>(seed) : topo.seed;
+  const Picos duration =
+      duration_ms > 0 ? from_micros(duration_ms * 1000.0) : topo.duration;
+
+  fault::FaultPlan fplan;
+  if (!faults_path.empty()) {
+    try {
+      fplan = fault::FaultPlan::load(faults_path);
+    } catch (const fault::PlanError& e) {
+      std::fprintf(stderr, "bad fault plan %s: %s\n", faults_path.c_str(),
+                   e.what());
+      return 1;
+    }
+    std::printf("fault plan: %s\n", fplan.summary().c_str());
+  }
+
+  std::printf("topology %s: %zu blocks, %zu edges, workload %s\n",
+              topo.name.empty() ? cli.positional()[0].c_str()
+                                : topo.name.c_str(),
+              topo.blocks.size(), topo.edges.size(),
+              topo.workload.kind == graph::WorkloadSpec::Kind::kTcp   ? "tcp"
+              : topo.workload.kind == graph::WorkloadSpec::Kind::kCbr ? "cbr"
+                                                                      : "none");
+
+  std::vector<graph::TopologyTrialReport> reports(
+      static_cast<std::size_t>(trials));
+  core::TrialPlan plan;
+  plan.points.resize(static_cast<std::size_t>(trials));
+  for (std::size_t i = 0; i < plan.points.size(); ++i) {
+    plan.points[i].seed = base_seed + i;
+  }
+  plan.run = [&](const core::TrialPoint& pt) {
+    const auto rep = graph::run_topology_trial(
+        topo, pt.seed, duration, fplan.events.empty() ? nullptr : &fplan,
+        obs.trace_enabled() ? &obs.rec : nullptr);
+    reports[pt.index] = rep;
+    core::TrialStats s;
+    s.tx_frames = rep.graph_frames_in;
+    s.rx_frames = rep.graph_frames_in - rep.graph_drops;
+    if (topo.workload.kind == graph::WorkloadSpec::Kind::kTcp) {
+      s.metric = rep.tcp.goodput_bps;
+    }
+    return s;
+  };
+
+  core::RunnerConfig rcfg;
+  rcfg.jobs = static_cast<std::size_t>(jobs < 0 ? 0 : jobs);
+  const auto outcomes = core::Runner{rcfg}.run_resilient(plan);
+
+  int rc = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& tr = outcomes[i];
+    if (!tr.ok()) {
+      std::fprintf(stderr, "trial %zu %s after %u attempt(s): %s\n", i,
+                   core::trial_outcome_name(tr.outcome), tr.attempts,
+                   tr.error.c_str());
+      rc = 1;
+      continue;
+    }
+    const auto& rep = reports[i];
+    if (topo.workload.kind == graph::WorkloadSpec::Kind::kTcp) {
+      std::printf(
+          "trial %zu seed %llu: goodput %.3f Gb/s  segs %llu  retx %llu  "
+          "graph drops %llu\n",
+          i, static_cast<unsigned long long>(tr.seed_used),
+          rep.tcp.goodput_bps / 1e9,
+          static_cast<unsigned long long>(rep.tcp.segs_sent),
+          static_cast<unsigned long long>(rep.tcp.retransmits),
+          static_cast<unsigned long long>(rep.graph_drops));
+    } else if (topo.workload.kind == graph::WorkloadSpec::Kind::kCbr) {
+      std::printf(
+          "trial %zu seed %llu: tx %llu  rx %llu  loss %.4f%%  "
+          "graph drops %llu\n",
+          i, static_cast<unsigned long long>(tr.seed_used),
+          static_cast<unsigned long long>(rep.cbr.tx_frames),
+          static_cast<unsigned long long>(rep.cbr.rx_frames),
+          rep.cbr.loss_fraction() * 100.0,
+          static_cast<unsigned long long>(rep.graph_drops));
+    } else {
+      std::printf("trial %zu seed %llu: %llu frames through the graph\n", i,
+                  static_cast<unsigned long long>(tr.seed_used),
+                  static_cast<unsigned long long>(rep.graph_frames_in));
+    }
+  }
+  if (rc == 0 && !reports.empty()) {
+    std::printf("%-16s %12s %12s %10s\n", "block", "frames_in", "frames_out",
+                "drops");
+    for (const auto& b : reports.front().blocks) {
+      std::printf("%-16s %12llu %12llu %10llu\n", b.name.c_str(),
+                  static_cast<unsigned long long>(b.frames_in),
+                  static_cast<unsigned long long>(b.frames_out),
+                  static_cast<unsigned long long>(b.drops));
+    }
+  }
+  if (!obs.finish()) rc = 1;
+  return rc;
+}
+
 int cmd_fleet(int argc, const char* const* argv) {
   std::int64_t leaves = 2, spines = 2, per_leaf = 2, frames = 100;
   CliParser cli{"osnt_run fleet — latency matrix over a leaf-spine fabric"};
@@ -619,7 +767,7 @@ int main(int argc, char** argv) {
 
   if (args.size() < 2) {
     std::fprintf(stderr,
-                 "usage: osnt_run <latency|throughput|capture|tcp|oflops|"
+                 "usage: osnt_run <latency|throughput|capture|tcp|topo|oflops|"
                  "fleet> [flags] [--log-level debug|info|warn|error|off]\n"
                  "       osnt_run <cmd> --help\n");
     return 1;
@@ -629,6 +777,7 @@ int main(int argc, char** argv) {
   const char* const* sub_argv = args.data() + 1;
   if (cmd == "latency") return cmd_latency(sub_argc, sub_argv);
   if (cmd == "tcp") return cmd_tcp(sub_argc, sub_argv);
+  if (cmd == "topo") return cmd_topo(sub_argc, sub_argv);
   if (cmd == "throughput") return cmd_throughput(sub_argc, sub_argv);
   if (cmd == "capture") return cmd_capture(sub_argc, sub_argv);
   if (cmd == "oflops") return cmd_oflops(sub_argc, sub_argv);
