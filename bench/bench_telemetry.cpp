@@ -7,6 +7,10 @@
 
 #include <cstdint>
 
+#include "osnt/core/device.hpp"
+#include "osnt/core/measure.hpp"
+#include "osnt/hw/port.hpp"
+#include "osnt/mon/latency_probe.hpp"
 #include "osnt/sim/engine.hpp"
 #include "osnt/telemetry/histogram.hpp"
 #include "osnt/telemetry/registry.hpp"
@@ -92,6 +96,47 @@ void BM_RegistryCounterAdd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RegistryCounterAdd);
+
+/// In-plane RTT probe A/B: the full monitor datapath (MAC → stamp →
+/// stats → filter → DMA) receiving stamped traffic, with the LatencyProbe
+/// observing every frame versus configured off. The probe's per-frame
+/// cost is one packed u64 store plus an amortized 1/kBatch drain; the
+/// gate is <= 5% on delivered frames/sec. Telemetry itself is held off in
+/// both arms so this isolates the probe, not the registry flush.
+void BM_LatencyProbe(benchmark::State& state, bool enabled) {
+  const EnabledGuard guard(false);
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    Engine eng;
+    osnt::core::OsntDevice dev{eng};
+    osnt::hw::connect(dev.port(0), dev.port(1));
+    dev.rx(1).set_rtt_probe_enabled(enabled);
+    osnt::core::TrafficSpec spec;
+    spec.rate = osnt::gen::RateSpec::gbps(5.0);
+    spec.frame_size = 256;
+    spec.seed = 42;
+    const auto r = osnt::core::run_capture_test(
+        eng, dev, 0, 1, spec, 200 * osnt::kPicosPerMicro);
+    frames += r.rx_frames;
+  }
+  benchmark::DoNotOptimize(frames);
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+}
+BENCHMARK_CAPTURE(BM_LatencyProbe, on, true);
+BENCHMARK_CAPTURE(BM_LatencyProbe, off, false);
+
+/// Raw probe hot path: the packed append + amortized drain per sample.
+void BM_LatencyProbeObserve(benchmark::State& state) {
+  osnt::mon::LatencyProbe p;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    p.observe(v & 0xFFFFF, static_cast<std::uint8_t>(v));
+    v = v * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyProbeObserve);
 
 void BM_RegistryHistogramRecord(benchmark::State& state) {
   auto& h = osnt::telemetry::registry().histogram("bench.telemetry.hist");

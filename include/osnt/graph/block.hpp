@@ -77,6 +77,10 @@ class Block {
   /// Frames this block decided not to forward (policy drops + frames
   /// emitted into unwired output ports).
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  /// Wire bytes delivered to this block (intrinsic, like frames_in) —
+  /// flushed as graph.<name>.frame_bytes so series-derived Gbps needs no
+  /// separate tap.
+  [[nodiscard]] std::uint64_t bytes_in() const noexcept { return bytes_in_; }
 
  protected:
   [[nodiscard]] sim::Engine& engine() noexcept { return *eng_; }
@@ -105,6 +109,7 @@ class Block {
   std::uint64_t frames_in_ = 0;
   std::uint64_t frames_out_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint64_t bytes_in_ = 0;
   telemetry::TraceRecorder::TrackId track_ = 0;
   bool traced_ = false;
 };

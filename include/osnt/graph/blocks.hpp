@@ -16,6 +16,7 @@
 
 #include "osnt/common/random.hpp"
 #include "osnt/graph/block.hpp"
+#include "osnt/mon/latency_probe.hpp"
 #include "osnt/telemetry/histogram.hpp"
 
 namespace osnt::graph {
@@ -216,12 +217,21 @@ class SinkBlock : public Block {
 
 // --------------------------------------------------------------- monitor
 
+struct MonitorConfig {
+  /// Record per-class latency (tx_truth → arrival) into the in-plane
+  /// LatencyProbe, flushed under graph.<name>.rtt.*.
+  bool rtt_probe = true;
+};
+
 /// Transparent tap: forwards every frame unchanged while recording a
-/// wire-length histogram and an FCS-error count. The graph equivalent of
+/// wire-length histogram, an FCS-error count, and — the in-plane
+/// measurement point — per-traffic-class latency histograms over the
+/// frame's source-MAC ground truth (`tx_truth`), the graph analogue of
+/// the RxPipeline's pre-DMA LatencyProbe. The graph equivalent of
 /// clipping a probe onto a fiber.
 class MonitorBlock : public Block {
  public:
-  MonitorBlock(sim::Engine& eng, std::string name);
+  MonitorBlock(sim::Engine& eng, std::string name, MonitorConfig cfg = {});
   ~MonitorBlock() override;
 
   void on_frame(std::size_t in_port, net::Packet pkt, Picos first_bit,
@@ -234,11 +244,18 @@ class MonitorBlock : public Block {
   [[nodiscard]] const telemetry::Log2Histogram& frame_bytes() const noexcept {
     return frame_bytes_;
   }
+  /// Per-class latency histograms (ns, sim ground truth). Empty when the
+  /// probe is disabled or frames carry no tx_truth.
+  [[nodiscard]] const mon::LatencyProbe& rtt_probe() const noexcept {
+    return rtt_probe_;
+  }
 
  private:
+  MonitorConfig cfg_;
   std::uint64_t bytes_ = 0;
   std::uint64_t fcs_errors_ = 0;
   telemetry::Log2Histogram frame_bytes_;
+  mon::LatencyProbe rtt_probe_;
 };
 
 }  // namespace osnt::graph

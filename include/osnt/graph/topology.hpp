@@ -27,6 +27,7 @@
 #include "osnt/graph/dut_blocks.hpp"
 #include "osnt/graph/graph.hpp"
 #include "osnt/tcp/workload.hpp"
+#include "osnt/telemetry/series.hpp"
 #include "osnt/telemetry/trace.hpp"
 
 namespace osnt::graph {
@@ -57,6 +58,7 @@ struct BlockSpec {
   TokenBucketConfig token_bucket{};
   DelayBerConfig delay_ber{};
   EcmpConfig ecmp{};
+  MonitorConfig monitor{};
   dut::LegacySwitchConfig legacy_switch{};
   OpenFlowSwitchBlockConfig openflow_switch{};
 };
@@ -120,6 +122,12 @@ struct BlockCounters {
   std::uint64_t frames_in = 0;
   std::uint64_t frames_out = 0;
   std::uint64_t drops = 0;
+  std::uint64_t frame_bytes = 0;
+  /// In-plane latency summary (monitor blocks only; 0 samples otherwise).
+  std::uint64_t rtt_samples = 0;
+  double rtt_p50_ns = 0.0;
+  double rtt_p90_ns = 0.0;
+  double rtt_p99_ns = 0.0;
 };
 
 struct TopologyTrialReport {
@@ -128,15 +136,23 @@ struct TopologyTrialReport {
   std::vector<BlockCounters> blocks;
   std::uint64_t graph_frames_in = 0;
   std::uint64_t graph_drops = 0;
+  /// Filled when a series interval was requested (see run_topology_trial).
+  telemetry::SeriesData series{};
 };
 
 /// One deterministic trial: fresh engine + device + graph built from
 /// `topo`, workload attached at the declared endpoints, run for
 /// `duration` (0 = the file's duration). Shared by osnt_run topo, the
 /// tests, and the graph A/B benchmark.
+///
+/// `series_interval > 0` attaches a telemetry::TimeSeries sampler to the
+/// trial engine (per-block frames/bytes/drops channels, monitor RTT
+/// histograms, and — for tcp workloads — the aggregate tcp.* channels)
+/// and returns its data in the report. Per-trial series merge
+/// commutatively, so sharded runs stay byte-identical at any --jobs.
 [[nodiscard]] TopologyTrialReport run_topology_trial(
     const TopologyFile& topo, std::uint64_t trial_seed, Picos duration = 0,
     const fault::FaultPlan* plan = nullptr,
-    telemetry::TraceRecorder* trace = nullptr);
+    telemetry::TraceRecorder* trace = nullptr, Picos series_interval = 0);
 
 }  // namespace osnt::graph

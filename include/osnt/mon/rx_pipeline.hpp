@@ -15,10 +15,12 @@
 #include "osnt/hw/mac10g.hpp"
 #include "osnt/mon/cutter.hpp"
 #include "osnt/mon/filter.hpp"
+#include "osnt/mon/latency_probe.hpp"
 #include "osnt/mon/stats_block.hpp"
 #include "osnt/sim/engine.hpp"
 #include "osnt/telemetry/histogram.hpp"
 #include "osnt/tstamp/clock.hpp"
+#include "osnt/tstamp/embed.hpp"
 
 namespace osnt::mon {
 
@@ -26,6 +28,15 @@ struct RxConfig {
   std::uint8_t port_id = 0;
   bool capture_enabled = true;
   CutterConfig cutter{};
+  /// In-plane RTT probe (LatencyProbe): decode the embedded TX stamp at
+  /// `probe_embed_offset` before the trigger/filter/DMA stages and record
+  /// the device-clock latency per traffic class (IPv4 DSCP). Frames whose
+  /// bytes at the offset do not decode to a plausible stamp (delta outside
+  /// [0, probe_window_ns)) are skipped — unstamped traffic decodes to
+  /// absurd deltas, which is what makes the probe safe to leave on.
+  bool rtt_probe = true;
+  std::size_t probe_embed_offset = tstamp::kDefaultEmbedOffset;
+  double probe_window_ns = 1e9;
 };
 
 class RxPipeline {
@@ -47,6 +58,7 @@ class RxPipeline {
   [[nodiscard]] const StatsBlock& stats() const noexcept { return stats_; }
 
   void set_capture_enabled(bool on) noexcept { cfg_.capture_enabled = on; }
+  void set_rtt_probe_enabled(bool on) noexcept { cfg_.rtt_probe = on; }
 
   /// In-sim frame tap: invoked for every parseable frame after the stats
   /// block, before the capture path (so trigger/filter/DMA state cannot
@@ -86,6 +98,13 @@ class RxPipeline {
     return trigger_state_ == TriggerState::kFired;
   }
 
+  /// The in-plane RTT probe (per-class log2 histograms over the embedded
+  /// TX stamp → RX device stamp delta, pre-DMA). Empty when cfg.rtt_probe
+  /// is off or no stamped traffic arrived.
+  [[nodiscard]] const LatencyProbe& rtt_probe() const noexcept {
+    return rtt_probe_;
+  }
+
   // --- counters ---
   [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
   [[nodiscard]] std::uint64_t captured() const noexcept { return captured_; }
@@ -118,6 +137,9 @@ class RxPipeline {
   /// Ground-truth one-way latency (tx_truth → first bit at the monitor),
   /// in nanoseconds of *sim* time — the shard behind `mon.rx.latency_ns`.
   telemetry::Log2Histogram latency_ns_;
+  /// Device-observable in-plane latency (embedded stamp vs RX stamp),
+  /// flushed under `mon.rx.rtt.*`.
+  LatencyProbe rtt_probe_;
   telemetry::TraceRecorder::TrackId trace_track_ = 0;
   bool trace_track_set_ = false;
 };

@@ -23,6 +23,10 @@
 #include "osnt/telemetry/histogram.hpp"
 #include "osnt/telemetry/trace.hpp"
 
+namespace osnt::mon {
+class LatencyProbe;
+}
+
 namespace osnt::tcp {
 
 /// RFC 6298 retransmission-timer estimator. SRTT/RTTVAR with the standard
@@ -90,6 +94,13 @@ struct FlowConfig {
   std::string cc = "newreno";
   Picos min_rto = kPicosPerMilli;       ///< sim-scaled (RFC says 1 s; §11)
   Picos max_rto = 250 * kPicosPerMilli;
+  /// IPv4 DSCP stamped on every segment (and echoed on ACKs by the
+  /// workload), so in-plane monitor probes can bin flows by class.
+  std::uint8_t dscp = 0;
+  /// Optional in-plane RTT sink: every accepted RTT sample (the same
+  /// ones that feed the RTO estimator) is observed under class `dscp`.
+  /// Not owned; must outlive the flow.
+  mon::LatencyProbe* rtt_probe = nullptr;
 };
 
 /// Sender-side counters, exposed for tests and the CLI report.

@@ -26,9 +26,11 @@
 #include "osnt/fault/injector.hpp"
 #include "osnt/fault/plan.hpp"
 #include "osnt/gen/closed_loop.hpp"
+#include "osnt/mon/latency_probe.hpp"
 #include "osnt/sim/engine.hpp"
 #include "osnt/tcp/flow.hpp"
 #include "osnt/tcp/flow_slab.hpp"
+#include "osnt/telemetry/series.hpp"
 
 namespace osnt::tcp {
 
@@ -187,6 +189,12 @@ class ClosedLoopWorkload {
   [[nodiscard]] std::uint64_t delack_cancels_saved() const {
     return delack_cancels_saved_;
   }
+  /// In-plane RTT probe fed by every flow's accepted RTT samples (the
+  /// RTO estimator's input stream), classed by flow DSCP (flow index
+  /// mod 4). Flushed under tcp.rtt.* at destruction.
+  [[nodiscard]] const mon::LatencyProbe& rtt_probe() const {
+    return rtt_probe_;
+  }
   /// Application goodput (cum-acked bytes) over `window`, in bits/s.
   [[nodiscard]] double goodput_bps(Picos window) const;
 
@@ -208,6 +216,7 @@ class ClosedLoopWorkload {
   std::vector<ReceiverHot> recv_hot_;
   std::vector<ReceiverCold> recv_cold_;
   std::uint64_t delack_cancels_saved_ = 0;
+  mon::LatencyProbe rtt_probe_;
 };
 
 /// Aggregate result of one closed-loop trial (the unit osnt_run tcp,
@@ -262,9 +271,14 @@ class ClosedLoopTestbed {
 /// fixed (cfg.seed, plan) pair. `trace` attaches a recorder to the
 /// trial's engine (single-trial runs only; the recorder is not
 /// thread-safe across sharded trials).
+///
+/// `series_interval > 0` attaches a sim-time sampler (tcp.* counter
+/// channels + the tcp.rtt.ns histogram) and stores its per-interval
+/// deltas into `*series_out`; per-trial series merge commutatively.
 [[nodiscard]] TcpTrialReport run_closed_loop_trial(
     const WorkloadConfig& cfg, Picos duration,
     const fault::FaultPlan* plan = nullptr,
-    telemetry::TraceRecorder* trace = nullptr);
+    telemetry::TraceRecorder* trace = nullptr, Picos series_interval = 0,
+    telemetry::SeriesData* series_out = nullptr);
 
 }  // namespace osnt::tcp

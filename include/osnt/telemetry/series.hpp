@@ -1,0 +1,128 @@
+// Sim-time telemetry time series: a periodic sampler that turns the
+// registry's end-of-run totals into *trajectories*. A TimeSeries owns a
+// set of named channels, each a closure over a cumulative counter or a
+// cumulative Log2Histogram living in the testbed (block counters, probe
+// histograms, pipeline shards); attach() pre-schedules one tick per
+// interval on the engine's bulk-timer path (the timing wheel), and every
+// tick stores the *delta* since the previous one. Deltas are plain u64
+// sums, so merging the per-trial SeriesData of a sharded run is
+// commutative — `--series-out` JSON is byte-identical for any --jobs
+// value, the same contract as Snapshot::kSimOnly (DESIGN.md §14).
+//
+// Ticks are pre-scheduled up to a fixed horizon rather than self-
+// rearming: Engine::run() drains to empty, and a timer that re-arms
+// itself would never let it terminate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "osnt/common/time.hpp"
+#include "osnt/telemetry/histogram.hpp"
+
+namespace osnt::sim {
+class Engine;
+}  // namespace osnt::sim
+
+namespace osnt::telemetry {
+
+/// The sampled result: per-channel per-interval deltas, detached from the
+/// engine that produced it. Copyable, mergeable, serializable.
+struct SeriesData {
+  static constexpr std::size_t kBuckets = Log2Histogram::kBuckets;
+
+  /// One interval's worth of histogram growth (bucket-wise delta of the
+  /// cumulative histogram). Quantiles are recovered per interval at
+  /// serialization time by reassembling a Log2Histogram from the buckets.
+  struct HistDelta {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+
+  struct Channel {
+    enum class Kind : std::uint8_t { kCounter, kHistogram };
+    Kind kind = Kind::kCounter;
+    std::vector<std::uint64_t> deltas;  ///< kCounter: one delta per interval
+    std::vector<HistDelta> hist;        ///< kHistogram: one delta per interval
+  };
+
+  Picos interval = 0;
+  /// Duration covered by the final sample when the run did not end on an
+  /// interval boundary (0 = the last sample is a full interval).
+  Picos tail = 0;
+  std::uint64_t trials = 0;
+  /// std::map: sorted iteration keeps the JSON deterministic.
+  std::map<std::string, Channel> channels;
+
+  [[nodiscard]] bool empty() const noexcept { return channels.empty(); }
+  [[nodiscard]] std::size_t intervals() const noexcept;
+
+  /// Element-wise sum of another trial's series (pads the shorter side
+  /// with zeros; channel sets are unioned). Commutative and associative,
+  /// so any merge order — and any worker count — yields the same bytes.
+  void merge_from(const SeriesData& o);
+
+  /// Deterministic JSON: schema "osnt.series.v1". Counter channels carry
+  /// "delta" + "rate_per_s"; histogram channels carry "count", "mean",
+  /// "p50", "p99" — one element per interval. Doubles render via %.17g,
+  /// the same shortest-round-trip convention as the registry snapshot.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] bool write_json(const std::string& path) const;
+};
+
+/// The live sampler. Register channels, attach to an engine, run the
+/// simulation, call finish(), then take() the data.
+class TimeSeries {
+ public:
+  /// `interval` must be positive.
+  explicit TimeSeries(Picos interval);
+
+  /// Channel getters return *cumulative* values; the sampler differences
+  /// consecutive reads. They are invoked from engine context at tick time
+  /// and must outlive the attached run (capture testbed objects by
+  /// reference/pointer). Re-adding a name replaces the getter.
+  void add_counter(const std::string& name,
+                   std::function<std::uint64_t()> get);
+  void add_histogram(const std::string& name,
+                     std::function<Log2Histogram()> get);
+
+  /// Pre-schedule ticks at k*interval for k = 1..floor(horizon/interval)
+  /// on the bulk-timer (wheel) path under EventCategory::kMon. Call once,
+  /// after the channels are registered and before the engine runs.
+  void attach(sim::Engine& eng, Picos horizon);
+
+  /// Capture the trailing partial interval (anything after the last tick
+  /// up to the engine's current time). Call after the run completes.
+  void finish();
+
+  [[nodiscard]] const SeriesData& data() const noexcept { return data_; }
+  [[nodiscard]] SeriesData take() noexcept { return std::move(data_); }
+  [[nodiscard]] Picos interval() const noexcept { return data_.interval; }
+
+ private:
+  void tick();
+
+  struct CounterChan {
+    std::string name;
+    std::function<std::uint64_t()> get;
+    std::uint64_t prev = 0;
+  };
+  struct HistChan {
+    std::string name;
+    std::function<Log2Histogram()> get;
+    Log2Histogram prev;
+  };
+
+  sim::Engine* eng_ = nullptr;
+  Picos last_tick_ = 0;
+  std::vector<CounterChan> counters_;
+  std::vector<HistChan> hists_;
+  SeriesData data_;
+};
+
+}  // namespace osnt::telemetry

@@ -25,6 +25,7 @@ Block::~Block() {
     reg.counter(prefix + "frames_in").add(frames_in_);
     reg.counter(prefix + "frames_out").add(frames_out_);
     reg.counter(prefix + "drops").add(drops_);
+    reg.counter(prefix + "frame_bytes").add(bytes_in_);
   }
 }
 
@@ -43,6 +44,7 @@ void Block::emit(std::size_t out_port, net::Packet pkt, Picos tx_start,
 void Block::deliver(std::size_t in_port, net::Packet pkt, Picos first_bit,
                     Picos last_bit) {
   ++frames_in_;
+  bytes_in_ += pkt.wire_len();
   if (traced_) {
     eng_->trace()->complete(track_, "frame", first_bit, last_bit - first_bit);
   }

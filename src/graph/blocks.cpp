@@ -284,8 +284,9 @@ void SinkBlock::on_frame(std::size_t /*in_port*/, net::Packet pkt,
 
 // --------------------------------------------------------------- monitor
 
-MonitorBlock::MonitorBlock(sim::Engine& eng, std::string name)
-    : Block(eng, std::move(name), 1, 1) {}
+MonitorBlock::MonitorBlock(sim::Engine& eng, std::string name,
+                           MonitorConfig cfg)
+    : Block(eng, std::move(name), 1, 1), cfg_(cfg) {}
 
 MonitorBlock::~MonitorBlock() {
   if (telemetry::enabled() && frames_in() > 0) {
@@ -294,14 +295,39 @@ MonitorBlock::~MonitorBlock() {
     reg.counter(prefix + "bytes").add(bytes_);
     reg.counter(prefix + "fcs_errors").add(fcs_errors_);
     reg.histogram(prefix + "frame_bytes").merge(frame_bytes_);
+    rtt_probe_.flush(prefix);
   }
 }
+
+namespace {
+
+/// Traffic class without a full parse: the IPv4 DSCP low bits, read
+/// straight off the TOS byte (eth[12..13] == 0x0800, tos at eth+15).
+/// Non-IPv4 and VLAN-tagged frames fall into class 0.
+std::uint8_t frame_class(const net::Packet& pkt) noexcept {
+  const auto b = pkt.bytes();
+  if (b.size() >= 16 && b[12] == 0x08 && b[13] == 0x00) {
+    return static_cast<std::uint8_t>((b[15] >> 2) &
+                                     mon::LatencyProbe::kClassMask);
+  }
+  return 0;
+}
+
+}  // namespace
 
 void MonitorBlock::on_frame(std::size_t /*in_port*/, net::Packet pkt,
                             Picos first_bit, Picos last_bit) {
   bytes_ += pkt.wire_len();
   frame_bytes_.record(pkt.wire_len());
   if (pkt.fcs_bad) ++fcs_errors_;
+  // In-plane latency at the tap: source-MAC ground truth to arrival here,
+  // recorded for every frame regardless of what downstream blocks or the
+  // capture path do with it.
+  if (cfg_.rtt_probe && pkt.tx_truth > 0 && first_bit >= pkt.tx_truth) {
+    rtt_probe_.observe(
+        static_cast<std::uint64_t>((first_bit - pkt.tx_truth) / kPicosPerNano),
+        frame_class(pkt));
+  }
   emit(0, std::move(pkt), first_bit, last_bit);
 }
 

@@ -211,7 +211,9 @@ BlockSpec parse_block(const Json& b, std::size_t i) {
     check_keys(b, {"name", "type"}, who2);
     spec.num_outputs = 0;
   } else if (spec.type == "monitor") {
-    check_keys(b, {"name", "type"}, who2);
+    check_keys(b, {"name", "type", "rtt_probe"}, who2);
+    spec.monitor.rtt_probe =
+        bool_or(b, "rtt_probe", spec.monitor.rtt_probe, who2);
   } else if (spec.type == "legacy_switch") {
     check_keys(b,
                with_time_units({"name", "type", "num_ports", "queue_bytes",
@@ -463,7 +465,7 @@ void TopologyFile::build(sim::Engine& eng, Graph& g,
     } else if (b.type == "sink") {
       g.emplace<SinkBlock>(eng, b.name);
     } else if (b.type == "monitor") {
-      g.emplace<MonitorBlock>(eng, b.name);
+      g.emplace<MonitorBlock>(eng, b.name, b.monitor);
     } else if (b.type == "legacy_switch") {
       dut::LegacySwitchConfig cfg = b.legacy_switch;
       cfg.seed = block_seed;
@@ -486,7 +488,8 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
                                        std::uint64_t trial_seed,
                                        Picos duration,
                                        const fault::FaultPlan* plan,
-                                       telemetry::TraceRecorder* trace) {
+                                       telemetry::TraceRecorder* trace,
+                                       Picos series_interval) {
   if (duration == 0) duration = topo.duration;
   TopologyTrialReport report;
 
@@ -504,6 +507,35 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
       injector->attach_device(dev);
       injector->arm();
     }
+  };
+
+  // Sim-time sampler: per-block intrinsic channels plus each monitor's
+  // in-plane RTT histogram. Workload channels join below, before start.
+  std::optional<telemetry::TimeSeries> series;
+  if (series_interval > 0) {
+    series.emplace(series_interval);
+    for (std::size_t i = 0; i < g.num_blocks(); ++i) {
+      const Block* b = &g.block(i);
+      const std::string prefix = "graph." + b->name() + ".";
+      series->add_counter(prefix + "frames_in",
+                          [b] { return b->frames_in(); });
+      series->add_counter(prefix + "frames_out",
+                          [b] { return b->frames_out(); });
+      series->add_counter(prefix + "drops", [b] { return b->drops(); });
+      series->add_counter(prefix + "frame_bytes",
+                          [b] { return b->bytes_in(); });
+      if (const auto* mb = dynamic_cast<const MonitorBlock*>(b)) {
+        series->add_histogram(prefix + "rtt.ns",
+                              [mb] { return mb->rtt_probe().merged(); });
+      }
+    }
+    series->attach(eng, duration);
+  }
+  const auto finish_series = [&] {
+    if (!series) return;
+    series->finish();
+    report.series = series->take();
+    series.reset();
   };
 
   if (w.kind == WorkloadSpec::Kind::kTcp) {
@@ -529,6 +561,19 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
     cfg.rwnd_bytes = w.rwnd_kb * 1024;
     cfg.seed = trial_seed;
     tcp::ClosedLoopWorkload workload{eng, dev, cfg};
+    if (series) {
+      series->add_counter("tcp.bytes_acked",
+                          [&workload] { return workload.total_bytes_acked(); });
+      series->add_counter("tcp.acks_sent",
+                          [&workload] { return workload.total_acks_sent(); });
+      series->add_counter("tcp.retransmits",
+                          [&workload] { return workload.total_retransmits(); });
+      series->add_counter("tcp.queue_drops",
+                          [&workload] { return workload.source().drops(); });
+      series->add_histogram("tcp.rtt.ns", [&workload] {
+        return workload.rtt_probe().merged();
+      });
+    }
     arm_faults();
     g.start();
     workload.start();
@@ -551,6 +596,7 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
       if (i == 0 || rate < r.min_flow_rate_bps) r.min_flow_rate_bps = rate;
       if (i == 0 || rate > r.max_flow_rate_bps) r.max_flow_rate_bps = rate;
     }
+    finish_series();  // before the workload (and its channels) go away
   } else if (w.kind == WorkloadSpec::Kind::kCbr) {
     dev.port(0).out_link().connect(g.input(w.ingress.block, w.ingress.port));
     g.connect_output(w.egress.block, w.egress.port, dev.port(1).rx());
@@ -563,17 +609,33 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
     spec.flow_count = w.flow_count;
     spec.seed = trial_seed;
     report.cbr = core::run_capture_test(eng, dev, 0, 1, spec, duration);
+    finish_series();
   } else {
     arm_faults();
     g.start();
     eng.run_until(duration);
+    finish_series();
   }
 
   report.blocks.reserve(g.num_blocks());
   for (std::size_t i = 0; i < g.num_blocks(); ++i) {
     const Block& b = g.block(i);
-    report.blocks.push_back(
-        {b.name(), b.frames_in(), b.frames_out(), b.drops()});
+    BlockCounters bc;
+    bc.name = b.name();
+    bc.frames_in = b.frames_in();
+    bc.frames_out = b.frames_out();
+    bc.drops = b.drops();
+    bc.frame_bytes = b.bytes_in();
+    if (const auto* mb = dynamic_cast<const MonitorBlock*>(&b)) {
+      const telemetry::Log2Histogram h = mb->rtt_probe().merged();
+      bc.rtt_samples = h.count();
+      if (h.count() > 0) {
+        bc.rtt_p50_ns = h.quantile(0.5);
+        bc.rtt_p90_ns = h.quantile(0.9);
+        bc.rtt_p99_ns = h.quantile(0.99);
+      }
+    }
+    report.blocks.push_back(std::move(bc));
   }
   report.graph_frames_in = g.total_frames_in();
   report.graph_drops = g.total_drops();

@@ -14,6 +14,7 @@ RxPipeline::~RxPipeline() {
   reg.counter("mon.rx.dma_drops").add(dma_drops_);
   reg.counter("mon.rx.probe_hits").add(probe_seen_);
   reg.histogram("mon.rx.latency_ns").merge(latency_ns_);
+  rtt_probe_.flush("mon.rx.");
 }
 
 void RxPipeline::arm_trigger(FilterRule rule, std::uint64_t window) {
@@ -57,6 +58,23 @@ void RxPipeline::on_frame(net::Packet pkt, Picos first_bit, Picos last_bit) {
   stats_.record(*parsed, pkt.wire_len(), eng_->now());
   if (probe_ && probe_->matches(*parsed)) ++probe_seen_;
   if (tap_) tap_(*parsed, pkt, first_bit);
+
+  // In-plane RTT probe: the same embedded-stamp-vs-RX-stamp delta that
+  // HostCapture::latency_ns computes for DMA survivors, taken here for
+  // *every* frame — ahead of the trigger/filter/DMA stages, so capture
+  // loss cannot bias the distribution. Unstamped frames decode to deltas
+  // outside the plausibility window and are skipped.
+  if (cfg_.rtt_probe) {
+    if (const auto st =
+            tstamp::extract_timestamp(pkt.bytes(), cfg_.probe_embed_offset)) {
+      const double d = tstamp::delta_nanos(ts, st->ts);
+      if (d >= 0.0 && d < cfg_.probe_window_ns) {
+        const std::uint8_t cls =
+            parsed->l3 == net::L3Kind::kIpv4 ? parsed->ipv4.dscp : 0;
+        rtt_probe_.observe(static_cast<std::uint64_t>(d), cls);
+      }
+    }
+  }
 
   if (!cfg_.capture_enabled) return;
 

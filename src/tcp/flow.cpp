@@ -3,6 +3,7 @@
 #include <string>
 
 #include "osnt/common/random.hpp"
+#include "osnt/mon/latency_probe.hpp"
 #include "osnt/net/builder.hpp"
 #include "osnt/net/tcp_options.hpp"
 #include "osnt/telemetry/registry.hpp"
@@ -94,7 +95,15 @@ void Flow::on_ack(const net::TcpHeader& hdr, std::uint32_t peer_tsval,
       rtt = static_cast<Picos>(
                 static_cast<std::uint32_t>(tsval_now(now) - tsecr)) *
             kPicosPerNano;
-      if (rtt > 0) rto_.sample(rtt);
+      if (rtt > 0) {
+        rto_.sample(rtt);
+        // In-plane RTT probe: the identical sample stream the RTO
+        // estimator consumes, binned by the flow's traffic class.
+        if (cfg_.rtt_probe) {
+          cfg_.rtt_probe->observe(
+              static_cast<std::uint64_t>(rtt / kPicosPerNano), cfg_.dscp);
+        }
+      }
     }
 
     // Delivery-rate sample, anchored at the send of the newest segment
@@ -267,7 +276,8 @@ void Flow::emit_segment(std::uint64_t offset, std::uint32_t len,
 
   net::PacketBuilder b;
   b.eth(cfg_.src_mac, cfg_.dst_mac)
-      .ipv4(cfg_.src_ip, cfg_.dst_ip, net::ipproto::kTcp)
+      .ipv4(cfg_.src_ip, cfg_.dst_ip, net::ipproto::kTcp, /*ttl=*/64,
+            cfg_.dscp)
       .tcp(cfg_.src_port, cfg_.dst_port, seq32_of(offset), 0,
            net::TcpFlags::kAck | net::TcpFlags::kPsh)
       .tcp_options(

@@ -84,6 +84,11 @@ ClosedLoopWorkload::ClosedLoopWorkload(sim::Engine& eng,
     fc.cc = cfg_.cc;
     fc.min_rto = cfg_.min_rto;
     fc.max_rto = cfg_.max_rto;
+    // Round-robin traffic classes across flows; every segment carries
+    // the class in its DSCP bits so in-plane monitor probes can bin it,
+    // and the flow's RTT samples land in the shared probe's class bin.
+    fc.dscp = static_cast<std::uint8_t>(i & mon::LatencyProbe::kClassMask);
+    fc.rtt_probe = &rtt_probe_;
     const auto h = flows_.emplace(*eng_, fc, [this](net::Packet&& pkt) {
       return source_->offer(std::move(pkt));
     });
@@ -129,6 +134,7 @@ ClosedLoopWorkload::~ClosedLoopWorkload() {
     reg.counter("tcp.ooo_segs").add(total_ooo_segs());
     reg.counter("tcp.queue_drops").add(source_->drops());
     reg.counter("tcp.delack.cancels_saved").add(delack_cancels_saved_);
+    rtt_probe_.flush("tcp.");
   }
 }
 
@@ -228,7 +234,7 @@ void ClosedLoopWorkload::send_ack(std::size_t idx, Picos now) {
   const FlowConfig& fc = flows_[static_cast<std::uint32_t>(idx)].config();
   net::PacketBuilder b;
   b.eth(fc.dst_mac, fc.src_mac)
-      .ipv4(fc.dst_ip, fc.src_ip, net::ipproto::kTcp)
+      .ipv4(fc.dst_ip, fc.src_ip, net::ipproto::kTcp, /*ttl=*/64, fc.dscp)
       .tcp(fc.dst_port, fc.src_port, /*seq=*/0,
            st.isn + static_cast<std::uint32_t>(st.rcv_nxt),
            net::TcpFlags::kAck)
@@ -356,9 +362,37 @@ TcpTrialReport ClosedLoopTestbed::report(Picos window) const {
 TcpTrialReport run_closed_loop_trial(const WorkloadConfig& cfg,
                                      Picos duration,
                                      const fault::FaultPlan* plan,
-                                     telemetry::TraceRecorder* trace) {
+                                     telemetry::TraceRecorder* trace,
+                                     Picos series_interval,
+                                     telemetry::SeriesData* series_out) {
   ClosedLoopTestbed bed(cfg, plan, trace);
+  std::optional<telemetry::TimeSeries> series;
+  if (series_interval > 0 && series_out) {
+    series.emplace(series_interval);
+    ClosedLoopWorkload& w = bed.workload();
+    series->add_counter("tcp.bytes_acked",
+                        [&w] { return w.total_bytes_acked(); });
+    series->add_counter("tcp.acks_sent", [&w] { return w.total_acks_sent(); });
+    series->add_counter("tcp.segs_sent", [&w] {
+      std::uint64_t n = 0;
+      for (std::size_t i = 0; i < w.num_flows(); ++i) {
+        n += w.flow(i).stats().segs_sent;
+      }
+      return n;
+    });
+    series->add_counter("tcp.retransmits",
+                        [&w] { return w.total_retransmits(); });
+    series->add_counter("tcp.queue_drops",
+                        [&w] { return w.source().drops(); });
+    series->add_histogram("tcp.rtt.ns",
+                          [&w] { return w.rtt_probe().merged(); });
+    series->attach(bed.engine(), duration);
+  }
   bed.run_until(duration);
+  if (series) {
+    series->finish();
+    *series_out = series->take();
+  }
   return bed.report(duration);
 }
 

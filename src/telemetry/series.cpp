@@ -1,0 +1,219 @@
+#include "osnt/telemetry/series.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "osnt/sim/engine.hpp"
+
+namespace osnt::telemetry {
+namespace {
+
+/// Shortest round-trippable decimal (same convention as the registry
+/// snapshot): identical doubles always render the same bytes.
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Reassemble an interval's histogram delta so the stock quantile walk
+/// applies. min/max were not tracked per interval; the bucket bounds of
+/// the occupied range are the tightest deterministic substitute, which
+/// bounds the interpolation error at one bucket width.
+Log2Histogram hist_of_delta(const SeriesData::HistDelta& d) {
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+  if (d.count > 0) {
+    for (std::size_t b = 0; b < SeriesData::kBuckets; ++b) {
+      if (d.buckets[b] == 0) continue;
+      min = std::min(min, Log2Histogram::bucket_lo(b));
+      max = std::max(max, Log2Histogram::bucket_hi(b));
+    }
+  }
+  return Log2Histogram::from_parts(d.buckets, d.count, d.sum, min, max);
+}
+
+}  // namespace
+
+std::size_t SeriesData::intervals() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [name, ch] : channels) {
+    n = std::max(n, ch.kind == Channel::Kind::kCounter ? ch.deltas.size()
+                                                       : ch.hist.size());
+  }
+  return n;
+}
+
+void SeriesData::merge_from(const SeriesData& o) {
+  if (interval == 0) interval = o.interval;
+  tail = std::max(tail, o.tail);
+  trials += o.trials;
+  for (const auto& [name, och] : o.channels) {
+    Channel& ch = channels[name];
+    ch.kind = och.kind;
+    if (och.kind == Channel::Kind::kCounter) {
+      if (ch.deltas.size() < och.deltas.size())
+        ch.deltas.resize(och.deltas.size());
+      for (std::size_t i = 0; i < och.deltas.size(); ++i)
+        ch.deltas[i] += och.deltas[i];
+    } else {
+      if (ch.hist.size() < och.hist.size()) ch.hist.resize(och.hist.size());
+      for (std::size_t i = 0; i < och.hist.size(); ++i) {
+        HistDelta& d = ch.hist[i];
+        const HistDelta& od = och.hist[i];
+        d.count += od.count;
+        d.sum += od.sum;
+        for (std::size_t b = 0; b < kBuckets; ++b)
+          d.buckets[b] += od.buckets[b];
+      }
+    }
+  }
+}
+
+std::string SeriesData::to_json() const {
+  const std::size_t n = intervals();
+  std::string out = "{\n \"schema\": \"osnt.series.v1\",\n";
+  out += " \"interval_ps\": " + std::to_string(interval) + ",\n";
+  out += " \"tail_ps\": " + std::to_string(tail) + ",\n";
+  out += " \"intervals\": " + std::to_string(n) + ",\n";
+  out += " \"trials\": " + std::to_string(trials) + ",\n";
+  out += " \"channels\": {";
+  const double ival_s = static_cast<double>(interval) * 1e-12;
+  const double tail_s = static_cast<double>(tail) * 1e-12;
+  bool first = true;
+  for (const auto& [name, ch] : channels) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  \"" + name + "\": {";
+    if (ch.kind == Channel::Kind::kCounter) {
+      out += "\"kind\": \"counter\", \"delta\": [";
+      for (std::size_t i = 0; i < ch.deltas.size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(ch.deltas[i]);
+      }
+      out += "], \"rate_per_s\": [";
+      for (std::size_t i = 0; i < ch.deltas.size(); ++i) {
+        if (i) out += ", ";
+        // The final sample may cover a partial interval.
+        const bool is_tail = tail > 0 && i + 1 == ch.deltas.size();
+        const double span = is_tail ? tail_s : ival_s;
+        out += fmt_double(span > 0.0
+                              ? static_cast<double>(ch.deltas[i]) / span
+                              : 0.0);
+      }
+      out += "]";
+    } else {
+      out += "\"kind\": \"histogram\", \"count\": [";
+      for (std::size_t i = 0; i < ch.hist.size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(ch.hist[i].count);
+      }
+      out += "], \"mean\": [";
+      for (std::size_t i = 0; i < ch.hist.size(); ++i) {
+        if (i) out += ", ";
+        const HistDelta& d = ch.hist[i];
+        out += fmt_double(d.count ? static_cast<double>(d.sum) /
+                                        static_cast<double>(d.count)
+                                  : 0.0);
+      }
+      out += "], \"p50\": [";
+      for (std::size_t i = 0; i < ch.hist.size(); ++i) {
+        if (i) out += ", ";
+        out += fmt_double(hist_of_delta(ch.hist[i]).quantile(0.50));
+      }
+      out += "], \"p99\": [";
+      for (std::size_t i = 0; i < ch.hist.size(); ++i) {
+        if (i) out += ", ";
+        out += fmt_double(hist_of_delta(ch.hist[i]).quantile(0.99));
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "\n }\n}\n";
+  return out;
+}
+
+bool SeriesData::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+TimeSeries::TimeSeries(Picos interval) {
+  assert(interval > 0);
+  data_.interval = interval;
+  data_.trials = 1;
+}
+
+void TimeSeries::add_counter(const std::string& name,
+                             std::function<std::uint64_t()> get) {
+  for (auto& c : counters_) {
+    if (c.name == name) {
+      c.get = std::move(get);
+      return;
+    }
+  }
+  counters_.push_back({name, std::move(get), 0});
+  auto& ch = data_.channels[name];
+  ch.kind = SeriesData::Channel::Kind::kCounter;
+}
+
+void TimeSeries::add_histogram(const std::string& name,
+                               std::function<Log2Histogram()> get) {
+  for (auto& h : hists_) {
+    if (h.name == name) {
+      h.get = std::move(get);
+      return;
+    }
+  }
+  hists_.push_back({name, std::move(get), Log2Histogram{}});
+  auto& ch = data_.channels[name];
+  ch.kind = SeriesData::Channel::Kind::kHistogram;
+}
+
+void TimeSeries::tick() {
+  for (auto& c : counters_) {
+    const std::uint64_t cur = c.get();
+    data_.channels[c.name].deltas.push_back(cur - c.prev);
+    c.prev = cur;
+  }
+  for (auto& h : hists_) {
+    const Log2Histogram cur = h.get();
+    SeriesData::HistDelta d;
+    d.count = cur.count() - h.prev.count();
+    d.sum = cur.sum() - h.prev.sum();
+    for (std::size_t b = 0; b < SeriesData::kBuckets; ++b)
+      d.buckets[b] = cur.bucket_count(b) - h.prev.bucket_count(b);
+    data_.channels[h.name].hist.push_back(d);
+    h.prev = cur;
+  }
+  last_tick_ = eng_ ? eng_->now() : last_tick_;
+}
+
+void TimeSeries::attach(sim::Engine& eng, Picos horizon) {
+  eng_ = &eng;
+  const Picos interval = data_.interval;
+  if (interval <= 0 || horizon <= 0) return;
+  const sim::Engine::CategoryScope scope{eng, sim::EventCategory::kMon};
+  // Bounded pre-schedule: a self-rearming tick would keep Engine::run()
+  // from ever draining to empty.
+  for (Picos t = interval; t <= horizon; t += interval) {
+    eng.schedule_bulk_at(t, [this] { tick(); });
+  }
+}
+
+void TimeSeries::finish() {
+  if (eng_ == nullptr) return;
+  const Picos now = eng_->now();
+  if (now > last_tick_) {
+    data_.tail = now - last_tick_;
+    tick();
+  }
+  eng_ = nullptr;
+}
+
+}  // namespace osnt::telemetry

@@ -15,6 +15,7 @@
 #include "osnt/sim/engine.hpp"
 #include "osnt/telemetry/histogram.hpp"
 #include "osnt/telemetry/registry.hpp"
+#include "osnt/telemetry/series.hpp"
 #include "osnt/telemetry/trace.hpp"
 
 namespace osnt {
@@ -442,6 +443,119 @@ TEST(TelemetryRunner, WallMetricsPresentInFullSnapshot) {
   EXPECT_EQ(reg.histogram("core.runner.trial_us.wall").snapshot().count(), 4u);
   const std::string all = reg.to_json(telemetry::Snapshot::kAll);
   EXPECT_NE(all.find("core.runner.utilization_pct.wall"), std::string::npos);
+}
+
+// ------------------------------------------------------- time series
+
+/// A minimal sampled scenario: a cumulative counter bumped by scheduled
+/// events and a cumulative histogram fed alongside it, sampled every
+/// 100 ps over a 300 ps horizon with one straggler event at 350 ps.
+telemetry::SeriesData sampled_scenario(bool wheel) {
+  sim::Engine eng;
+  eng.set_wheel_enabled(wheel);
+  std::uint64_t frames = 0;
+  Log2Histogram lat;
+  // Interval 1: two events. Interval 2: none. Interval 3: one. Tail: one.
+  for (const Picos t : {30, 60, 250, 350}) {
+    eng.schedule_at(t, [&frames, &lat, t] {
+      ++frames;
+      lat.record(static_cast<std::uint64_t>(t));
+    });
+  }
+  telemetry::TimeSeries ts{100};
+  ts.add_counter("frames", [&frames] { return frames; });
+  ts.add_histogram("lat.ns", [&lat] { return lat; });
+  ts.attach(eng, 300);
+  eng.run();
+  ts.finish();
+  return ts.take();
+}
+
+TEST(TelemetrySeries, CounterAndHistogramDeltasPerInterval) {
+  const telemetry::SeriesData d = sampled_scenario(true);
+  EXPECT_EQ(d.interval, 100);
+  EXPECT_EQ(d.trials, 1u);
+  EXPECT_EQ(d.intervals(), 4u);
+  EXPECT_EQ(d.tail, 50);  // run ended at 350, last full tick at 300
+
+  const auto& frames = d.channels.at("frames");
+  ASSERT_EQ(frames.kind, telemetry::SeriesData::Channel::Kind::kCounter);
+  ASSERT_EQ(frames.deltas.size(), 4u);
+  EXPECT_EQ(frames.deltas[0], 2u);  // events at 30, 60
+  EXPECT_EQ(frames.deltas[1], 0u);  // quiet interval
+  EXPECT_EQ(frames.deltas[2], 1u);  // event at 250
+  EXPECT_EQ(frames.deltas[3], 1u);  // tail straggler at 350
+
+  const auto& lat = d.channels.at("lat.ns");
+  ASSERT_EQ(lat.kind, telemetry::SeriesData::Channel::Kind::kHistogram);
+  ASSERT_EQ(lat.hist.size(), 4u);
+  EXPECT_EQ(lat.hist[0].count, 2u);
+  EXPECT_EQ(lat.hist[0].sum, 90u);
+  EXPECT_EQ(lat.hist[1].count, 0u);
+  EXPECT_EQ(lat.hist[2].count, 1u);
+  EXPECT_EQ(lat.hist[3].sum, 350u);
+}
+
+TEST(TelemetrySeries, JsonShapeAndDeterminism) {
+  const telemetry::SeriesData d = sampled_scenario(true);
+  const std::string json = d.to_json();
+  EXPECT_NE(json.find("\"osnt.series.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"interval_ps\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"tail_ps\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"trials\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"intervals\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"channels\""), std::string::npos);
+  EXPECT_NE(json.find("\"delta\": [2, 0, 1, 1]"), std::string::npos);
+  EXPECT_NE(json.find("\"rate_per_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": [2, 0, 1, 1]"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Same scenario, same bytes.
+  EXPECT_EQ(json, sampled_scenario(true).to_json());
+}
+
+TEST(TelemetrySeries, WheelAndHeapTimersProduceIdenticalSeries) {
+  // The sampler's ticks ride the bulk-timer path; whether they land in the
+  // timing wheel or spill to the heap must not change a single byte.
+  EXPECT_EQ(sampled_scenario(true).to_json(),
+            sampled_scenario(false).to_json());
+}
+
+TEST(TelemetrySeries, MergeIsCommutativeAndUnionsChannels) {
+  const telemetry::SeriesData a = sampled_scenario(true);
+
+  telemetry::SeriesData b = sampled_scenario(true);
+  {
+    // Give b a channel a doesn't have, and vice versa by construction.
+    telemetry::SeriesData::Channel extra;
+    extra.kind = telemetry::SeriesData::Channel::Kind::kCounter;
+    extra.deltas = {5, 6};
+    b.channels["only.in.b"] = extra;
+  }
+
+  telemetry::SeriesData ab = a;
+  ab.merge_from(b);
+  telemetry::SeriesData ba = b;
+  ba.merge_from(a);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+
+  EXPECT_EQ(ab.trials, 2u);
+  EXPECT_EQ(ab.channels.at("frames").deltas[0], 4u);  // 2 + 2
+  EXPECT_EQ(ab.channels.at("lat.ns").hist[3].sum, 700u);
+  // A channel present on only one side survives the union untouched;
+  // intervals() still reports the longest channel.
+  ASSERT_EQ(ab.channels.at("only.in.b").deltas.size(), 2u);
+  EXPECT_EQ(ab.channels.at("only.in.b").deltas[1], 6u);
+  EXPECT_EQ(ab.intervals(), 4u);
+}
+
+TEST(TelemetrySeries, MergeIntoEmptyAdoptsIntervalAndTail) {
+  telemetry::SeriesData empty;
+  empty.merge_from(sampled_scenario(true));
+  EXPECT_EQ(empty.interval, 100);
+  EXPECT_EQ(empty.tail, 50);
+  EXPECT_EQ(empty.trials, 1u);
+  EXPECT_EQ(empty.to_json(), sampled_scenario(true).to_json());
 }
 
 }  // namespace

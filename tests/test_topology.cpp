@@ -12,6 +12,7 @@
 #include "osnt/core/runner.hpp"
 #include "osnt/graph/topology.hpp"
 #include "osnt/telemetry/registry.hpp"
+#include "osnt/telemetry/series.hpp"
 
 namespace osnt {
 namespace {
@@ -162,8 +163,9 @@ TEST(Topology, CbrTrialRunsThroughTheGraph) {
   EXPECT_EQ(r.graph_frames_in, r.blocks[0].frames_in);
 }
 
-// A scaled-down dumbbell10: closed-loop TCP flows share a RED bottleneck,
-// with a symmetric delay on the ACK path.
+// A scaled-down dumbbell10: closed-loop TCP flows share a RED bottleneck
+// with an in-plane monitor tap behind it, and a symmetric delay on the
+// ACK path.
 constexpr const char* kMiniDumbbell = R"({
   "name": "mini_dumbbell",
   "seed": 1,
@@ -172,12 +174,14 @@ constexpr const char* kMiniDumbbell = R"({
     {"name": "access", "type": "delay_ber", "delay_us": 2},
     {"name": "bottleneck", "type": "red", "rate_gbps": 1.0,
      "queue_frames": 60, "min_th": 8, "max_th": 30, "max_p": 0.1},
+    {"name": "tap", "type": "monitor", "rtt_probe": true},
     {"name": "ackpath", "type": "delay_ber", "delay_us": 2}
   ],
-  "edges": [{"from": "access:0", "to": "bottleneck:0"}],
+  "edges": [{"from": "access:0", "to": "bottleneck:0"},
+            {"from": "bottleneck:0", "to": "tap:0"}],
   "workload": {
     "kind": "tcp", "flows": 4, "cc": "newreno",
-    "ingress": "access:0", "egress": "bottleneck:0",
+    "ingress": "access:0", "egress": "tap:0",
     "ack_ingress": "ackpath:0", "ack_egress": "ackpath:0"
   }
 })";
@@ -187,7 +191,8 @@ struct DumbbellOutcome {
   std::string sim_metrics_json;
 };
 
-DumbbellOutcome run_dumbbell_trials(std::size_t jobs) {
+DumbbellOutcome run_dumbbell_trials(std::size_t jobs,
+                                    Picos series_interval = 0) {
   telemetry::registry().reset();
   const TopologyFile topo = TopologyFile::from_json(kMiniDumbbell);
   DumbbellOutcome out;
@@ -200,7 +205,10 @@ DumbbellOutcome run_dumbbell_trials(std::size_t jobs) {
     plan.points.push_back(pt);
   }
   plan.run = [&](const core::TrialPoint& pt) {
-    const auto r = graph::run_topology_trial(topo, pt.seed);
+    const auto r = graph::run_topology_trial(topo, pt.seed, /*duration=*/0,
+                                             /*plan=*/nullptr,
+                                             /*trace=*/nullptr,
+                                             series_interval);
     core::TrialStats st;
     st.metric = static_cast<double>(r.tcp.bytes_acked);
     out.reports[pt.index] = r;  // slots are disjoint across workers
@@ -213,6 +221,14 @@ DumbbellOutcome run_dumbbell_trials(std::size_t jobs) {
   out.sim_metrics_json =
       telemetry::registry().to_json(telemetry::Snapshot::kSimOnly);
   return out;
+}
+
+/// Merge the per-trial series the way the CLI does: in plan (index)
+/// order. merge_from is commutative, so this is just the canonical order.
+telemetry::SeriesData merged_series(const DumbbellOutcome& out) {
+  telemetry::SeriesData merged;
+  for (const auto& r : out.reports) merged.merge_from(r.series);
+  return merged;
 }
 
 TEST(Topology, DumbbellTcpMakesForwardProgress) {
@@ -255,6 +271,70 @@ TEST(Topology, DumbbellIsByteIdenticalAcrossJobs) {
 
   telemetry::registry().reset();
   telemetry::set_enabled(was_enabled);
+}
+
+TEST(Topology, DumbbellMonitorReportsRttQuantiles) {
+  const TopologyFile topo = TopologyFile::from_json(kMiniDumbbell);
+  const auto r = graph::run_topology_trial(topo, topo.seed);
+
+  const graph::BlockCounters* tap = nullptr;
+  for (const auto& b : r.blocks) {
+    if (b.name == "tap") tap = &b;
+    // Only monitor blocks carry an RTT population.
+    if (b.name != "tap") EXPECT_EQ(b.rtt_samples, 0u) << b.name;
+  }
+  ASSERT_NE(tap, nullptr);
+  EXPECT_GT(tap->frames_in, 0u);
+  // The tap sits behind the bottleneck: every data segment that survived
+  // RED is in the histogram, and the quantiles are ordered.
+  EXPECT_GT(tap->rtt_samples, 0u);
+  EXPECT_GT(tap->rtt_p50_ns, 0.0);
+  EXPECT_LE(tap->rtt_p50_ns, tap->rtt_p90_ns);
+  EXPECT_LE(tap->rtt_p90_ns, tap->rtt_p99_ns);
+  // frame_bytes makes series-derived throughput possible without a
+  // separate tap: it must track frames_in (TCP segments are >= 64B).
+  EXPECT_GE(tap->frame_bytes, 64 * tap->frames_in);
+}
+
+TEST(Topology, MonitorRttProbeCanBeDisabled) {
+  std::string quiet = kMiniDumbbell;
+  const std::string on = "\"rtt_probe\": true";
+  quiet.replace(quiet.find(on), on.size(), "\"rtt_probe\": false");
+  const TopologyFile topo = TopologyFile::from_json(quiet);
+  const auto r = graph::run_topology_trial(topo, topo.seed);
+  for (const auto& b : r.blocks) {
+    if (b.name != "tap") continue;
+    EXPECT_GT(b.frames_in, 0u);  // still forwards
+    EXPECT_EQ(b.rtt_samples, 0u);
+  }
+}
+
+TEST(Topology, DumbbellSeriesByteIdenticalAcrossJobs) {
+  const DumbbellOutcome serial = run_dumbbell_trials(1, kPicosPerMilli);
+  const DumbbellOutcome parallel = run_dumbbell_trials(4, kPicosPerMilli);
+
+  const telemetry::SeriesData a = merged_series(serial);
+  const telemetry::SeriesData b = merged_series(parallel);
+  const std::string json = a.to_json();
+  EXPECT_EQ(json, b.to_json());
+
+  // The merged series carries the per-block channels, the monitor RTT
+  // trajectory, and the aggregate tcp channels for all three trials.
+  EXPECT_EQ(a.trials, 3u);
+  EXPECT_EQ(a.interval, kPicosPerMilli);
+  EXPECT_GE(a.intervals(), 4u);  // 4 ms sampled every 1 ms
+  EXPECT_NE(json.find("graph.tap.rtt.ns"), std::string::npos);
+  EXPECT_NE(json.find("graph.bottleneck.frames_in"), std::string::npos);
+  EXPECT_NE(json.find("graph.tap.frame_bytes"), std::string::npos);
+  EXPECT_NE(json.find("tcp.bytes_acked"), std::string::npos);
+  EXPECT_NE(json.find("tcp.rtt.ns"), std::string::npos);
+
+  // The trajectory is real, not a flat line: TCP moved bytes in at least
+  // one sampled interval.
+  std::uint64_t acked = 0;
+  for (const std::uint64_t d : a.channels.at("tcp.bytes_acked").deltas)
+    acked += d;
+  EXPECT_GT(acked, 0u);
 }
 
 }  // namespace

@@ -14,7 +14,8 @@
 # and the host's hardware_concurrency, without which the ratios are
 # meaningless). BENCH_telemetry.json is bench_telemetry's enabled-vs-
 # disabled A/B plus an "overhead" block with the per-benchmark ratio; the
-# gate is <= 5% on the ScheduleFire storm. Re-run after touching the
+# gates are <= 5% on the ScheduleFire storm and on the in-plane
+# LatencyProbe monitor-datapath A/B. Re-run after touching the
 # scheduler hot path, the runner, or the telemetry layer and commit the
 # refreshed files alongside the change. BENCH_tcp.json is bench_tcp's
 # closed-loop flows/sec plus a "goodput_curve" block (goodput vs the BER
@@ -163,7 +164,8 @@ doc["overhead"] = {
         "events/sec cost of leaving telemetry enabled, as "
         "(off_rate / on_rate - 1) * 100 per A/B pair (median of 5 "
         "randomly interleaved reps). Gate: <= 5.0 on the "
-        "BM_ScheduleFireTelemetry storm. Negative values are measurement "
+        "BM_ScheduleFireTelemetry storm and on the BM_LatencyProbe "
+        "monitor-datapath A/B. Negative values are measurement "
         "noise around zero."
     ),
     "gate_pct": 5.0,

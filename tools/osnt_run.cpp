@@ -14,9 +14,10 @@
 //   osnt_run tcp        [--cc newreno|cubic|bbr] [--flows N]
 //                       [--duration-ms N] [--bottleneck-gbps N]
 //                       [--queue-segments N] [--faults PLAN.json]
-//                       [--trials N] [--jobs N]
+//                       [--trials N] [--jobs N] [--series-out PATH]
 //   osnt_run topo       FILE.json [--seed N] [--duration-ms N]
 //                       [--trials N] [--jobs N] [--faults PLAN.json]
+//                       [--series-out PATH] [--series-interval-us N]
 //   osnt_run oflops     [--module M] [--table-size N] [--rounds N]
 //                       [--faults PLAN.json]
 //
@@ -25,6 +26,11 @@
 // --metrics-out PATH: --trace writes a Chrome trace_event JSON of the run
 // in *sim* time (open in Perfetto / chrome://tracing); --metrics-out
 // snapshots the process-wide telemetry registry as JSON at end of run.
+// latency, tcp, and topo additionally take --series-out PATH
+// [--series-interval-us N | --series-interval-ms N] (default 1 ms): a
+// sim-time sampler stores per-interval counter deltas and RTT-histogram
+// slices and writes one "osnt.series.v1" JSON, byte-identical at any
+// --jobs value (per-trial series merge commutatively).
 // --faults loads
 // a deterministic fault plan (see examples/faults/) and injects it into
 // the testbed; fault activations show up as a "fault/*" trace track and
@@ -59,6 +65,7 @@
 #include "osnt/oflops/stats_poll.hpp"
 #include "osnt/tcp/workload.hpp"
 #include "osnt/telemetry/registry.hpp"
+#include "osnt/telemetry/series.hpp"
 #include "osnt/telemetry/trace.hpp"
 #include "osnt/topo/fabric.hpp"
 
@@ -73,6 +80,9 @@ namespace {
 struct ObservabilityFlags {
   std::string trace_path;
   std::string metrics_path;
+  std::string series_path;
+  double series_interval_us = 0.0;
+  double series_interval_ms = 0.0;
   telemetry::TraceRecorder rec;
 
   void add_to(CliParser& cli) {
@@ -81,7 +91,58 @@ struct ObservabilityFlags {
                  "write a telemetry registry JSON snapshot here");
   }
 
+  /// Register --series-out on the subcommands that sample sim-time
+  /// series (latency, tcp, topo).
+  void add_series_to(CliParser& cli) {
+    cli.add_flag("series-out", &series_path,
+                 "write a sim-time telemetry series JSON here");
+    cli.add_flag("series-interval-us", &series_interval_us,
+                 "series sampling interval, microseconds");
+    cli.add_flag("series-interval-ms", &series_interval_ms,
+                 "series sampling interval, milliseconds (default 1)");
+  }
+
   [[nodiscard]] bool trace_enabled() const { return !trace_path.empty(); }
+  [[nodiscard]] bool series_enabled() const { return !series_path.empty(); }
+
+  /// Resolved sampling interval; 0 when --series-out was not given.
+  [[nodiscard]] Picos series_interval() const {
+    if (series_path.empty()) return 0;
+    if (series_interval_us > 0.0) return from_micros(series_interval_us);
+    if (series_interval_ms > 0.0) {
+      return from_micros(series_interval_ms * 1000.0);
+    }
+    return kPicosPerMilli;
+  }
+
+  /// Post-parse validation of the series flags (at most one unit, and an
+  /// interval without a destination is a mistake worth flagging).
+  [[nodiscard]] bool validate_series() const {
+    if (series_interval_us > 0.0 && series_interval_ms > 0.0) {
+      std::fprintf(stderr,
+                   "--series-interval given in more than one unit\n");
+      return false;
+    }
+    if ((series_interval_us > 0.0 || series_interval_ms > 0.0) &&
+        series_path.empty()) {
+      std::fprintf(stderr, "--series-interval-* requires --series-out\n");
+      return false;
+    }
+    return true;
+  }
+
+  /// Write the merged series (no-op when --series-out was not given).
+  [[nodiscard]] bool write_series(const telemetry::SeriesData& s) {
+    if (series_path.empty()) return true;
+    if (!s.write_json(series_path)) {
+      std::fprintf(stderr, "failed to write series to %s\n",
+                   series_path.c_str());
+      return false;
+    }
+    std::printf("wrote %zu-interval series (%zu channels) to %s\n",
+                s.intervals(), s.channels.size(), series_path.c_str());
+    return true;
+  }
 
   /// Attach the recorder / handler timing to a trial engine. Only valid
   /// for engines driven from one thread (the recorder is not thread-safe);
@@ -173,7 +234,9 @@ int cmd_latency(int argc, const char* const* argv) {
   cli.add_flag("wall-deadline-ms", &wall_deadline_ms,
                "abort a trial after this much wall time (0 = unlimited)");
   obs.add_to(cli);
+  obs.add_series_to(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  if (!obs.validate_series()) return 1;
 
   fault::FaultPlan fplan;
   if (!faults_path.empty()) {
@@ -188,6 +251,7 @@ int cmd_latency(int argc, const char* const* argv) {
   }
 
   core::RunResult r;
+  telemetry::SeriesData sdata;
 
   // Phrased as a one-point trial plan: the testbed lives inside the trial
   // (so telemetry shards flush before the snapshot below) and the runner
@@ -207,13 +271,32 @@ int cmd_latency(int argc, const char* const* argv) {
       inj->arm();
     }
 
+    const Picos duration = from_micros(duration_ms * 1000.0);
+    // Sim-time sampler over the monitor pipeline: the in-plane view of
+    // the run as it unfolds, not just end-of-run totals.
+    std::unique_ptr<telemetry::TimeSeries> series;
+    if (const Picos ival = obs.series_interval(); ival > 0) {
+      series = std::make_unique<telemetry::TimeSeries>(ival);
+      const mon::RxPipeline& rx = osnt.rx(1);
+      series->add_counter("mon.rx.frames_seen", [&rx] { return rx.seen(); });
+      series->add_counter("mon.rx.captured", [&rx] { return rx.captured(); });
+      series->add_counter("mon.rx.dma_drops",
+                          [&rx] { return rx.dma_drops(); });
+      series->add_histogram("mon.rx.rtt.ns",
+                            [&rx] { return rx.rtt_probe().merged(); });
+      series->attach(eng, duration);
+    }
+
     core::TrafficSpec spec;
     spec.rate = gen::RateSpec::gbps(rate_gbps);
     spec.frame_size = static_cast<std::size_t>(frame_size);
     spec.seed = pt.seed;
     if (poisson) spec.arrivals = core::TrafficSpec::Arrivals::kPoisson;
-    r = core::run_capture_test(eng, osnt, 0, 1, spec,
-                               from_micros(duration_ms * 1000.0));
+    r = core::run_capture_test(eng, osnt, 0, 1, spec, duration);
+    if (series) {
+      series->finish();
+      sdata = series->take();
+    }
     core::TrialStats s;
     s.tx_frames = r.tx_frames;
     s.rx_frames = r.rx_frames;
@@ -251,6 +334,7 @@ int cmd_latency(int argc, const char* const* argv) {
               r.latency_ns.quantile(0.99), r.latency_ns.max());
   std::printf("jitter ns:  p50 %.2f p99 %.2f\n", r.jitter_ns.quantile(0.5),
               r.jitter_ns.quantile(0.99));
+  if (!obs.write_series(sdata)) return 1;
   return obs.finish() ? 0 : 1;
 }
 
@@ -457,7 +541,9 @@ int cmd_tcp(int argc, const char* const* argv) {
   cli.add_flag("jobs", &jobs,
                "worker threads for the trials (0 = all hardware threads)");
   obs.add_to(cli);
+  obs.add_series_to(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  if (!obs.validate_series()) return 1;
   if (flows <= 0 || trials <= 0 || mss <= 0) {
     std::fprintf(stderr, "--flows/--trials/--mss must be positive\n");
     return 1;
@@ -497,6 +583,7 @@ int cmd_tcp(int argc, const char* const* argv) {
   // runner pool and reports come back in plan order at any --jobs.
   std::vector<tcp::TcpTrialReport> reports(
       static_cast<std::size_t>(trials));
+  std::vector<telemetry::SeriesData> series(static_cast<std::size_t>(trials));
   core::TrialPlan plan;
   plan.points.resize(static_cast<std::size_t>(trials));
   for (std::size_t i = 0; i < plan.points.size(); ++i) {
@@ -507,7 +594,8 @@ int cmd_tcp(int argc, const char* const* argv) {
     cfg.seed = pt.seed;
     const auto rep = tcp::run_closed_loop_trial(
         cfg, duration, fplan.events.empty() ? nullptr : &fplan,
-        obs.trace_enabled() ? &obs.rec : nullptr);
+        obs.trace_enabled() ? &obs.rec : nullptr, obs.series_interval(),
+        obs.series_enabled() ? &series[pt.index] : nullptr);
     reports[pt.index] = rep;
     core::TrialStats s;
     s.tx_frames = rep.segs_sent;
@@ -551,6 +639,13 @@ int cmd_tcp(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(rep.acks_sent),
                 rep.min_flow_rate_bps / 1e9, rep.max_flow_rate_bps / 1e9);
   }
+  if (obs.series_enabled() && rc == 0) {
+    // Merge in plan order: element-wise sums commute, so the bytes are
+    // identical at any --jobs value.
+    telemetry::SeriesData merged;
+    for (const auto& s : series) merged.merge_from(s);
+    if (!obs.write_series(merged)) rc = 1;
+  }
   if (!obs.finish()) rc = 1;
   return rc;
 }
@@ -572,7 +667,9 @@ int cmd_topo(int argc, const char* const* argv) {
   cli.add_flag("jobs", &jobs,
                "worker threads for the trials (0 = all hardware threads)");
   obs.add_to(cli);
+  obs.add_series_to(cli);
   if (!cli.parse(argc, argv)) return cli.help_requested() ? 0 : 1;
+  if (!obs.validate_series()) return 1;
   if (cli.positional().size() != 1) {
     std::fprintf(stderr, "usage: osnt_run topo FILE.json [flags]\n");
     return 1;
@@ -628,7 +725,7 @@ int cmd_topo(int argc, const char* const* argv) {
   plan.run = [&](const core::TrialPoint& pt) {
     const auto rep = graph::run_topology_trial(
         topo, pt.seed, duration, fplan.events.empty() ? nullptr : &fplan,
-        obs.trace_enabled() ? &obs.rec : nullptr);
+        obs.trace_enabled() ? &obs.rec : nullptr, obs.series_interval());
     reports[pt.index] = rep;
     core::TrialStats s;
     s.tx_frames = rep.graph_frames_in;
@@ -679,14 +776,25 @@ int cmd_topo(int argc, const char* const* argv) {
     }
   }
   if (rc == 0 && !reports.empty()) {
-    std::printf("%-16s %12s %12s %10s\n", "block", "frames_in", "frames_out",
-                "drops");
+    std::printf("%-16s %12s %12s %10s %9s %9s %9s\n", "block", "frames_in",
+                "frames_out", "drops", "rtt_p50", "rtt_p90", "rtt_p99");
     for (const auto& b : reports.front().blocks) {
-      std::printf("%-16s %12llu %12llu %10llu\n", b.name.c_str(),
+      std::printf("%-16s %12llu %12llu %10llu", b.name.c_str(),
                   static_cast<unsigned long long>(b.frames_in),
                   static_cast<unsigned long long>(b.frames_out),
                   static_cast<unsigned long long>(b.drops));
+      if (b.rtt_samples > 0) {
+        std::printf(" %8.0fns %8.0fns %8.0fns\n", b.rtt_p50_ns, b.rtt_p90_ns,
+                    b.rtt_p99_ns);
+      } else {
+        std::printf(" %9s %9s %9s\n", "-", "-", "-");
+      }
     }
+  }
+  if (obs.series_enabled() && rc == 0) {
+    telemetry::SeriesData merged;
+    for (const auto& rep : reports) merged.merge_from(rep.series);
+    if (!obs.write_series(merged)) rc = 1;
   }
   if (!obs.finish()) rc = 1;
   return rc;
