@@ -8,6 +8,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "osnt/fault/plan.hpp"
@@ -16,6 +18,11 @@
 namespace osnt::core {
 class OsntDevice;
 }
+namespace osnt::graph {
+class Graph;
+class TokenBucketBlock;
+class FifoQueueBlock;
+}  // namespace osnt::graph
 namespace osnt::hw {
 class DmaEngine;
 }
@@ -52,10 +59,22 @@ class Injector {
   /// engine, and the GPS of one OSNT card.
   Injector& attach_device(core::OsntDevice& dev);
 
+  /// Register a named token_bucket / queue block as a target for
+  /// rate_limit / queue_cap events. Names must be unique per injector.
+  Injector& attach_token_bucket(const std::string& name,
+                                graph::TokenBucketBlock& tb);
+  Injector& attach_fifo(const std::string& name, graph::FifoQueueBlock& q);
+  /// Convenience: register every token_bucket / fifo_queue / red block of
+  /// a graph under its block name.
+  Injector& attach_graph(graph::Graph& g);
+
   /// Schedule the whole plan on the engine. Call once, before running;
   /// events whose target kind has nothing attached are counted as skipped
-  /// (with a warning) rather than failing the run. All targets must
-  /// outlive the engine's run.
+  /// (with a warning) rather than failing the run — except block-targeted
+  /// events (rate_limit / queue_cap), whose unknown target is a hard
+  /// PlanError: a chaos plan aimed at a block that does not exist is a
+  /// bad plan, not a benign mismatch. All targets must outlive the
+  /// engine's run.
   void arm();
   [[nodiscard]] bool armed() const noexcept { return armed_; }
 
@@ -73,11 +92,18 @@ class Injector {
   void arm_event_(const FaultEvent& ev, std::size_t ordinal);
   [[nodiscard]] std::vector<sim::Link*> targets_(int link,
                                                  std::size_t ordinal) const;
+  [[nodiscard]] std::string unknown_target_(const FaultEvent& ev,
+                                            std::size_t ordinal,
+                                            bool buckets_only) const;
   void mark_(FaultKind kind, Picos at, Picos duration);
 
   sim::Engine* eng_;
   FaultPlan plan_;
   std::vector<sim::Link*> links_;
+  // Ordered maps: arm-time error messages and any per-target iteration
+  // must not depend on hash order (determinism contract, DESIGN.md §10).
+  std::map<std::string, graph::TokenBucketBlock*> buckets_;
+  std::map<std::string, graph::FifoQueueBlock*> queues_;
   hw::DmaEngine* dma_ = nullptr;
   openflow::ControlChannel* chan_ = nullptr;
   tstamp::GpsModel* gps_ = nullptr;

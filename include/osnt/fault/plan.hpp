@@ -24,13 +24,15 @@ enum class FaultKind : std::uint8_t {
   kDmaStall,        ///< freeze the DMA bus for `duration`
   kCtrlDisconnect,  ///< control link unavailable for `duration`
   kGpsLoss,         ///< GPS antenna gone → oscillator holdover
+  kRateLimit,       ///< retime a named token_bucket's rate/burst
+  kQueueCap,        ///< cap a named queue/bucket's frame budget
 };
-inline constexpr std::size_t kFaultKindCount = 6;
+inline constexpr std::size_t kFaultKindCount = 8;
 
 [[nodiscard]] constexpr const char* fault_kind_name(FaultKind k) noexcept {
   constexpr const char* kNames[kFaultKindCount] = {
-      "link_flap", "ber_window",      "latency_spike",
-      "dma_stall", "ctrl_disconnect", "gps_loss"};
+      "link_flap", "ber_window",      "latency_spike", "dma_stall",
+      "ctrl_disconnect", "gps_loss",  "rate_limit",    "queue_cap"};
   return kNames[static_cast<std::size_t>(k)];
 }
 
@@ -42,8 +44,17 @@ struct FaultEvent {
   Picos duration = 0;  ///< how long the condition holds (0 = instantaneous)
   int link = -1;       ///< target link index (attach order); -1 = all links
   double ber = 0.0;    ///< kBerWindow: plateau error rate (errors/bit)
-  Picos ramp = 0;      ///< kBerWindow: linear ramp-in length (<= duration)
+  Picos ramp = 0;      ///< kBerWindow/kRateLimit: linear ramp length
   Picos extra_delay = 0;  ///< kLatencySpike: added one-way delay
+  /// kRateLimit/kQueueCap: graph block name the fault retimes. Resolved
+  /// at Injector::arm() time against the attached blocks; an unknown
+  /// name is a hard error (unlike link faults, which skip-with-warning —
+  /// a chaos plan aimed at a block that does not exist is a bad plan,
+  /// not a benign mismatch).
+  std::string target;
+  double rate_gbps = 0.0;        ///< kRateLimit: new bucket rate (> 0)
+  std::int64_t burst_bytes = -1; ///< kRateLimit: new burst; -1 = keep
+  std::size_t queue_frames = 0;  ///< kQueueCap: new frame budget (>= 1)
 };
 
 /// Plan parse/validation failure (malformed JSON, bad field, bad value).
@@ -68,6 +79,11 @@ struct FaultPlan {
   FaultPlan& dma_stall(Picos at, Picos duration);
   FaultPlan& ctrl_disconnect(Picos at, Picos duration);
   FaultPlan& gps_loss(Picos at, Picos duration);
+  FaultPlan& rate_limit(Picos at, Picos duration, std::string target,
+                        double rate_gbps, Picos ramp = 0,
+                        std::int64_t burst_bytes = -1);
+  FaultPlan& queue_cap(Picos at, Picos duration, std::string target,
+                       std::size_t queue_frames);
 
   /// Validate fields and stable-sort events by start time. Throws
   /// PlanError on out-of-range values. Idempotent; the Injector calls it.
@@ -83,9 +99,15 @@ struct FaultPlan {
   ///       "extra_ns": 800},
   ///      {"type": "dma_stall", "at_us": 120, "duration_us": 30},
   ///      {"type": "ctrl_disconnect", "at_ms": 1, "duration_ms": 4},
-  ///      {"type": "gps_loss", "at_ms": 0, "duration_ms": 900}]}
+  ///      {"type": "gps_loss", "at_ms": 0, "duration_ms": 900},
+  ///      {"type": "rate_limit", "at_ms": 5, "duration_ms": 10,
+  ///       "target": "policer", "rate_gbps": 0.5, "ramp_ms": 2,
+  ///       "burst_bytes": 15000},
+  ///      {"type": "queue_cap", "at_ms": 5, "duration_ms": 10,
+  ///       "target": "bottleneck", "queue_frames": 32}]}
   /// Unknown types and unknown keys are hard errors — a typoed fault that
-  /// silently never fires would invalidate an experiment.
+  /// silently never fires would invalidate an experiment. Errors carry
+  /// the offending value's line/column and a did-you-mean suggestion.
   [[nodiscard]] static FaultPlan from_json(const std::string& text);
   [[nodiscard]] static FaultPlan load(const std::string& path);
 

@@ -45,6 +45,13 @@ class FifoQueueBlock : public Block {
   [[nodiscard]] std::uint64_t tail_drops() const noexcept {
     return tail_drops_;
   }
+  [[nodiscard]] std::size_t queue_frames() const noexcept {
+    return fifo_cfg_.queue_frames;
+  }
+  /// Fault seam (queue_cap): retime the tail-drop threshold mid-run.
+  /// Frames already queued beyond a shrunken cap stay queued — the cap
+  /// gates admission only, like reprogramming a real queue manager.
+  void set_queue_frames(std::size_t frames);
 
  protected:
   /// Admission already passed: claim a serializer slot and schedule the
@@ -131,6 +138,23 @@ class TokenBucketBlock : public Block {
   }
   [[nodiscard]] std::uint64_t shaped() const noexcept { return shaped_; }
   [[nodiscard]] std::uint64_t policed() const noexcept { return policed_; }
+  [[nodiscard]] double rate_gbps() const noexcept { return cfg_.rate_gbps; }
+  [[nodiscard]] std::size_t burst_bytes() const noexcept {
+    return cfg_.burst_bytes;
+  }
+  [[nodiscard]] std::size_t queue_frames() const noexcept {
+    return cfg_.queue_frames;
+  }
+
+  // Fault seams (rate_limit / queue_cap): retime the bucket mid-run, the
+  // way a carrier reprovisions a policer under live traffic. Tokens
+  // accrued so far are settled at the *old* rate first, so the change
+  // takes effect exactly at the call's sim time; already-scheduled
+  // shaped releases keep their departure times (they cleared the old
+  // contract), only subsequent arrivals see the new one.
+  void set_rate_gbps(double rate_gbps);
+  void set_burst_bytes(std::size_t burst_bytes);
+  void set_queue_frames(std::size_t frames);
 
  private:
   void refill() noexcept;

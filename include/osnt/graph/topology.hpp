@@ -88,6 +88,9 @@ struct WorkloadSpec {
   double bottleneck_gbps = 0.0;  ///< source-side TX drain; 0 = line rate
   std::size_t queue_segments = 256;
   std::uint64_t rwnd_kb = 1024;
+  /// Arm the per-flow RateLimitDetector (tcp/rate_limit_detector.hpp) so
+  /// the congestion controller adapts to in-path policers/shapers.
+  bool rate_limit_detector = false;
 
   // --- cbr ---
   double rate_gbps = 1.0;
@@ -139,6 +142,15 @@ struct TopologyTrialReport {
   /// Filled when a series interval was requested (see run_topology_trial).
   telemetry::SeriesData series{};
 };
+
+/// Resolve a fault plan's block-targeted events (rate_limit / queue_cap)
+/// against the topology's block declarations without building anything:
+/// rate_limit must name a token_bucket; queue_cap a fifo_queue, red, or
+/// token_bucket. Throws TopologyError with a did-you-mean suggestion on
+/// an unknown or wrongly-typed target. Backs `osnt_run topo
+/// --validate-only`, so a bad chaos plan fails in CI, not mid-campaign.
+void validate_fault_targets(const TopologyFile& topo,
+                            const fault::FaultPlan& plan);
 
 /// One deterministic trial: fresh engine + device + graph built from
 /// `topo`, workload attached at the declared endpoints, run for

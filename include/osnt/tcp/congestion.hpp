@@ -43,6 +43,19 @@ class CongestionControl {
   /// Retransmission timeout fired (go-back-N restart follows).
   virtual void on_rto(Picos now) = 0;
 
+  /// A RateLimitDetector verdict: the path is policed at `rate_bps`
+  /// (payload bits/s, the same unit as AckEvent::delivery_rate_bps) with
+  /// an unqueued round trip of `min_rtt`. Controllers that understand
+  /// policers cap cwnd/pacing near the policer BDP instead of
+  /// sawtoothing against its drops; `rate_bps == 0` revokes the verdict
+  /// (the limiter was lifted or raised). The default is a no-op so
+  /// detector-off — and controllers without an adaptation — behave
+  /// exactly as before.
+  virtual void adapt_to_policer(double rate_bps, Picos min_rtt) {
+    (void)rate_bps;
+    (void)min_rtt;
+  }
+
   [[nodiscard]] virtual std::uint64_t cwnd_bytes() const = 0;
   /// Pacing rate in bits/s; 0 = unpaced (pure ACK clocking).
   [[nodiscard]] virtual double pacing_rate_bps() const = 0;

@@ -20,6 +20,7 @@
 #include "osnt/net/packet.hpp"
 #include "osnt/sim/engine.hpp"
 #include "osnt/tcp/congestion.hpp"
+#include "osnt/tcp/rate_limit_detector.hpp"
 #include "osnt/telemetry/histogram.hpp"
 #include "osnt/telemetry/trace.hpp"
 
@@ -101,6 +102,13 @@ struct FlowConfig {
   /// ones that feed the RTO estimator) is observed under class `dscp`.
   /// Not owned; must outlive the flow.
   mon::LatencyProbe* rtt_probe = nullptr;
+  /// R-TCP-style rate-limit detection (DESIGN.md §15): watch the
+  /// delivery-rate/RTT estimators for a policer plateau and feed the
+  /// verdict to `CongestionControl::adapt_to_policer`. Off by default —
+  /// and when off, the detector is never constructed, so the flow is
+  /// byte-identical to a build without it.
+  bool rate_limit_detector = false;
+  RateLimitDetectorConfig rld{};
 };
 
 /// Sender-side counters, exposed for tests and the CLI report.
@@ -176,6 +184,10 @@ class Flow {
   }
   [[nodiscard]] std::uint32_t isn() const { return isn_; }
   [[nodiscard]] const CongestionControl& cc() const { return *cc_; }
+  /// Null unless `FlowConfig::rate_limit_detector` was set.
+  [[nodiscard]] const RateLimitDetector* rate_limit_detector() const {
+    return rld_.get();
+  }
 
  private:
   struct SegRec {
@@ -202,6 +214,7 @@ class Flow {
   EmitPreflight preflight_;       ///< null = always build and offer
   std::size_t line_overhead_ = 0; ///< line_len minus payload, from 1st build
   std::unique_ptr<CongestionControl> cc_;
+  std::unique_ptr<RateLimitDetector> rld_;  ///< null = detector off
   RtoEstimator rto_;
   std::uint32_t isn_;
 
@@ -234,6 +247,8 @@ class Flow {
   telemetry::Log2Histogram cwnd_hist_;
   telemetry::Log2Histogram srtt_hist_;
   telemetry::Log2Histogram rate_hist_;
+  telemetry::Log2Histogram rld_rate_hist_;  ///< detected rate (Mb/s)
+  telemetry::Log2Histogram rld_ttd_hist_;   ///< time-to-detect (µs)
   telemetry::TraceRecorder::TrackId trace_track_ = 0;
   bool trace_track_set_ = false;
 };

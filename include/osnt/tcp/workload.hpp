@@ -61,6 +61,9 @@ struct WorkloadConfig {
   /// path (lazy delack timers may deliver an ACK slightly earlier);
   /// wheel_timers is the knob for byte-identical A/B.
   bool legacy_hot_path = false;
+  /// Arm the per-flow R-TCP-style RateLimitDetector (DESIGN.md §15).
+  /// Off by default; off is byte-identical to pre-detector builds.
+  bool rate_limit_detector = false;
 };
 
 // --- flow addressing -------------------------------------------------
@@ -198,6 +201,13 @@ class ClosedLoopWorkload {
   /// Application goodput (cum-acked bytes) over `window`, in bits/s.
   [[nodiscard]] double goodput_bps(Picos window) const;
 
+  // --- rate-limit detector aggregates (all 0 when the detector is off) ---
+  [[nodiscard]] std::uint64_t total_rld_detections() const;
+  /// Mean detected rate across currently-detected flows, bits/s.
+  [[nodiscard]] double mean_rld_rate_bps() const;
+  /// Mean first-sample→detection latency across flows that detected.
+  [[nodiscard]] Picos mean_rld_detect_time() const;
+
  private:
   void on_data_frame(const net::ParsedPacket& p, const net::Packet& pkt,
                      Picos first_bit);
@@ -234,6 +244,14 @@ struct TcpTrialReport {
   double goodput_bps = 0.0;
   double min_flow_rate_bps = 0.0;  ///< slowest flow's delivery-rate sample
   double max_flow_rate_bps = 0.0;
+  // Rate-limit detector aggregates (0 when the detector is off).
+  std::uint64_t rld_detections = 0;
+  double rld_rate_bps = 0.0;       ///< mean detected rate across flows
+  Picos rld_detect_time = 0;       ///< mean first-sample→detect latency
+  // In-plane RTT summary (from the workload's tcp.rtt probe): p99 and
+  // the observed floor, so callers can report queueing inflation.
+  double rtt_p99_ns = 0.0;
+  double rtt_min_ns = 0.0;
 };
 
 /// A complete closed-loop testbed: engine + device + cabled port pair +

@@ -1,10 +1,14 @@
 #include "osnt/fault/injector.hpp"
 
 #include <string>
+#include <vector>
 
+#include "osnt/common/cli.hpp"
 #include "osnt/common/log.hpp"
 #include "osnt/common/random.hpp"
 #include "osnt/core/device.hpp"
+#include "osnt/graph/blocks.hpp"
+#include "osnt/graph/graph.hpp"
 #include "osnt/hw/dma.hpp"
 #include "osnt/hw/port.hpp"
 #include "osnt/openflow/channel.hpp"
@@ -74,6 +78,30 @@ Injector& Injector::attach_device(core::OsntDevice& dev) {
   }
   attach_dma(dev.dma());
   attach_gps(dev.gps());
+  return *this;
+}
+
+Injector& Injector::attach_token_bucket(const std::string& name,
+                                        graph::TokenBucketBlock& tb) {
+  buckets_[name] = &tb;
+  return *this;
+}
+
+Injector& Injector::attach_fifo(const std::string& name,
+                                graph::FifoQueueBlock& q) {
+  queues_[name] = &q;
+  return *this;
+}
+
+Injector& Injector::attach_graph(graph::Graph& g) {
+  for (std::size_t i = 0; i < g.num_blocks(); ++i) {
+    graph::Block& b = g.block(i);
+    if (auto* tb = dynamic_cast<graph::TokenBucketBlock*>(&b)) {
+      attach_token_bucket(b.name(), *tb);
+    } else if (auto* q = dynamic_cast<graph::FifoQueueBlock*>(&b)) {
+      attach_fifo(b.name(), *q);
+    }
+  }
   return *this;
 }
 
@@ -209,7 +237,106 @@ void Injector::arm_event_(const FaultEvent& ev, std::size_t ordinal) {
                         [this] { gps_->set_connected(true); });
       return;
     }
+
+    case FaultKind::kRateLimit: {
+      auto it = buckets_.find(ev.target);
+      if (it == buckets_.end()) {
+        throw PlanError(unknown_target_(ev, ordinal, /*buckets_only=*/true));
+      }
+      graph::TokenBucketBlock* tb = it->second;
+      // Snapshot the pre-fault contract at arm time (before the run, so
+      // these are the configured values) — the event restores them.
+      const double orig_rate = tb->rate_gbps();
+      const std::size_t orig_burst = tb->burst_bytes();
+      if (ev.ramp > 0) {
+        // Stepped reprovisioning: walk the rate from the current contract
+        // to the fault plateau, same quantization as BER ramps — a
+        // carrier squeezing a customer over seconds, not one cliff.
+        for (int s = 0; s < kRampSteps; ++s) {
+          const Picos t = ev.at + ev.ramp * s / kRampSteps;
+          const double rate =
+              orig_rate + (ev.rate_gbps - orig_rate) * (s + 1) / kRampSteps;
+          eng_->schedule_at(t, [this, tb, ev, rate, s] {
+            if (s == 0) {
+              mark_(FaultKind::kRateLimit, ev.at, ev.duration);
+              if (ev.burst_bytes >= 0) {
+                tb->set_burst_bytes(static_cast<std::size_t>(ev.burst_bytes));
+              }
+            }
+            tb->set_rate_gbps(rate);
+          });
+        }
+      } else {
+        eng_->schedule_at(ev.at, [this, tb, ev] {
+          mark_(FaultKind::kRateLimit, ev.at, ev.duration);
+          if (ev.burst_bytes >= 0) {
+            tb->set_burst_bytes(static_cast<std::size_t>(ev.burst_bytes));
+          }
+          tb->set_rate_gbps(ev.rate_gbps);
+        });
+      }
+      eng_->schedule_at(ev.at + ev.duration, [tb, orig_rate, orig_burst] {
+        tb->set_rate_gbps(orig_rate);
+        tb->set_burst_bytes(orig_burst);
+      });
+      return;
+    }
+
+    case FaultKind::kQueueCap: {
+      // A cap can land on a serializing queue (fifo_queue / red) or on a
+      // shaper's backlog (token_bucket) — whichever owns the name.
+      if (auto it = queues_.find(ev.target); it != queues_.end()) {
+        graph::FifoQueueBlock* q = it->second;
+        const std::size_t orig = q->queue_frames();
+        eng_->schedule_at(ev.at, [this, q, ev] {
+          mark_(FaultKind::kQueueCap, ev.at, ev.duration);
+          q->set_queue_frames(ev.queue_frames);
+        });
+        eng_->schedule_at(ev.at + ev.duration,
+                          [q, orig] { q->set_queue_frames(orig); });
+        return;
+      }
+      if (auto it = buckets_.find(ev.target); it != buckets_.end()) {
+        graph::TokenBucketBlock* tb = it->second;
+        const std::size_t orig = tb->queue_frames();
+        eng_->schedule_at(ev.at, [this, tb, ev] {
+          mark_(FaultKind::kQueueCap, ev.at, ev.duration);
+          tb->set_queue_frames(ev.queue_frames);
+        });
+        eng_->schedule_at(ev.at + ev.duration,
+                          [tb, orig] { tb->set_queue_frames(orig); });
+        return;
+      }
+      throw PlanError(unknown_target_(ev, ordinal, /*buckets_only=*/false));
+    }
   }
+}
+
+std::string Injector::unknown_target_(const FaultEvent& ev,
+                                      std::size_t ordinal,
+                                      bool buckets_only) const {
+  std::vector<std::string> names;
+  for (const auto& [name, tb] : buckets_) names.push_back(name);
+  if (!buckets_only) {
+    for (const auto& [name, q] : queues_) names.push_back(name);
+  }
+  std::string msg = std::string("fault plan: ") + fault_kind_name(ev.kind) +
+                    " event " + std::to_string(ordinal) +
+                    " targets unknown block '" + ev.target + "'";
+  const std::string hint = suggest_nearest(ev.target, names);
+  if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
+  if (names.empty()) {
+    msg += " — no ";
+    msg += buckets_only ? "token_bucket" : "queue";
+    msg += " blocks attached";
+  } else {
+    msg += " — attached: ";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i) msg += ", ";
+      msg += names[i];
+    }
+  }
+  return msg;
 }
 
 }  // namespace osnt::fault

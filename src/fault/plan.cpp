@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "osnt/common/cli.hpp"
 #include "osnt/common/json.hpp"
 
 namespace osnt::fault {
@@ -19,16 +20,31 @@ using Json = json::Value;
 // Schema mapping
 // ---------------------------------------------------------------------------
 
-[[noreturn]] void bad_event(std::size_t i, const std::string& why) {
-  throw PlanError("fault plan event " + std::to_string(i) + ": " + why);
+/// Schema failure for event `i`. When the offending JSON node (or its
+/// enclosing event object) is at hand, the error carries its
+/// line/column, matching the topology loader's diagnostics.
+[[noreturn]] void bad_event(std::size_t i, const std::string& why,
+                            const Json* at = nullptr) {
+  std::string msg = "fault plan event " + std::to_string(i) + ": " + why;
+  if (at != nullptr && at->line > 0) msg += " (" + at->where() + ")";
+  throw PlanError(msg);
 }
 
 double number_field(const Json& ev, const std::string& key, std::size_t i) {
   const Json* v = ev.find(key);
   if (!v || v->type != Json::Type::kNumber) {
-    bad_event(i, "'" + key + "' must be a number");
+    bad_event(i, "'" + key + "' must be a number", v ? v : &ev);
   }
   return v->number;
+}
+
+std::string string_field(const Json& ev, const std::string& key,
+                         std::size_t i) {
+  const Json* v = ev.find(key);
+  if (!v || v->type != Json::Type::kString) {
+    bad_event(i, "'" + key + "' must be a string", v ? v : &ev);
+  }
+  return v->string;
 }
 
 /// Reads `<base>_ns` / `<base>_us` / `<base>_ms` (at most one may appear)
@@ -43,68 +59,102 @@ Picos time_field(const Json& ev, const std::string& base, std::size_t i,
   double scale = 0.0;
   for (const auto& u : kUnits) {
     if (const Json* v = ev.find(base + u.suffix)) {
-      if (found) bad_event(i, "'" + base + "' given in more than one unit");
+      if (found) {
+        bad_event(i, "'" + base + "' given in more than one unit", v);
+      }
       found = v;
       scale = u.to_ps;
     }
   }
   if (!found) {
-    if (required) bad_event(i, "missing required field '" + base + "_us'");
+    if (required) {
+      bad_event(i, "missing required field '" + base + "_us'", &ev);
+    }
     return fallback;
   }
   if (found->type != Json::Type::kNumber) {
-    bad_event(i, "'" + base + "' must be a number");
+    bad_event(i, "'" + base + "' must be a number", found);
   }
   const double ps = found->number * scale;
-  if (ps < 0 || ps > 9.2e18) bad_event(i, "'" + base + "' out of range");
+  if (ps < 0 || ps > 9.2e18) {
+    bad_event(i, "'" + base + "' out of range", found);
+  }
   return static_cast<Picos>(ps);
 }
 
-FaultKind kind_of(const std::string& type, std::size_t i) {
+std::vector<std::string> kind_names() {
+  std::vector<std::string> names;
+  names.reserve(kFaultKindCount);
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    names.emplace_back(fault_kind_name(static_cast<FaultKind>(k)));
+  }
+  return names;
+}
+
+FaultKind kind_of(const std::string& type, std::size_t i,
+                  const Json* at) {
   for (std::size_t k = 0; k < kFaultKindCount; ++k) {
     if (type == fault_kind_name(static_cast<FaultKind>(k))) {
       return static_cast<FaultKind>(k);
     }
   }
-  std::string known;
-  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
-    known += std::string(k ? ", " : "") +
-             fault_kind_name(static_cast<FaultKind>(k));
+  const std::vector<std::string> known = kind_names();
+  std::string msg = "unknown type '" + type + "'";
+  const std::string hint = suggest_nearest(type, known);
+  if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
+  msg += " — known:";
+  for (std::size_t k = 0; k < known.size(); ++k) {
+    msg += std::string(k ? ", " : " ") + known[k];
   }
-  bad_event(i, "unknown type '" + type + "' (known: " + known + ")");
+  bad_event(i, msg, at);
 }
 
 /// The keys each fault kind understands beyond "type"; anything else in
-/// the event object is a hard error (typos must not silently no-op).
+/// the event object is a hard error (typos must not silently no-op), with
+/// the offending key's position and a did-you-mean over the allowed set.
 void check_keys(const Json& ev, FaultKind kind, std::size_t i) {
-  const auto allowed = [&](const std::string& k) {
-    if (k == "type") return true;
-    if (k == "at_ns" || k == "at_us" || k == "at_ms") return true;
-    if (k == "duration_ns" || k == "duration_us" || k == "duration_ms") {
-      return true;
-    }
-    switch (kind) {
-      case FaultKind::kLinkFlap:
-        return k == "link";
-      case FaultKind::kBerWindow:
-        return k == "link" || k == "ber" || k == "ramp_ns" || k == "ramp_us" ||
-               k == "ramp_ms";
-      case FaultKind::kLatencySpike:
-        return k == "link" || k == "extra_ns" || k == "extra_us" ||
-               k == "extra_ms";
-      case FaultKind::kDmaStall:
-      case FaultKind::kCtrlDisconnect:
-      case FaultKind::kGpsLoss:
-        return false;
-    }
-    return false;
-  };
+  std::vector<std::string> allowed = {
+      "type",        "at_ns",       "at_us",       "at_ms",
+      "duration_ns", "duration_us", "duration_ms"};
+  switch (kind) {
+    case FaultKind::kLinkFlap:
+      allowed.emplace_back("link");
+      break;
+    case FaultKind::kBerWindow:
+      for (const char* k : {"link", "ber", "ramp_ns", "ramp_us", "ramp_ms"}) {
+        allowed.emplace_back(k);
+      }
+      break;
+    case FaultKind::kLatencySpike:
+      for (const char* k : {"link", "extra_ns", "extra_us", "extra_ms"}) {
+        allowed.emplace_back(k);
+      }
+      break;
+    case FaultKind::kDmaStall:
+    case FaultKind::kCtrlDisconnect:
+    case FaultKind::kGpsLoss:
+      break;
+    case FaultKind::kRateLimit:
+      for (const char* k : {"target", "rate_gbps", "burst_bytes", "ramp_ns",
+                            "ramp_us", "ramp_ms"}) {
+        allowed.emplace_back(k);
+      }
+      break;
+    case FaultKind::kQueueCap:
+      for (const char* k : {"target", "queue_frames"}) {
+        allowed.emplace_back(k);
+      }
+      break;
+  }
   for (const auto& [k, v] : ev.object) {
-    (void)v;
-    if (!allowed(k)) {
-      bad_event(i, "unknown key '" + k + "' for type '" +
-                       fault_kind_name(kind) + "'");
+    if (std::find(allowed.begin(), allowed.end(), k) != allowed.end()) {
+      continue;
     }
+    std::string msg = "unknown key '" + k + "' for type '" +
+                      std::string(fault_kind_name(kind)) + "'";
+    const std::string hint = suggest_nearest(k, allowed);
+    if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
+    bad_event(i, msg, &v);
   }
 }
 
@@ -172,6 +222,33 @@ FaultPlan& FaultPlan::gps_loss(Picos at, Picos duration) {
   return *this;
 }
 
+FaultPlan& FaultPlan::rate_limit(Picos at, Picos duration, std::string target,
+                                 double rate_gbps, Picos ramp,
+                                 std::int64_t burst_bytes) {
+  FaultEvent e;
+  e.kind = FaultKind::kRateLimit;
+  e.at = at;
+  e.duration = duration;
+  e.target = std::move(target);
+  e.rate_gbps = rate_gbps;
+  e.ramp = ramp;
+  e.burst_bytes = burst_bytes;
+  events.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::queue_cap(Picos at, Picos duration, std::string target,
+                                std::size_t queue_frames) {
+  FaultEvent e;
+  e.kind = FaultKind::kQueueCap;
+  e.at = at;
+  e.duration = duration;
+  e.target = std::move(target);
+  e.queue_frames = queue_frames;
+  events.push_back(e);
+  return *this;
+}
+
 void FaultPlan::normalize() {
   for (std::size_t i = 0; i < events.size(); ++i) {
     FaultEvent& e = events[i];
@@ -187,6 +264,20 @@ void FaultPlan::normalize() {
     }
     if (e.kind == FaultKind::kLatencySpike && e.extra_delay < 0) {
       bad_event(i, "extra delay must be >= 0");
+    }
+    if (e.kind == FaultKind::kRateLimit) {
+      if (e.target.empty()) bad_event(i, "rate_limit requires a target");
+      if (!(e.rate_gbps > 0.0)) bad_event(i, "rate_gbps must be > 0");
+      if (e.ramp < 0 || e.ramp > e.duration) {
+        bad_event(i, "ramp must be in [0, duration]");
+      }
+      if (e.burst_bytes == 0 || e.burst_bytes < -1) {
+        bad_event(i, "burst_bytes must be >= 1 (omit to keep current)");
+      }
+    }
+    if (e.kind == FaultKind::kQueueCap) {
+      if (e.target.empty()) bad_event(i, "queue_cap requires a target");
+      if (e.queue_frames == 0) bad_event(i, "queue_frames must be >= 1");
     }
   }
   std::stable_sort(events.begin(), events.end(),
@@ -225,20 +316,22 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
   }
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     const Json& ev = events->array[i];
-    if (ev.type != Json::Type::kObject) bad_event(i, "must be an object");
+    if (ev.type != Json::Type::kObject) {
+      bad_event(i, "must be an object", &ev);
+    }
     const Json* type = ev.find("type");
     if (!type || type->type != Json::Type::kString) {
-      bad_event(i, "'type' string is required");
+      bad_event(i, "'type' string is required", type ? type : &ev);
     }
     FaultEvent e;
-    e.kind = kind_of(type->string, i);
+    e.kind = kind_of(type->string, i, type);
     check_keys(ev, e.kind, i);
     e.at = time_field(ev, "at", i, /*required=*/true);
     e.duration = time_field(ev, "duration", i, /*required=*/false);
     if (const Json* link = ev.find("link")) {
       if (link->type != Json::Type::kNumber || link->number < 0 ||
           link->number != std::floor(link->number)) {
-        bad_event(i, "'link' must be a non-negative integer");
+        bad_event(i, "'link' must be a non-negative integer", link);
       }
       e.link = static_cast<int>(link->number);
     }
@@ -248,6 +341,27 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
     }
     if (e.kind == FaultKind::kLatencySpike) {
       e.extra_delay = time_field(ev, "extra", i, /*required=*/true);
+    }
+    if (e.kind == FaultKind::kRateLimit) {
+      e.target = string_field(ev, "target", i);
+      e.rate_gbps = number_field(ev, "rate_gbps", i);
+      e.ramp = time_field(ev, "ramp", i, /*required=*/false);
+      if (const Json* burst = ev.find("burst_bytes")) {
+        if (burst->type != Json::Type::kNumber || burst->number < 1 ||
+            burst->number != std::floor(burst->number)) {
+          bad_event(i, "'burst_bytes' must be a positive integer", burst);
+        }
+        e.burst_bytes = static_cast<std::int64_t>(burst->number);
+      }
+    }
+    if (e.kind == FaultKind::kQueueCap) {
+      e.target = string_field(ev, "target", i);
+      const double frames = number_field(ev, "queue_frames", i);
+      if (frames < 1 || frames != std::floor(frames)) {
+        bad_event(i, "'queue_frames' must be a positive integer",
+                  ev.find("queue_frames"));
+      }
+      e.queue_frames = static_cast<std::size_t>(frames);
     }
     plan.events.push_back(e);
   }

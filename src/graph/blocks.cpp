@@ -34,6 +34,14 @@ FifoQueueBlock::~FifoQueueBlock() {
   }
 }
 
+void FifoQueueBlock::set_queue_frames(std::size_t frames) {
+  if (frames == 0) {
+    throw GraphError("graph: fifo_queue '" + name() +
+                     "' retime needs queue_frames > 0");
+  }
+  fifo_cfg_.queue_frames = frames;
+}
+
 void FifoQueueBlock::on_frame(std::size_t /*in_port*/, net::Packet pkt,
                               Picos /*first_bit*/, Picos /*last_bit*/) {
   if (depth_ >= fifo_cfg_.queue_frames) {
@@ -132,6 +140,38 @@ TokenBucketBlock::~TokenBucketBlock() {
     reg.counter(prefix + "shaped").add(shaped_);
     reg.counter(prefix + "policed").add(policed_);
   }
+}
+
+void TokenBucketBlock::set_rate_gbps(double rate_gbps) {
+  if (rate_gbps <= 0.0) {
+    throw GraphError("graph: token_bucket '" + name() +
+                     "' retime needs rate_gbps > 0");
+  }
+  // Settle the balance at the old slope first — tokens earned before the
+  // retime were earned at the old rate — then switch the slope.
+  refill();
+  cfg_.rate_gbps = rate_gbps;
+  bytes_per_pico_ = rate_gbps / 8000.0;
+}
+
+void TokenBucketBlock::set_burst_bytes(std::size_t burst_bytes) {
+  if (burst_bytes == 0) {
+    throw GraphError("graph: token_bucket '" + name() +
+                     "' retime needs burst_bytes > 0");
+  }
+  refill();
+  cfg_.burst_bytes = burst_bytes;
+  // A shrunken bucket spills the excess; a shaping deficit (negative
+  // balance) is untouched — those bytes were already borrowed.
+  tokens_ = std::min(tokens_, static_cast<double>(burst_bytes));
+}
+
+void TokenBucketBlock::set_queue_frames(std::size_t frames) {
+  if (frames == 0) {
+    throw GraphError("graph: token_bucket '" + name() +
+                     "' retime needs queue_frames > 0");
+  }
+  cfg_.queue_frames = frames;  // gates admission only; backlog stays
 }
 
 void TokenBucketBlock::refill() noexcept {

@@ -264,7 +264,7 @@ WorkloadSpec parse_workload(const Json& w) {
     check_keys(w,
                {"kind", "ingress", "egress", "ack_ingress", "ack_egress",
                 "flows", "cc", "mss", "bottleneck_gbps", "queue_segments",
-                "rwnd_kb"},
+                "rwnd_kb", "rate_limit_detector"},
                who);
     spec.flows = count_or(w, "flows", spec.flows, who);
     spec.cc = string_or(w, "cc", spec.cc, who);
@@ -274,6 +274,8 @@ WorkloadSpec parse_workload(const Json& w) {
     spec.queue_segments =
         count_or(w, "queue_segments", spec.queue_segments, who);
     spec.rwnd_kb = count_or(w, "rwnd_kb", spec.rwnd_kb, who);
+    spec.rate_limit_detector =
+        bool_or(w, "rate_limit_detector", spec.rate_limit_detector, who);
     if (spec.flows == 0) fail(who + ": 'flows' must be positive", &w);
   } else if (kind == "cbr") {
     spec.kind = WorkloadSpec::Kind::kCbr;
@@ -484,6 +486,48 @@ void TopologyFile::build(sim::Engine& eng, Graph& g,
   }
 }
 
+void validate_fault_targets(const TopologyFile& topo,
+                            const fault::FaultPlan& plan) {
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const fault::FaultEvent& ev = plan.events[i];
+    if (ev.kind != fault::FaultKind::kRateLimit &&
+        ev.kind != fault::FaultKind::kQueueCap) {
+      continue;
+    }
+    const bool rate = ev.kind == fault::FaultKind::kRateLimit;
+    const auto eligible = [rate](const BlockSpec& b) {
+      if (b.type == "token_bucket") return true;
+      return !rate && (b.type == "fifo_queue" || b.type == "red");
+    };
+    const BlockSpec* found = nullptr;
+    std::vector<std::string> names;
+    for (const auto& b : topo.blocks) {
+      if (!eligible(b)) continue;
+      names.push_back(b.name);
+      if (b.name == ev.target) found = &b;
+    }
+    if (found) continue;
+    const std::string who =
+        std::string(fault_kind_name(ev.kind)) + " event " + std::to_string(i);
+    // Distinguish "no such block" from "block of the wrong type" — the
+    // second is the likelier authoring mistake and deserves a plain answer.
+    for (const auto& b : topo.blocks) {
+      if (b.name == ev.target) {
+        fail("fault plan: " + who + " targets block '" + ev.target +
+             "' of type '" + b.type + "', which " +
+             (rate ? "is not a token_bucket"
+                   : "has no queue to cap (need fifo_queue, red, or "
+                     "token_bucket)"));
+      }
+    }
+    std::string msg =
+        "fault plan: " + who + " targets unknown block '" + ev.target + "'";
+    const std::string hint = suggest_nearest(ev.target, names);
+    if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
+    fail(msg);
+  }
+}
+
 TopologyTrialReport run_topology_trial(const TopologyFile& topo,
                                        std::uint64_t trial_seed,
                                        Picos duration,
@@ -505,6 +549,7 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
     if (plan && !plan->events.empty()) {
       injector.emplace(eng, *plan);
       injector->attach_device(dev);
+      injector->attach_graph(g);
       injector->arm();
     }
   };
@@ -559,6 +604,7 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
     cfg.bottleneck_gbps = w.bottleneck_gbps;
     cfg.queue_segments = w.queue_segments;
     cfg.rwnd_bytes = w.rwnd_kb * 1024;
+    cfg.rate_limit_detector = w.rate_limit_detector;
     cfg.seed = trial_seed;
     tcp::ClosedLoopWorkload workload{eng, dev, cfg};
     if (series) {
@@ -588,6 +634,14 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
     r.acks_sent = workload.total_acks_sent();
     r.queue_drops = workload.source().drops();
     r.goodput_bps = workload.goodput_bps(duration);
+    r.rld_detections = workload.total_rld_detections();
+    r.rld_rate_bps = workload.mean_rld_rate_bps();
+    r.rld_detect_time = workload.mean_rld_detect_time();
+    const telemetry::Log2Histogram rtt = workload.rtt_probe().merged();
+    if (rtt.count() > 0) {
+      r.rtt_p99_ns = rtt.quantile(0.99);
+      r.rtt_min_ns = static_cast<double>(rtt.min());
+    }
     for (std::size_t i = 0; i < workload.num_flows(); ++i) {
       const tcp::Flow& f = workload.flow(i);
       r.segs_sent += f.stats().segs_sent;

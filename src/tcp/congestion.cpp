@@ -17,6 +17,22 @@ std::uint64_t resolve_min(const CcConfig& cfg, std::uint64_t floor_mss) {
   return cfg.min_cwnd ? std::max(cfg.min_cwnd, floor) : floor;
 }
 
+// How far above the policer BDP an adapted controller may keep in
+// flight. A quarter-BDP of slack keeps the ACK clock alive through
+// delivery-rate jitter without rebuilding the standing queue the
+// adaptation exists to avoid; it also bounds post-adaptation RTT at
+// ~1.25x min_rtt.
+constexpr double kPolicerHeadroom = 1.25;
+
+
+std::uint64_t policer_bdp_bytes(double rate_bps, Picos min_rtt,
+                                std::uint64_t floor) {
+  if (rate_bps <= 0.0 || min_rtt == 0) return ~std::uint64_t{0};
+  const double bdp =
+      rate_bps * static_cast<double>(min_rtt) / kPicosPerSec / 8.0;
+  return std::max(static_cast<std::uint64_t>(kPolicerHeadroom * bdp), floor);
+}
+
 // ------------------------------------------------------------- NewReno
 // RFC 5681 window arithmetic with appropriate-byte-counting: slow start
 // below ssthresh (cwnd += bytes_acked), one MSS per cwnd-worth of ACKed
@@ -99,6 +115,22 @@ class CubicLite final : public CongestionControl {
     } else {
       cwnd_ += mss_ * 0.01 / cwnd_mss;  // minimal growth in the plateau
     }
+    if (policer_cap_ > 0.0) cwnd_ = std::min(cwnd_, policer_cap_);
+  }
+
+  void adapt_to_policer(double rate_bps, Picos min_rtt) override {
+    if (rate_bps <= 0.0 || min_rtt == 0) {
+      policer_cap_ = 0.0;  // verdict revoked: resume the cubic curve
+      return;
+    }
+    const auto cap = policer_bdp_bytes(rate_bps, min_rtt, min_cwnd_);
+    policer_cap_ = static_cast<double>(cap);
+    // Pin the curve's plateau at the cap so the next epoch converges
+    // there instead of re-probing the pre-policer W_max.
+    cwnd_ = std::min(cwnd_, policer_cap_);
+    ssthresh_ = std::min(ssthresh_, policer_cap_);
+    w_max_mss_ = policer_cap_ / mss_;
+    epoch_start_ = 0;
   }
 
   void on_loss(Picos, std::uint64_t) override {
@@ -132,6 +164,7 @@ class CubicLite final : public CongestionControl {
   double w_max_mss_ = 0.0;
   double k_ = 0.0;
   Picos epoch_start_ = 0;
+  double policer_cap_ = 0.0;  ///< 0 = no detected policer
 };
 
 // ------------------------------------------------------------- BbrLite
@@ -196,6 +229,25 @@ class BbrLite final : public CongestionControl {
     cycle_idx_ = 0;
   }
 
+  void adapt_to_policer(double rate_bps, Picos min_rtt) override {
+    policer_rate_ = rate_bps;
+    if (rate_bps <= 0.0) return;  // revoked: model rebuilds from samples
+    if (min_rtt > 0) {
+      min_rtt_ = min_rtt_ ? std::min(min_rtt_, min_rtt) : min_rtt;
+    }
+    // A policer defines the plateau: startup's 2.885x overshoot and
+    // drain have nothing left to discover, so jump straight to the
+    // probe cycle (at a cruise phase; phase 0's 1.25x probe comes
+    // around on the normal cadence and is what re-tests the limiter).
+    if (mode_ != Mode::kProbeBw) {
+      mode_ = Mode::kProbeBw;
+      cycle_idx_ = 2;
+      full_bw_ = bw_bps();
+      full_bw_cnt_ = 0;
+    }
+    cwnd_ = std::min(cwnd_, policer_cap_bytes());
+  }
+
   [[nodiscard]] std::uint64_t cwnd_bytes() const override { return cwnd_; }
 
   [[nodiscard]] double pacing_rate_bps() const override {
@@ -223,16 +275,33 @@ class BbrLite final : public CongestionControl {
                                                        1.0,  1.0,  1.0, 1.0};
 
   [[nodiscard]] double bw_bps() const {
+    // While a policer verdict stands it *is* the bandwidth model. The
+    // windowed max is poisoned in both directions under a policer:
+    // upward by recovery-aliased line-rate spikes (which re-ignite the
+    // loss storm the adaptation exists to quell), downward by RTO
+    // stalls (which would refuse the detector's probe epochs). The
+    // detector re-parameterizes this on every verdict change, including
+    // the temporary probe-epoch uplift.
+    if (policer_rate_ > 0.0) return policer_rate_;
     double bw = 0.0;
     for (double b : round_bw_) bw = std::max(bw, b);
     return bw;
+  }
+
+  [[nodiscard]] std::uint64_t policer_cap_bytes() const {
+    return policer_bdp_bytes(policer_rate_, min_rtt_, min_cwnd_);
   }
 
   [[nodiscard]] double pacing_gain() const {
     switch (mode_) {
       case Mode::kStartup: return kHighGain;
       case Mode::kDrain: return kDrainGain;
-      case Mode::kProbeBw: return kCycleGain[cycle_idx_];
+      case Mode::kProbeBw:
+        // Adapted flows cruise at exactly the verdict: the gain cycle's
+        // 1.25x round would shave drops off a standing policer every
+        // cycle for nothing (release probing is the detector's job, on
+        // its own cadence), and the 0.75x round would under-run it.
+        return policer_rate_ > 0.0 ? 1.0 : kCycleGain[cycle_idx_];
     }
     return 1.0;
   }
@@ -276,6 +345,7 @@ class BbrLite final : public CongestionControl {
     // Grow toward the model target (at most one step per ACK keeps the
     // post-RTO rebuild gradual, like bbr's cwnd += acked ramp).
     cwnd_ = cwnd_ < target ? std::min(cwnd_ + mss_, target) : target;
+    if (policer_rate_ > 0.0) cwnd_ = std::min(cwnd_, policer_cap_bytes());
   }
 
   std::uint64_t mss_;
@@ -289,6 +359,7 @@ class BbrLite final : public CongestionControl {
   double full_bw_ = 0.0;
   int full_bw_cnt_ = 0;
   std::size_t cycle_idx_ = 0;
+  double policer_rate_ = 0.0;  ///< detected policer rate; 0 = none
 };
 
 }  // namespace

@@ -27,6 +27,9 @@ Flow::Flow(sim::Engine& eng, FlowConfig cfg, SegmentEmitter emit)
       emit_(std::move(emit)),
       cc_(make_congestion_control(
           cfg_.cc, CcConfig{.mss = cfg_.mss})),
+      rld_(cfg_.rate_limit_detector
+               ? std::make_unique<RateLimitDetector>(cfg_.rld)
+               : nullptr),
       rto_(cfg_.min_rto, cfg_.max_rto),
       isn_(static_cast<std::uint32_t>(derive_seed(cfg_.seed, 1))) {}
 
@@ -48,6 +51,12 @@ Flow::~Flow() {
   reg.histogram("tcp.cwnd_bytes").merge(cwnd_hist_);
   reg.histogram("tcp.srtt_ns").merge(srtt_hist_);
   reg.histogram("tcp.delivery_rate_bps").merge(rate_hist_);
+  if (rld_ && (rld_->detections() > 0 || rld_->releases() > 0)) {
+    reg.counter("tcp.rld.detections").add(rld_->detections());
+    reg.counter("tcp.rld.releases").add(rld_->releases());
+    reg.histogram("tcp.rld.detected_rate_mbps").merge(rld_rate_hist_);
+    reg.histogram("tcp.rld.time_to_detect_us").merge(rld_ttd_hist_);
+  }
 }
 
 void Flow::start() {
@@ -141,6 +150,7 @@ void Flow::on_ack(const net::TcpHeader& hdr, std::uint32_t peer_tsval,
       }
     }
 
+    const bool was_in_recovery = in_recovery_;
     if (in_recovery_) {
       if (ack_off >= recover_point_) {
         in_recovery_ = false;
@@ -159,6 +169,34 @@ void Flow::on_ack(const net::TcpHeader& hdr, std::uint32_t peer_tsval,
                          .rtt = rtt,
                          .delivery_rate_bps = rate,
                          .round_start = round_start});
+    // Rate-limit detection rides the same estimator state the controller
+    // just consumed (recovery-tainted samples zeroed — one hole-filling
+    // cumulative ACK aliases into a multi-Gb/s spike). A verdict change
+    // — detection, release, or release-probe epoch boundary —
+    // re-parameterizes the controller.
+    if (rld_) {
+      const auto dets = rld_->detections();
+      const auto rels = rld_->releases();
+      if (rld_->on_ack(now, was_in_recovery ? 0.0 : rate, rtt,
+                       delivered_)) {
+        cc_->adapt_to_policer(
+            rld_->detected() ? rld_->detected_rate_bps() : 0.0,
+            rld_->min_rtt());
+        const bool fresh_detect = rld_->detections() != dets;
+        if (fresh_detect) {
+          rld_rate_hist_.record(
+              static_cast<std::uint64_t>(rld_->verdict_rate_bps() / 1e6));
+          rld_ttd_hist_.record(static_cast<std::uint64_t>(
+              rld_->detect_time() / kPicosPerMicro));
+        }
+        if (trace_track_set_ && (fresh_detect || rld_->releases() != rels)) {
+          if (auto* tr = eng_->trace()) {
+            tr->instant(trace_track_,
+                        fresh_detect ? "rld_detect" : "rld_release", now);
+          }
+        }
+      }
+    }
     note_cwnd(now);
 
     // RFC 6298 (5.3): restart the retransmission timer on new data acked.
@@ -180,6 +218,7 @@ void Flow::on_ack(const net::TcpHeader& hdr, std::uint32_t peer_tsval,
       in_recovery_ = true;
       recover_point_ = snd_nxt_;
       ++stats_.fast_retx;
+      if (rld_) rld_->on_loss();
       const std::uint64_t before = cc_->cwnd_bytes();
       cc_->on_loss(now, snd_nxt_ - snd_una_);
       if (cc_->cwnd_bytes() < before) ++stats_.cwnd_reductions;
@@ -312,6 +351,7 @@ void Flow::on_rto_fire() {
   const Picos now = eng_->now();
   ++stats_.rto_fires;
   rto_.backoff();
+  if (rld_) rld_->on_loss();
   cc_->on_rto(now);
   // An RTO collapses the window to the controller's floor by contract;
   // count the event even when decay already had cwnd sitting there.

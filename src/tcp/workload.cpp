@@ -89,6 +89,7 @@ ClosedLoopWorkload::ClosedLoopWorkload(sim::Engine& eng,
     // and the flow's RTT samples land in the shared probe's class bin.
     fc.dscp = static_cast<std::uint8_t>(i & mon::LatencyProbe::kClassMask);
     fc.rtt_probe = &rtt_probe_;
+    fc.rate_limit_detector = cfg_.rate_limit_detector;
     const auto h = flows_.emplace(*eng_, fc, [this](net::Packet&& pkt) {
       return source_->offer(std::move(pkt));
     });
@@ -309,6 +310,42 @@ std::uint64_t ClosedLoopWorkload::total_ooo_segs() const {
   return v;
 }
 
+std::uint64_t ClosedLoopWorkload::total_rld_detections() const {
+  std::uint64_t v = 0;
+  for (const auto& h : flow_handles_) {
+    if (const auto* d = flows_[h.slot].rate_limit_detector()) {
+      v += d->detections();
+    }
+  }
+  return v;
+}
+
+double ClosedLoopWorkload::mean_rld_rate_bps() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& h : flow_handles_) {
+    const auto* d = flows_[h.slot].rate_limit_detector();
+    if (d && d->detected()) {
+      sum += d->detected_rate_bps();
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+Picos ClosedLoopWorkload::mean_rld_detect_time() const {
+  Picos sum = 0;
+  std::size_t n = 0;
+  for (const auto& h : flow_handles_) {
+    const auto* d = flows_[h.slot].rate_limit_detector();
+    if (d && d->detections() > 0) {
+      sum += d->detect_time();
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<Picos>(n) : 0;
+}
+
 double ClosedLoopWorkload::goodput_bps(Picos window) const {
   if (window <= 0) return 0.0;
   return static_cast<double>(total_bytes_acked()) * 8.0 *
@@ -355,6 +392,14 @@ TcpTrialReport ClosedLoopTestbed::report(Picos window) const {
     const double rate = f.delivery_rate_bps();
     if (i == 0 || rate < r.min_flow_rate_bps) r.min_flow_rate_bps = rate;
     if (i == 0 || rate > r.max_flow_rate_bps) r.max_flow_rate_bps = rate;
+  }
+  r.rld_detections = w.total_rld_detections();
+  r.rld_rate_bps = w.mean_rld_rate_bps();
+  r.rld_detect_time = w.mean_rld_detect_time();
+  const telemetry::Log2Histogram rtt = w.rtt_probe().merged();
+  if (rtt.count() > 0) {
+    r.rtt_p99_ns = rtt.quantile(0.99);
+    r.rtt_min_ns = static_cast<double>(rtt.min());
   }
   return r;
 }

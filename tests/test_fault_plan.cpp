@@ -145,5 +145,123 @@ TEST(FaultPlan, LoadMissingFileThrows) {
   EXPECT_THROW((void)FaultPlan::load("/nonexistent/plan.json"), PlanError);
 }
 
+TEST(FaultPlan, ParsesBlockTargetedKindsFromJson) {
+  const auto plan = FaultPlan::from_json(R"({
+    "seed": 9,
+    "events": [
+      {"type": "rate_limit", "at_ms": 5, "duration_ms": 10,
+       "target": "policer", "rate_gbps": 0.5, "ramp_ms": 2,
+       "burst_bytes": 15000},
+      {"type": "queue_cap", "at_ms": 6, "duration_ms": 8,
+       "target": "bottleneck", "queue_frames": 32}
+    ]})");
+  ASSERT_EQ(plan.events.size(), 2u);
+  const FaultEvent& rl = plan.events[0];
+  EXPECT_EQ(rl.kind, FaultKind::kRateLimit);
+  EXPECT_EQ(rl.at, 5 * kPicosPerMilli);
+  EXPECT_EQ(rl.duration, 10 * kPicosPerMilli);
+  EXPECT_EQ(rl.target, "policer");
+  EXPECT_DOUBLE_EQ(rl.rate_gbps, 0.5);
+  EXPECT_EQ(rl.ramp, 2 * kPicosPerMilli);
+  EXPECT_EQ(rl.burst_bytes, 15000);
+  const FaultEvent& qc = plan.events[1];
+  EXPECT_EQ(qc.kind, FaultKind::kQueueCap);
+  EXPECT_EQ(qc.target, "bottleneck");
+  EXPECT_EQ(qc.queue_frames, 32u);
+}
+
+TEST(FaultPlan, BlockTargetedBuildersMatchJson) {
+  FaultPlan built;
+  built.seed = 9;
+  built
+      .rate_limit(5 * kPicosPerMilli, 10 * kPicosPerMilli, "policer", 0.5,
+                  2 * kPicosPerMilli, 15000)
+      .queue_cap(6 * kPicosPerMilli, 8 * kPicosPerMilli, "bottleneck", 32);
+  built.normalize();
+  const auto parsed = FaultPlan::from_json(R"({
+    "seed": 9,
+    "events": [
+      {"type": "rate_limit", "at_ms": 5, "duration_ms": 10,
+       "target": "policer", "rate_gbps": 0.5, "ramp_ms": 2,
+       "burst_bytes": 15000},
+      {"type": "queue_cap", "at_ms": 6, "duration_ms": 8,
+       "target": "bottleneck", "queue_frames": 32}
+    ]})");
+  ASSERT_EQ(built.events.size(), parsed.events.size());
+  for (std::size_t i = 0; i < built.events.size(); ++i) {
+    EXPECT_EQ(built.events[i].kind, parsed.events[i].kind);
+    EXPECT_EQ(built.events[i].at, parsed.events[i].at);
+    EXPECT_EQ(built.events[i].duration, parsed.events[i].duration);
+    EXPECT_EQ(built.events[i].target, parsed.events[i].target);
+    EXPECT_DOUBLE_EQ(built.events[i].rate_gbps, parsed.events[i].rate_gbps);
+    EXPECT_EQ(built.events[i].ramp, parsed.events[i].ramp);
+    EXPECT_EQ(built.events[i].burst_bytes, parsed.events[i].burst_bytes);
+    EXPECT_EQ(built.events[i].queue_frames, parsed.events[i].queue_frames);
+  }
+}
+
+TEST(FaultPlan, BlockTargetedValidationRejectsBadValues) {
+  FaultPlan no_target;
+  no_target.rate_limit(0, kPicosPerMilli, "", 1.0);
+  EXPECT_THROW(no_target.normalize(), PlanError);
+
+  FaultPlan zero_rate;
+  zero_rate.rate_limit(0, kPicosPerMilli, "policer", 0.0);
+  EXPECT_THROW(zero_rate.normalize(), PlanError);
+
+  FaultPlan zero_burst;
+  zero_burst.rate_limit(0, kPicosPerMilli, "policer", 1.0, 0,
+                        /*burst_bytes=*/0);
+  EXPECT_THROW(zero_burst.normalize(), PlanError);
+
+  FaultPlan zero_frames;
+  zero_frames.queue_cap(0, kPicosPerMilli, "bottleneck", 0);
+  EXPECT_THROW(zero_frames.normalize(), PlanError);
+}
+
+/// Parse expecting a PlanError; return its message for substring checks.
+std::string plan_error(const std::string& text) {
+  try {
+    (void)FaultPlan::from_json(text);
+  } catch (const PlanError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected PlanError, plan parsed fine";
+  return {};
+}
+
+TEST(FaultPlan, ErrorsCarryPositionAndSuggestion) {
+  // A typoed event type: position of the offending value plus the
+  // nearest known kind.
+  const std::string typo_type = plan_error(R"({
+    "events": [
+      {"type": "rate_limti", "at_ms": 5, "target": "p", "rate_gbps": 1.0}
+    ]})");
+  EXPECT_NE(typo_type.find("rate_limti"), std::string::npos) << typo_type;
+  EXPECT_NE(typo_type.find("did you mean 'rate_limit'?"), std::string::npos)
+      << typo_type;
+  EXPECT_NE(typo_type.find("line"), std::string::npos) << typo_type;
+
+  // A typoed field on a block-targeted event.
+  const std::string typo_key = plan_error(R"({
+    "events": [
+      {"type": "queue_cap", "at_ms": 5, "target": "q", "queue_framse": 8}
+    ]})");
+  EXPECT_NE(typo_key.find("queue_framse"), std::string::npos) << typo_key;
+  EXPECT_NE(typo_key.find("did you mean 'queue_frames'?"), std::string::npos)
+      << typo_key;
+  EXPECT_NE(typo_key.find("line"), std::string::npos) << typo_key;
+}
+
+TEST(FaultPlan, SummaryCountsBlockTargetedKinds) {
+  FaultPlan p;
+  p.rate_limit(0, kPicosPerMilli, "policer", 1.0);
+  p.queue_cap(kPicosPerMilli, kPicosPerMilli, "bottleneck", 16);
+  p.normalize();
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("1 rate_limit"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 queue_cap"), std::string::npos) << s;
+}
+
 }  // namespace
 }  // namespace osnt::fault

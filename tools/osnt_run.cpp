@@ -13,11 +13,13 @@
 //                       [--pcap-out PATH]
 //   osnt_run tcp        [--cc newreno|cubic|bbr] [--flows N]
 //                       [--duration-ms N] [--bottleneck-gbps N]
-//                       [--queue-segments N] [--faults PLAN.json]
+//                       [--queue-segments N] [--rate-limit-detector]
+//                       [--faults PLAN.json]
 //                       [--trials N] [--jobs N] [--series-out PATH]
 //   osnt_run topo       FILE.json [--seed N] [--duration-ms N]
 //                       [--trials N] [--jobs N] [--faults PLAN.json]
 //                       [--series-out PATH] [--series-interval-us N]
+//                       [--validate-only]
 //   osnt_run oflops     [--module M] [--table-size N] [--rounds N]
 //                       [--faults PLAN.json]
 //
@@ -516,6 +518,7 @@ int cmd_tcp(int argc, const char* const* argv) {
   std::int64_t flows = 1, trials = 1, jobs = 1, mss = 1448;
   std::int64_t queue_segments = 256, seed = 1, rwnd_kb = 1024;
   double duration_ms = 10.0, bottleneck_gbps = 5.0;
+  bool rate_limit_detector = false;
   std::string faults_path;
   std::string timers = "wheel";
   ObservabilityFlags obs;
@@ -531,6 +534,8 @@ int cmd_tcp(int argc, const char* const* argv) {
   cli.add_flag("queue-segments", &queue_segments,
                "bottleneck buffer depth in frames");
   cli.add_flag("rwnd-kb", &rwnd_kb, "receiver window per flow, KiB");
+  cli.add_flag("rate-limit-detector", &rate_limit_detector,
+               "detect in-path policers/shapers and adapt the cc to them");
   cli.add_flag("seed", &seed, "base seed (trial i runs at seed+i)");
   cli.add_flag("timers",
                &timers,
@@ -576,6 +581,7 @@ int cmd_tcp(int argc, const char* const* argv) {
   base.bottleneck_gbps = bottleneck_gbps;
   base.queue_segments = static_cast<std::size_t>(queue_segments);
   base.rwnd_bytes = static_cast<std::uint64_t>(rwnd_kb) * 1024;
+  base.rate_limit_detector = rate_limit_detector;
   base.wheel_timers = timers == "wheel";
   const Picos duration = from_micros(duration_ms * 1000.0);
 
@@ -638,6 +644,13 @@ int cmd_tcp(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(rep.cwnd_reductions),
                 static_cast<unsigned long long>(rep.acks_sent),
                 rep.min_flow_rate_bps / 1e9, rep.max_flow_rate_bps / 1e9);
+    if (rep.rld_detections > 0) {
+      std::printf("rate-limit detector: %llu detections  rate %.3f Gb/s  "
+                  "time-to-detect %.1f us\n",
+                  static_cast<unsigned long long>(rep.rld_detections),
+                  rep.rld_rate_bps / 1e9,
+                  static_cast<double>(rep.rld_detect_time) / kPicosPerMicro);
+    }
   }
   if (obs.series_enabled() && rc == 0) {
     // Merge in plan order: element-wise sums commute, so the bytes are
@@ -653,6 +666,7 @@ int cmd_tcp(int argc, const char* const* argv) {
 int cmd_topo(int argc, const char* const* argv) {
   std::int64_t trials = 1, jobs = 1, seed = 0;
   double duration_ms = 0.0;
+  bool validate_only = false;
   std::string faults_path;
   ObservabilityFlags obs;
   CliParser cli{
@@ -663,6 +677,9 @@ int cmd_topo(int argc, const char* const* argv) {
   cli.add_flag("duration-ms", &duration_ms,
                "simulated duration (0 = the file's)");
   cli.add_flag("faults", &faults_path, "JSON fault plan to inject");
+  cli.add_flag("validate-only", &validate_only,
+               "load the topology (and fault plan), resolve fault targets, "
+               "print the block table, and exit without running");
   cli.add_flag("trials", &trials, "independent trials (distinct seeds)");
   cli.add_flag("jobs", &jobs,
                "worker threads for the trials (0 = all hardware threads)");
@@ -715,6 +732,27 @@ int cmd_topo(int argc, const char* const* argv) {
               : topo.workload.kind == graph::WorkloadSpec::Kind::kCbr ? "cbr"
                                                                       : "none");
 
+  if (validate_only) {
+    // Dry run: the file already parsed and wired, so all that is left is
+    // resolving the fault plan's block targets and showing what would be
+    // built — cheap enough for CI to gate every plan/topology pair on.
+    try {
+      graph::validate_fault_targets(topo, fplan);
+    } catch (const graph::GraphError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::printf("%-16s %-16s %7s %8s\n", "block", "type", "inputs",
+                "outputs");
+    for (const auto& b : topo.blocks) {
+      std::printf("%-16s %-16s %7zu %8zu\n", b.name.c_str(), b.type.c_str(),
+                  b.num_inputs, b.num_outputs);
+    }
+    std::printf("ok: topology valid%s\n",
+                fplan.events.empty() ? "" : ", fault targets resolved");
+    return 0;
+  }
+
   std::vector<graph::TopologyTrialReport> reports(
       static_cast<std::size_t>(trials));
   core::TrialPlan plan;
@@ -760,6 +798,19 @@ int cmd_topo(int argc, const char* const* argv) {
           static_cast<unsigned long long>(rep.tcp.segs_sent),
           static_cast<unsigned long long>(rep.tcp.retransmits),
           static_cast<unsigned long long>(rep.graph_drops));
+      if (rep.tcp.rtt_min_ns > 0.0) {
+        std::printf("  source rtt: p99 %.0f ns (%.2fx min)\n",
+                    rep.tcp.rtt_p99_ns,
+                    rep.tcp.rtt_p99_ns / rep.tcp.rtt_min_ns);
+      }
+      if (rep.tcp.rld_detections > 0) {
+        std::printf(
+            "  rate-limit detector: %llu detections  rate %.3f Gb/s  "
+            "time-to-detect %.1f us\n",
+            static_cast<unsigned long long>(rep.tcp.rld_detections),
+            rep.tcp.rld_rate_bps / 1e9,
+            static_cast<double>(rep.tcp.rld_detect_time) / kPicosPerMicro);
+      }
     } else if (topo.workload.kind == graph::WorkloadSpec::Kind::kCbr) {
       std::printf(
           "trial %zu seed %llu: tx %llu  rx %llu  loss %.4f%%  "
