@@ -15,6 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "osnt/burst/source.hpp"
+#include "osnt/graph/blocks.hpp"
+#include "osnt/graph/graph.hpp"
 #include "osnt/net/packet.hpp"
 #include "osnt/sim/engine.hpp"
 
@@ -124,6 +127,47 @@ void BM_LineRateStorm4Port(benchmark::State& state) {
                           static_cast<std::int64_t>(per_port));
 }
 BENCHMARK(BM_LineRateStorm4Port)->Arg(4096);
+
+/// Burst-generator emission throughput, 64 B on/off at 10G. First arg:
+/// 1 = the batched MoonGen-style hot path (one event per burst, SoA
+/// walk, template clones); 0 = the naive baseline (one event per frame,
+/// each crafting its packet from scratch). Second arg: 1 = wired to a
+/// sink through a real graph edge; 0 = dark output port, isolating the
+/// emission machinery itself. Same schedule, identical frames either
+/// way — only the emission mechanism differs.
+///
+/// The BENCH_engine.json `burst_pps` gate compares the dark-port pair:
+/// through a wire, both modes pay the identical per-frame Link delivery
+/// event (~the BM_ScheduleFire floor), which bounds any end-to-end
+/// ratio near 2x no matter how cheap emission gets — the wired pair is
+/// reported for that context, the dark pair for the machinery delta.
+void BM_BurstEmission(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    Engine eng;
+    osnt::graph::Graph g{eng};
+    osnt::burst::BurstSourceConfig cfg;
+    cfg.pattern.pattern = osnt::burst::Pattern::kOnOff;
+    cfg.pattern.rate_gbps = 10.0;
+    cfg.pattern.frame_size = 64;
+    cfg.pattern.period = 100 * osnt::kPicosPerMicro;
+    cfg.pattern.duty = 0.5;
+    cfg.batched = batched;
+    cfg.horizon = 2 * osnt::kPicosPerMilli;
+    auto& src = g.emplace<osnt::burst::BurstSourceBlock>(eng, "src", cfg);
+    if (state.range(1) != 0) {
+      g.emplace<osnt::graph::SinkBlock>(eng, "sink");
+      g.connect("src", 0, "sink", 0);
+    }
+    g.start();
+    eng.run();
+    frames += src.frames_out() + src.drops();
+    benchmark::DoNotOptimize(src.wire_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+}
+BENCHMARK(BM_BurstEmission)->Args({1, 1})->Args({0, 1})->Args({1, 0})->Args({0, 0});
 
 }  // namespace
 

@@ -38,15 +38,6 @@ struct RepeatedResult {
                                           std::size_t repetitions,
                                           const RunnerConfig& runner = {});
 
-/// Legacy entry point: a bare double(seed) functor, always run serially
-/// (such functors historically captured shared state by reference).
-[[deprecated(
-    "phrase the experiment as a core::Trial (see core/trial.hpp) and use "
-    "the Runner-aware overload")]]
-[[nodiscard]] RepeatedResult run_repeated(
-    const std::function<double(std::uint64_t seed)>& trial,
-    std::size_t repetitions);
-
 /// 95% two-sided Student-t critical value for n-1 degrees of freedom:
 /// exact table for df ≤ 30, interpolated in 1/df through the standard
 /// df = 40/60/120 anchors beyond, converging to 1.96. Exposed for tests.

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "osnt/burst/source.hpp"
 #include "osnt/core/measure.hpp"
 #include "osnt/fault/plan.hpp"
 #include "osnt/graph/blocks.hpp"
@@ -61,6 +62,7 @@ struct BlockSpec {
   MonitorConfig monitor{};
   dut::LegacySwitchConfig legacy_switch{};
   OpenFlowSwitchBlockConfig openflow_switch{};
+  burst::BurstSourceConfig burst{};
 };
 
 struct EdgeSpec {
@@ -71,7 +73,7 @@ struct EdgeSpec {
 
 /// The traffic that drives the graph.
 struct WorkloadSpec {
-  enum class Kind : std::uint8_t { kNone, kTcp, kCbr };
+  enum class Kind : std::uint8_t { kNone, kTcp, kCbr, kBurst };
   Kind kind = Kind::kNone;
 
   Endpoint ingress;  ///< where device TX enters the graph
@@ -96,6 +98,11 @@ struct WorkloadSpec {
   double rate_gbps = 1.0;
   std::size_t frame_size = 256;
   std::uint32_t flow_count = 1;
+
+  // --- burst (graph-native: a burst_source named "burst_workload" is
+  // emplaced at `ingress` and a "burst_sink" behind `egress`) ---
+  burst::PatternConfig burst{};
+  bool burst_batched = true;
 };
 
 /// A parsed, validated topology file. Pure data until build() is called.
@@ -115,8 +122,10 @@ struct TopologyFile {
   [[nodiscard]] static const std::vector<std::string>& known_types();
 
   /// Instantiate every block and edge into `g`. Per-block random streams
-  /// derive from `trial_seed` and the block ordinal.
-  void build(sim::Engine& eng, Graph& g, std::uint64_t trial_seed) const;
+  /// derive from `trial_seed` and the block ordinal. `horizon` is the run
+  /// length burst_source schedules render over (0 = the file's duration).
+  void build(sim::Engine& eng, Graph& g, std::uint64_t trial_seed,
+             Picos horizon = 0) const;
 };
 
 /// Per-block counter row captured before the graph is torn down.
@@ -136,6 +145,14 @@ struct BlockCounters {
 struct TopologyTrialReport {
   tcp::TcpTrialReport tcp{};  ///< meaningful when workload.kind == kTcp
   core::RunResult cbr{};      ///< meaningful when workload.kind == kCbr
+  /// Meaningful when workload.kind == kBurst.
+  struct BurstReport {
+    std::uint64_t frames = 0;    ///< frames the burst_workload source emitted
+    std::uint64_t bursts = 0;    ///< emission events (batched: one per burst)
+    std::uint64_t tx_bytes = 0;  ///< wire bytes emitted (incl. FCS)
+    std::uint64_t rx_frames = 0; ///< frames that reached burst_sink
+    std::uint64_t rx_bytes = 0;
+  } burst{};
   std::vector<BlockCounters> blocks;
   std::uint64_t graph_frames_in = 0;
   std::uint64_t graph_drops = 0;
@@ -151,6 +168,14 @@ struct TopologyTrialReport {
 /// --validate-only`, so a bad chaos plan fails in CI, not mid-campaign.
 void validate_fault_targets(const TopologyFile& topo,
                             const fault::FaultPlan& plan);
+
+/// Semantic workload validation beyond parse-time shape checks: tcp cc
+/// names (with did-you-mean), cbr rate/frame-size ranges, and burst
+/// pattern configs — both the `burst` workload stanza and every
+/// burst_source block. Throws TopologyError. Backs `osnt_run topo
+/// --validate-only`, so a stanza that would only explode at build time
+/// fails the dry run instead.
+void validate_workload(const TopologyFile& topo);
 
 /// One deterministic trial: fresh engine + device + graph built from
 /// `topo`, workload attached at the declared endpoints, run for

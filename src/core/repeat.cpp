@@ -68,12 +68,4 @@ RepeatedResult run_repeated(const Trial& trial, std::size_t repetitions,
   return summarize(std::move(values));
 }
 
-RepeatedResult run_repeated(
-    const std::function<double(std::uint64_t seed)>& trial,
-    std::size_t repetitions) {
-  return run_repeated(
-      scalar_trial([&trial](const TrialPoint& p) { return trial(p.seed); }),
-      repetitions, RunnerConfig{.jobs = 1});
-}
-
 }  // namespace osnt::core

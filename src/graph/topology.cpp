@@ -136,6 +136,78 @@ std::vector<std::string> with_time_units(std::vector<std::string> keys,
   return keys;
 }
 
+/// Pattern fields shared by burst_source blocks and the burst workload
+/// stanza. `extra` carries the caller's structural keys ("name"/"type" or
+/// "kind"/"ingress"/...); the allowed set is per-pattern, so a strobe
+/// stanza with an `alpha` key fails like any other unknown key.
+burst::PatternConfig parse_burst_pattern(const Json& obj,
+                                         std::vector<std::string> extra,
+                                         const std::string& who) {
+  burst::PatternConfig cfg;
+  const std::string pname =
+      need(obj, "pattern", Json::Type::kString, who).string;
+  const auto& names = burst::known_patterns();
+  if (std::find(names.begin(), names.end(), pname) == names.end()) {
+    std::string msg = who + ": unknown burst pattern '" + pname + "'";
+    const std::string hint = suggest_nearest(pname, names);
+    if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
+    fail(msg, obj.find("pattern"));
+  }
+  cfg.pattern = burst::pattern_from_name(pname);
+
+  std::vector<std::string> keys = std::move(extra);
+  for (const char* k : {"pattern", "rate_gbps", "frame_size", "flows", "l4"}) {
+    keys.emplace_back(k);
+  }
+  switch (cfg.pattern) {
+    case burst::Pattern::kOnOff:
+      keys = with_time_units(std::move(keys), {"period"});
+      keys.emplace_back("duty");
+      break;
+    case burst::Pattern::kStrobe:
+      keys = with_time_units(std::move(keys), {"period"});
+      keys.emplace_back("pulse_frames");
+      break;
+    case burst::Pattern::kHeavyTail:
+      keys = with_time_units(std::move(keys), {"mean_on", "mean_off"});
+      keys.emplace_back("alpha");
+      break;
+    case burst::Pattern::kAmplification:
+      keys = with_time_units(std::move(keys), {"period"});
+      for (const char* k : {"duty", "attackers", "request_size", "amp_factor"}) {
+        keys.emplace_back(k);
+      }
+      break;
+  }
+  check_keys(obj, keys, who);
+
+  cfg.rate_gbps = number_or(obj, "rate_gbps", cfg.rate_gbps, who);
+  cfg.frame_size = count_or(obj, "frame_size", cfg.frame_size, who);
+  cfg.flows = count_or(obj, "flows", cfg.flows, who);
+  const std::string l4 = string_or(obj, "l4", "udp", who);
+  if (l4 == "udp") {
+    cfg.l4 = burst::L4::kUdp;
+  } else if (l4 == "tcp_syn") {
+    cfg.l4 = burst::L4::kTcpSyn;
+  } else {
+    const std::vector<std::string> kinds = {"udp", "tcp_syn"};
+    std::string msg = who + ": unknown l4 '" + l4 + "'";
+    const std::string hint = suggest_nearest(l4, kinds);
+    if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
+    fail(msg, obj.find("l4"));
+  }
+  cfg.period = time_or(obj, "period", cfg.period, who);
+  cfg.duty = number_or(obj, "duty", cfg.duty, who);
+  cfg.pulse_frames = count_or(obj, "pulse_frames", cfg.pulse_frames, who);
+  cfg.alpha = number_or(obj, "alpha", cfg.alpha, who);
+  cfg.mean_on = time_or(obj, "mean_on", cfg.mean_on, who);
+  cfg.mean_off = time_or(obj, "mean_off", cfg.mean_off, who);
+  cfg.attackers = count_or(obj, "attackers", cfg.attackers, who);
+  cfg.request_size = count_or(obj, "request_size", cfg.request_size, who);
+  cfg.amp_factor = number_or(obj, "amp_factor", cfg.amp_factor, who);
+  return cfg;
+}
+
 Endpoint parse_endpoint(const Json& v, const std::string& who) {
   if (!v.is(Json::Type::kString)) {
     fail(who + ": endpoint must be a \"block\" or \"block:port\" string", &v);
@@ -214,6 +286,11 @@ BlockSpec parse_block(const Json& b, std::size_t i) {
     check_keys(b, {"name", "type", "rtt_probe"}, who2);
     spec.monitor.rtt_probe =
         bool_or(b, "rtt_probe", spec.monitor.rtt_probe, who2);
+  } else if (spec.type == "burst_source") {
+    spec.burst.pattern =
+        parse_burst_pattern(b, {"name", "type", "batched"}, who2);
+    spec.burst.batched = bool_or(b, "batched", spec.burst.batched, who2);
+    spec.num_inputs = 0;
   } else if (spec.type == "legacy_switch") {
     check_keys(b,
                with_time_units({"name", "type", "num_ports", "queue_bytes",
@@ -286,8 +363,13 @@ WorkloadSpec parse_workload(const Json& w) {
     spec.frame_size = count_or(w, "frame_size", spec.frame_size, who);
     spec.flow_count = static_cast<std::uint32_t>(
         count_or(w, "flows", spec.flow_count, who));
+  } else if (kind == "burst") {
+    spec.kind = WorkloadSpec::Kind::kBurst;
+    spec.burst = parse_burst_pattern(
+        w, {"kind", "ingress", "egress", "batched"}, who);
+    spec.burst_batched = bool_or(w, "batched", spec.burst_batched, who);
   } else {
-    const std::vector<std::string> kinds = {"none", "tcp", "cbr"};
+    const std::vector<std::string> kinds = {"none", "tcp", "cbr", "burst"};
     std::string msg = who + ": unknown kind '" + kind + "'";
     const std::string hint = suggest_nearest(kind, kinds);
     if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
@@ -371,6 +453,14 @@ void validate(const TopologyFile& t) {
       claim(*t.workload.ack_egress, "workload.ack_egress");
     }
   }
+  if (t.workload.kind == WorkloadSpec::Kind::kBurst) {
+    for (const char* r : {"burst_workload", "burst_sink"}) {
+      if (by_name.count(r) != 0) {
+        fail("block name '" + std::string(r) +
+             "' is reserved for the burst workload");
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -378,7 +468,8 @@ void validate(const TopologyFile& t) {
 const std::vector<std::string>& TopologyFile::known_types() {
   static const std::vector<std::string> kTypes = {
       "fifo_queue",    "red",  "token_bucket", "delay_ber", "ecmp",
-      "sink",          "monitor", "legacy_switch", "openflow_switch"};
+      "sink",          "monitor", "legacy_switch", "openflow_switch",
+      "burst_source"};
   return kTypes;
 }
 
@@ -443,8 +534,9 @@ TopologyFile TopologyFile::load(const std::string& path) {
   }
 }
 
-void TopologyFile::build(sim::Engine& eng, Graph& g,
-                         std::uint64_t trial_seed) const {
+void TopologyFile::build(sim::Engine& eng, Graph& g, std::uint64_t trial_seed,
+                         Picos horizon) const {
+  if (horizon <= 0) horizon = duration;
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     const BlockSpec& b = blocks[i];
     // Stream tag 0x109 ("toPO"-ish) + ordinal: decorrelated from the
@@ -476,6 +568,11 @@ void TopologyFile::build(sim::Engine& eng, Graph& g,
       OpenFlowSwitchBlockConfig cfg = b.openflow_switch;
       cfg.sw.seed = block_seed;
       g.emplace<OpenFlowSwitchBlock>(eng, b.name, cfg);
+    } else if (b.type == "burst_source") {
+      burst::BurstSourceConfig cfg = b.burst;
+      cfg.pattern.seed = block_seed;
+      if (cfg.horizon <= 0) cfg.horizon = horizon;
+      g.emplace<burst::BurstSourceBlock>(eng, b.name, cfg);
     } else {
       fail("unknown block type '" + b.type + "'");  // unreachable post-parse
     }
@@ -528,6 +625,44 @@ void validate_fault_targets(const TopologyFile& topo,
   }
 }
 
+void validate_workload(const TopologyFile& topo) {
+  const WorkloadSpec& w = topo.workload;
+  if (w.kind == WorkloadSpec::Kind::kTcp) {
+    static const std::vector<std::string> kCc = {"newreno", "cubic", "bbr"};
+    if (std::find(kCc.begin(), kCc.end(), w.cc) == kCc.end()) {
+      std::string msg = "workload: unknown cc '" + w.cc + "'";
+      const std::string hint = suggest_nearest(w.cc, kCc);
+      if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
+      fail(msg);
+    }
+    if (w.mss == 0) fail("workload: 'mss' must be positive");
+    if (w.bottleneck_gbps < 0) {
+      fail("workload: 'bottleneck_gbps' must not be negative");
+    }
+  } else if (w.kind == WorkloadSpec::Kind::kCbr) {
+    if (w.rate_gbps <= 0) fail("workload: 'rate_gbps' must be positive");
+    if (w.frame_size < net::kEthMinFrame ||
+        w.frame_size > net::kEthMaxFrame) {
+      fail("workload: 'frame_size' must be in [64, 1518]");
+    }
+    if (w.flow_count == 0) fail("workload: 'flows' must be positive");
+  } else if (w.kind == WorkloadSpec::Kind::kBurst) {
+    try {
+      w.burst.validate();
+    } catch (const burst::BurstError& e) {
+      fail("workload: " + std::string(e.what()));
+    }
+  }
+  for (const auto& b : topo.blocks) {
+    if (b.type != "burst_source") continue;
+    try {
+      b.burst.pattern.validate();
+    } catch (const burst::BurstError& e) {
+      fail("block '" + b.name + "': " + std::string(e.what()));
+    }
+  }
+}
+
 TopologyTrialReport run_topology_trial(const TopologyFile& topo,
                                        std::uint64_t trial_seed,
                                        Picos duration,
@@ -541,9 +676,28 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
   if (trace) eng.set_trace(trace);
   core::OsntDevice dev{eng};
   Graph g{eng};
-  topo.build(eng, g, trial_seed);
+  topo.build(eng, g, trial_seed, duration);
 
   const WorkloadSpec& w = topo.workload;
+
+  // Burst workloads are graph-native: the source and sink join the graph
+  // itself (so the series loop below picks up their channels) rather than
+  // riding the device ports. Names are reserved at validate() time.
+  burst::BurstSourceBlock* burst_src = nullptr;
+  SinkBlock* burst_sink = nullptr;
+  if (w.kind == WorkloadSpec::Kind::kBurst) {
+    burst::BurstSourceConfig bcfg;
+    bcfg.pattern = w.burst;
+    // Stream tag 0x10B0: decorrelated from the 0x1090+i block streams.
+    bcfg.pattern.seed = derive_seed(trial_seed, 0x10B0);
+    bcfg.batched = w.burst_batched;
+    bcfg.horizon = duration;
+    burst_src =
+        &g.emplace<burst::BurstSourceBlock>(eng, "burst_workload", bcfg);
+    burst_sink = &g.emplace<SinkBlock>(eng, "burst_sink");
+    g.connect("burst_workload", 0, w.ingress.block, w.ingress.port);
+    g.connect(w.egress.block, w.egress.port, "burst_sink", 0);
+  }
   std::optional<fault::Injector> injector;
   const auto arm_faults = [&] {
     if (plan && !plan->events.empty()) {
@@ -663,6 +817,17 @@ TopologyTrialReport run_topology_trial(const TopologyFile& topo,
     spec.flow_count = w.flow_count;
     spec.seed = trial_seed;
     report.cbr = core::run_capture_test(eng, dev, 0, 1, spec, duration);
+    finish_series();
+  } else if (w.kind == WorkloadSpec::Kind::kBurst) {
+    arm_faults();
+    g.start();
+    eng.run_until(duration);
+    auto& r = report.burst;
+    r.frames = burst_src->frames_out();
+    r.bursts = burst_src->bursts_emitted();
+    r.tx_bytes = burst_src->wire_bytes();
+    r.rx_frames = burst_sink->frames_in();
+    r.rx_bytes = burst_sink->bytes();
     finish_series();
   } else {
     arm_faults();

@@ -9,16 +9,18 @@
 #include "osnt/oflops/action_latency.hpp"
 #include "osnt/oflops/context.hpp"
 
-// The double(seed) run_repeated entry point is deprecated in favour of the
-// core::Trial overload; these tests deliberately keep exercising it as the
-// compatibility contract.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace osnt {
 namespace {
 
+/// The experiments here are phrased as core::Trial via scalar_trial —
+/// the double(seed) compatibility overload is gone.
+core::Trial seeded(std::function<double(std::uint64_t)> fn) {
+  return core::scalar_trial(
+      [fn = std::move(fn)](const core::TrialPoint& p) { return fn(p.seed); });
+}
+
 TEST(Repeat, ConstantTrialHasZeroCi) {
-  const auto r = core::run_repeated([](std::uint64_t) { return 5.0; }, 10);
+  const auto r = core::run_repeated(seeded([](std::uint64_t) { return 5.0; }), 10);
   EXPECT_DOUBLE_EQ(r.mean, 5.0);
   EXPECT_DOUBLE_EQ(r.stddev, 0.0);
   EXPECT_DOUBLE_EQ(r.ci95_half, 0.0);
@@ -27,12 +29,11 @@ TEST(Repeat, ConstantTrialHasZeroCi) {
 
 TEST(Repeat, SeedsArePassedInOrder) {
   std::vector<std::uint64_t> seeds;
-  (void)core::run_repeated(
-      [&](std::uint64_t s) {
-        seeds.push_back(s);
-        return 0.0;
-      },
-      4);
+  (void)core::run_repeated(seeded([&](std::uint64_t s) {
+                             seeds.push_back(s);
+                             return 0.0;
+                           }),
+                           4);
   EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3, 4}));
 }
 
@@ -45,7 +46,7 @@ TEST(Repeat, CiCoversTrueMeanUsually) {
   for (int m = 0; m < meta_trials; ++m) {
     Rng local{meta()};
     const auto r = core::run_repeated(
-        [&](std::uint64_t) { return local.normal(100.0, 10.0); }, 10);
+        seeded([&](std::uint64_t) { return local.normal(100.0, 10.0); }), 10);
     if (r.lo() <= 100.0 && 100.0 <= r.hi()) ++covered;
   }
   EXPECT_GT(covered, meta_trials * 0.88);  // ~95% nominal, slack for luck
@@ -79,35 +80,31 @@ TEST(Repeat, TTableNoJumpPast30) {
   EXPECT_NEAR(core::t_critical_95(100000), 1.96, 1e-4);
 }
 
-TEST(Repeat, TrialOverloadMatchesLegacy) {
-  // Same experiment through both entry points: identical summaries.
-  const auto legacy = core::run_repeated(
-      [](std::uint64_t seed) {
-        Rng rng{seed};
-        return rng.normal(100.0, 10.0);
-      },
-      12);
-  const auto unified = core::run_repeated(
-      core::scalar_trial([](const core::TrialPoint& p) {
-        Rng rng{p.seed};
-        return rng.normal(100.0, 10.0);
-      }),
-      12);
-  EXPECT_EQ(legacy.values, unified.values);
-  EXPECT_EQ(legacy.mean, unified.mean);
-  EXPECT_EQ(legacy.ci95_half, unified.ci95_half);
+TEST(Repeat, SeedIsolatedTrialIsReproducible) {
+  // Seed-isolated experiments summarize identically run to run — the
+  // property the deleted double(seed) compatibility overload used to be
+  // tested against.
+  const auto trial = core::scalar_trial([](const core::TrialPoint& p) {
+    Rng rng{p.seed};
+    return rng.normal(100.0, 10.0);
+  });
+  const auto first = core::run_repeated(trial, 12);
+  const auto again = core::run_repeated(trial, 12);
+  EXPECT_EQ(first.values, again.values);
+  EXPECT_EQ(first.mean, again.mean);
+  EXPECT_EQ(first.ci95_half, again.ci95_half);
 }
 
 TEST(Repeat, ZeroRepetitionsThrows) {
   EXPECT_THROW(
-      (void)core::run_repeated([](std::uint64_t) { return 0.0; }, 0),
+      (void)core::run_repeated(seeded([](std::uint64_t) { return 0.0; }), 0),
       std::invalid_argument);
 }
 
 TEST(Repeat, RelativeCi) {
   Rng rng{9};
   const auto r = core::run_repeated(
-      [&](std::uint64_t) { return rng.normal(50.0, 5.0); }, 20);
+      seeded([&](std::uint64_t) { return rng.normal(50.0, 5.0); }), 20);
   EXPECT_GT(r.relative_ci(), 0.0);
   EXPECT_LT(r.relative_ci(), 0.2);
 }

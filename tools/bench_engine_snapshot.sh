@@ -53,7 +53,8 @@ fi
 
 # Keep the old-engine reference numbers in the snapshot so the gate
 # (schedule+fire >= 2x events/sec over the seed engine) stays checkable
-# from this one file.
+# from this one file, and derive the burst_pps gate (batched burst
+# emission >= 3x the naive per-frame baseline at 64 B, dark-port pair).
 python3 - "$out" <<'PYEOF'
 import json, sys
 
@@ -73,6 +74,37 @@ doc["seed_baseline"] = {
         "BM_ScheduleCancelChurn/1024": 7.39e6,
         "BM_LineRateStorm4Port/4096": 10.39e6,
     },
+}
+
+rates = {}
+for b in doc["benchmarks"]:
+    if b.get("aggregate_name") == "median":
+        rates[b["run_name"]] = b["items_per_second"]
+
+batched = rates.get("BM_BurstEmission/1/0", 0.0)
+naive = rates.get("BM_BurstEmission/0/0", 0.0)
+speedup = batched / naive if naive else 0.0
+doc["burst_pps"] = {
+    "note": (
+        "64 B on/off burst emission, frames/sec (median of 3 reps). "
+        "'batched' is one engine event per burst walking the SoA "
+        "schedule and cloning prebuilt templates; 'naive' is one event "
+        "per frame, each crafting its packet from scratch. The gated "
+        "pair emits into a dark output port, isolating the emission "
+        "machinery; the *_wired pair routes through a graph edge to a "
+        "sink, where the per-frame Link delivery event (common to both "
+        "modes) compresses the ratio — reported for end-to-end context. "
+        "Gate: batched >= 3x naive on the dark-port pair."
+    ),
+    "frames_per_second": {
+        "batched": round(batched, 1),
+        "naive": round(naive, 1),
+        "batched_wired": round(rates.get("BM_BurstEmission/1/1", 0.0), 1),
+        "naive_wired": round(rates.get("BM_BurstEmission/0/1", 0.0), 1),
+    },
+    "gate_speedup": 3.0,
+    "speedup": round(speedup, 2),
+    "speedup_ok": bool(speedup >= 3.0),
 }
 json.dump(doc, open(path, "w"), indent=1)
 print(f"wrote {path}")

@@ -672,7 +672,8 @@ int cmd_topo(int argc, const char* const* argv) {
   CliParser cli{
       "osnt_run topo FILE.json — run a declarative scenario-graph topology\n"
       "(see examples/topologies/; blocks: fifo_queue, red, token_bucket,\n"
-      "delay_ber, ecmp, sink, monitor, legacy_switch, openflow_switch)"};
+      "delay_ber, ecmp, sink, monitor, legacy_switch, openflow_switch,\n"
+      "burst_source)"};
   cli.add_flag("seed", &seed, "base seed (0 = the file's; trial i adds i)");
   cli.add_flag("duration-ms", &duration_ms,
                "simulated duration (0 = the file's)");
@@ -728,15 +729,18 @@ int cmd_topo(int argc, const char* const* argv) {
               topo.name.empty() ? cli.positional()[0].c_str()
                                 : topo.name.c_str(),
               topo.blocks.size(), topo.edges.size(),
-              topo.workload.kind == graph::WorkloadSpec::Kind::kTcp   ? "tcp"
-              : topo.workload.kind == graph::WorkloadSpec::Kind::kCbr ? "cbr"
-                                                                      : "none");
+              topo.workload.kind == graph::WorkloadSpec::Kind::kTcp     ? "tcp"
+              : topo.workload.kind == graph::WorkloadSpec::Kind::kCbr   ? "cbr"
+              : topo.workload.kind == graph::WorkloadSpec::Kind::kBurst ? "burst"
+                                                                        : "none");
 
   if (validate_only) {
     // Dry run: the file already parsed and wired, so all that is left is
-    // resolving the fault plan's block targets and showing what would be
-    // built — cheap enough for CI to gate every plan/topology pair on.
+    // the semantic workload checks, resolving the fault plan's block
+    // targets, and showing what would be built — cheap enough for CI to
+    // gate every plan/topology pair on.
     try {
+      graph::validate_workload(topo);
       graph::validate_fault_targets(topo, fplan);
     } catch (const graph::GraphError& e) {
       std::fprintf(stderr, "%s\n", e.what());
@@ -748,7 +752,7 @@ int cmd_topo(int argc, const char* const* argv) {
       std::printf("%-16s %-16s %7zu %8zu\n", b.name.c_str(), b.type.c_str(),
                   b.num_inputs, b.num_outputs);
     }
-    std::printf("ok: topology valid%s\n",
+    std::printf("ok: topology valid, workload valid%s\n",
                 fplan.events.empty() ? "" : ", fault targets resolved");
     return 0;
   }
@@ -770,6 +774,9 @@ int cmd_topo(int argc, const char* const* argv) {
     s.rx_frames = rep.graph_frames_in - rep.graph_drops;
     if (topo.workload.kind == graph::WorkloadSpec::Kind::kTcp) {
       s.metric = rep.tcp.goodput_bps;
+    } else if (topo.workload.kind == graph::WorkloadSpec::Kind::kBurst) {
+      s.tx_frames = rep.burst.frames;
+      s.rx_frames = rep.burst.rx_frames;
     }
     return s;
   };
@@ -819,6 +826,15 @@ int cmd_topo(int argc, const char* const* argv) {
           static_cast<unsigned long long>(rep.cbr.tx_frames),
           static_cast<unsigned long long>(rep.cbr.rx_frames),
           rep.cbr.loss_fraction() * 100.0,
+          static_cast<unsigned long long>(rep.graph_drops));
+    } else if (topo.workload.kind == graph::WorkloadSpec::Kind::kBurst) {
+      std::printf(
+          "trial %zu seed %llu: %llu frames in %llu bursts  rx %llu  "
+          "graph drops %llu\n",
+          i, static_cast<unsigned long long>(tr.seed_used),
+          static_cast<unsigned long long>(rep.burst.frames),
+          static_cast<unsigned long long>(rep.burst.bursts),
+          static_cast<unsigned long long>(rep.burst.rx_frames),
           static_cast<unsigned long long>(rep.graph_drops));
     } else {
       std::printf("trial %zu seed %llu: %llu frames through the graph\n", i,
